@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"zkphire/internal/core"
+	"zkphire/internal/hw"
+	"zkphire/internal/hw/system"
+	"zkphire/internal/hw/units"
+	"zkphire/internal/poly"
+	"zkphire/internal/workloads"
+)
+
+// runAblations quantifies the design choices DESIGN.md calls out:
+// accumulation vs. balanced-tree scheduling (Fig. 2), term packing (the
+// paper's future-work idea), fixed vs. arbitrary primes, Masked ZeroCheck,
+// and sparse vs. dense witness MSMs.
+func runAblations(args []string) error {
+	fs := flag.NewFlagSet("ablations", flag.ExitOnError)
+	logGates := fs.Int("logn", 24, "log2 gates")
+	fs.Parse(args)
+
+	fmt.Println("A. Scheduler graph decomposition (Fig. 2) — Jellyfish ZeroCheck, 4 EEs:")
+	c := poly.Registered(22)
+	for _, opts := range []core.Options{
+		{Mode: core.Accumulate},
+		{Mode: core.BalancedTree},
+		{Mode: core.Accumulate, PackTerms: true},
+	} {
+		prog, err := core.ScheduleOpts(c, 4, opts)
+		if err != nil {
+			return err
+		}
+		name := prog.Opts.Mode.String()
+		if opts.PackTerms {
+			name += "+pack"
+		}
+		fmt.Printf("   %-22s steps/pair=%-3d tmp-buffers=%-2d peak-prefetch=%d\n",
+			name, prog.NumSteps(), prog.TmpBuffers, prog.PeakPrefetch())
+	}
+	fmt.Println("   → accumulation matches the tree's step count with 1 Tmp buffer and")
+	fmt.Println("     balanced prefetch; packing shortens the schedule (future work realized).")
+
+	fmt.Println("\nB. Term packing, modeled at scale (Vanilla ZeroCheck, 7 EEs, 4 TB/s):")
+	cfgSC := core.Config{PEs: 16, EEs: 7, PLs: 5, BankSizeWords: 1 << 13, Prime: hw.FixedPrime}
+	mem := hw.NewMemory(4096)
+	for _, opts := range []core.Options{{}, {PackTerms: true}} {
+		res, err := core.SimulateOpts(cfgSC, core.NewWorkload(poly.Registered(20), *logGates), mem, opts)
+		if err != nil {
+			return err
+		}
+		name := "baseline"
+		if opts.PackTerms {
+			name = "packed  "
+		}
+		fmt.Printf("   %s  %.2f ms, utilization %.1f%%\n", name, res.Seconds*1e3, res.Utilization*100)
+	}
+
+	fmt.Println("\nC. Fixed vs arbitrary primes (Table V design):")
+	for _, prime := range []hw.PrimeKind{hw.FixedPrime, hw.ArbitraryPrime} {
+		cfg := system.TableV()
+		cfg.Prime = prime
+		cfg.SumCheck.Prime = prime
+		cfg.MSM.Prime = prime
+		cfg.PermQ = units.DefaultPermQ(prime)
+		cfg.Combine = units.DefaultMLECombine(prime)
+		a := cfg.Area()
+		fmt.Printf("   %-10s compute %.1f mm², total %.1f mm²\n", prime.String(), a.TotalCompute(), a.Total())
+	}
+	fmt.Println("   → fixed primes roughly halve compute area (paper: ~50%, ~2x density).")
+
+	fmt.Println("\nD. Masked ZeroCheck (2^24 Jellyfish):")
+	for _, mask := range []bool{false, true} {
+		cfg := system.TableV()
+		cfg.MaskZeroCheck = mask
+		r, err := cfg.ProveTime(workloads.Jellyfish, *logGates, hw.DefaultSparsity)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   masking=%-5v total %.1f ms\n", mask, r.Total()*1e3)
+	}
+
+	fmt.Println("\nE. Sparse vs dense witness MSM (2^24 points):")
+	msm := units.DefaultMSM(hw.FixedPrime)
+	n := float64(uint64(1) << uint(*logGates))
+	dense := msm.DenseCycles(n)
+	sparse := msm.SparseCycles(n, hw.DefaultSparsity)
+	fmt.Printf("   dense  %.2f ms, %.1f GB traffic\n", dense.Cycles/1e6, dense.OffchipBytes/1e9)
+	fmt.Printf("   sparse %.2f ms, %.1f GB traffic (%.1fx faster)\n",
+		sparse.Cycles/1e6, sparse.OffchipBytes/1e9, dense.Cycles/sparse.Cycles)
+
+	fmt.Println("\nF. Fused tree reductions vs NoCap-style vector folding (Section VII):")
+	vec := units.DefaultVectorEngine()
+	for _, k := range []float64{3, 8, 16} {
+		const mulsPerPair = 60
+		v := vec.SumCheckCycles(*logGates, k, mulsPerPair)
+		f := units.FusedReductionCycles(*logGates, k, mulsPerPair, vec.Lanes)
+		fmt.Printf("   K=%-3.0f vector %.1f ms vs fused %.1f ms (%.2fx penalty)\n",
+			k, v/1e6, f/1e6, v/f)
+	}
+	fmt.Println("   → the serialized log2(V) folds penalize exactly the high-degree gates")
+	fmt.Println("     zkPHIRE targets, growing with the extension count K.")
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command zkphire is a demonstration CLI for the library: it proves and
+// verifies built-in circuits end to end on the software stack, and estimates
+// how the zkPHIRE accelerator would run the same workloads.
+//
+// Usage:
+//
+//	zkphire prove -circuit cubic -logn 6
+//	zkphire simulate -poly 22 -logn 24
+//	zkphire estimate -jellyfish -logn 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zkphire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "prove":
+		err = cmdProve(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  zkphire prove    -circuit cubic|chain -logn N   prove + verify a built-in circuit
+  zkphire simulate -poly ID -logn N               model one Table I SumCheck on the accelerator
+  zkphire estimate [-jellyfish] -logn N           model the full HyperPlonk prover`)
+}
+
+func cmdProve(args []string) error {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	circuit := fs.String("circuit", "cubic", "built-in circuit: cubic or chain")
+	logn := fs.Int("logn", 6, "log2 gate capacity")
+	fs.Parse(args)
+
+	srs := zkphire.SetupDeterministic(*logn+1, time.Now().UnixNano()%1000)
+	b := zkphire.NewCircuitBuilder()
+	switch *circuit {
+	case "cubic":
+		// Prove knowledge of x with x³ + x + 5 = 35.
+		x := b.Secret(3)
+		x3 := b.Mul(b.Mul(x, x), x)
+		b.AssertEqualConst(b.AddConst(b.Add(x3, x), 5), 35)
+	case "chain":
+		// A longer multiply-add chain.
+		x := b.Secret(2)
+		acc := x
+		for i := 0; i < (1<<uint(*logn))/2-2; i++ {
+			acc = b.Mul(acc, x)
+			acc = b.Add(acc, x)
+		}
+	default:
+		return fmt.Errorf("unknown circuit %q", *circuit)
+	}
+
+	fmt.Printf("circuit %q: %d gates (capacity 2^%d)\n", *circuit, b.GateCount(), *logn)
+	start := time.Now()
+	proof, vk, err := zkphire.ProveCircuit(srs, b, *logn)
+	if err != nil {
+		return err
+	}
+	proveTime := time.Since(start)
+	start = time.Now()
+	if err := zkphire.VerifyCircuit(srs, vk, proof); err != nil {
+		return err
+	}
+	fmt.Printf("proved in %v, verified in %v, proof size %d bytes\n",
+		proveTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond), proof.SizeBytes())
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	polyID := fs.Int("poly", 22, "Table I constraint ID (0-24)")
+	logn := fs.Int("logn", 24, "log2 gates")
+	fs.Parse(args)
+
+	acc := zkphire.DefaultAccelerator()
+	est, err := acc.EstimateSumCheck(*polyID, *logn)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table I poly %d over 2^%d gates on the programmable SumCheck unit:\n", *polyID, *logn)
+	fmt.Printf("  runtime     %.3f ms\n", est.Seconds*1e3)
+	fmt.Printf("  utilization %.1f%%\n", est.Utilization*100)
+	fmt.Printf("  unit area   %.2f mm² (7nm)\n", est.AreaMM2)
+	return nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	jellyfish := fs.Bool("jellyfish", false, "use Jellyfish gates")
+	logn := fs.Int("logn", 24, "log2 gates")
+	fs.Parse(args)
+
+	acc := zkphire.DefaultAccelerator()
+	est, err := acc.EstimateProver(*jellyfish, *logn)
+	if err != nil {
+		return err
+	}
+	kind := "Vanilla"
+	if *jellyfish {
+		kind = "Jellyfish"
+	}
+	fmt.Printf("full HyperPlonk prover, %s gates, 2^%d gates, Table V design:\n", kind, *logn)
+	fmt.Printf("  runtime %.3f ms\n", est.Seconds*1e3)
+	fmt.Printf("  area    %.2f mm² (7nm)\n", est.AreaMM2)
+	fmt.Printf("  power   %.1f W\n", est.PowerW)
+	return nil
+}

@@ -1,0 +1,69 @@
+// Accelerator-DSE example: sizing a zkPHIRE instance for a deployment. A
+// protocol designer with a custom gate and a latency budget sweeps the
+// hardware design space, extracts the area/performance Pareto frontier, and
+// inspects how the scheduler maps the gate onto each candidate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zkphire/internal/core"
+	"zkphire/internal/hw"
+	"zkphire/internal/hw/dse"
+	"zkphire/internal/poly"
+	"zkphire/internal/workloads"
+)
+
+func main() {
+	// The deployment: Rollup-25 batches with Jellyfish gates (2^19 rows),
+	// and a 10 ms latency budget.
+	const logGates = 19
+	const budgetMS = 10.0
+
+	fmt.Println("Sweeping the Table III design space for Rollup-25 (2^19 Jellyfish gates)...")
+	pts := dse.SweepSystem(workloads.Jellyfish, logGates, dse.SweepOptions{
+		Coarse:     true,
+		Bandwidths: []float64{256, 512, 1024, 2048},
+	})
+	front := dse.Pareto(pts)
+	fmt.Printf("evaluated %d designs, %d on the Pareto frontier\n\n", len(pts), len(front))
+
+	fmt.Printf("%-12s %-12s %-10s %-30s\n", "Runtime", "Area", "BW", "SumCheck unit")
+	var pick *dse.Point
+	for i := range front {
+		p := front[i]
+		marker := ""
+		if p.RuntimeMS <= budgetMS && pick == nil {
+			// Frontier is sorted fastest-first, so the LAST point under
+			// budget is the cheapest; keep scanning.
+		}
+		if p.RuntimeMS <= budgetMS {
+			pick = &front[i]
+		}
+		if i%3 == 0 || p.RuntimeMS <= budgetMS {
+			fmt.Printf("%9.2f ms %8.1f mm² %7.0f %-30s%s\n",
+				p.RuntimeMS, p.AreaMM2, p.Cfg.BandwidthGBps, p.Cfg.SumCheck.String(), marker)
+		}
+	}
+	if pick == nil {
+		log.Fatal("no design meets the budget — raise bandwidth tiers")
+	}
+	fmt.Printf("\ncheapest design under %.0f ms: %.1f mm² at %.0f GB/s → %.2f ms\n",
+		budgetMS, pick.AreaMM2, pick.Cfg.BandwidthGBps, pick.RuntimeMS)
+
+	// How does the chosen unit schedule the Jellyfish ZeroCheck?
+	prog, err := core.Schedule(poly.Registered(22), pick.Cfg.SumCheck.EEs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nJellyfish ZeroCheck schedule on %d EEs: %d steps/pair, K=%d extension points, lane II=%d\n",
+		pick.Cfg.SumCheck.EEs, prog.NumSteps(), prog.K, core.LaneII(prog.K, pick.Cfg.SumCheck.PLs))
+	res, err := core.Simulate(pick.Cfg.SumCheck, core.NewWorkload(poly.Registered(22), logGates),
+		hw.NewMemory(pick.Cfg.BandwidthGBps))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unit-level: %.3f ms at %.0f%% multiplier utilization, %.1f MB off-chip traffic\n",
+		res.Seconds*1e3, res.Utilization*100, res.OffchipBytes/(1<<20))
+}

@@ -1,0 +1,106 @@
+// Halo2-ECC example: the programmability story of the paper. The Halo2
+// library verifies elliptic-curve operations with custom high-degree
+// constraints (Table I, IDs 3–19) that a fixed-function SumCheck unit like
+// zkSpeed's cannot run. This example takes the complete-addition constraints,
+// schedules each on the programmable SumCheck unit (the Fig. 2 graph
+// decomposition), executes the schedule on real field data with the
+// functional emulator, cross-checks against the software prover, and prints
+// the modeled performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zkphire/internal/core"
+	"zkphire/internal/ff"
+	"zkphire/internal/hw"
+	"zkphire/internal/mle"
+	"zkphire/internal/poly"
+	"zkphire/internal/sumcheck"
+	"zkphire/internal/transcript"
+)
+
+func main() {
+	const numVars = 8 // 256 constraint rows for the functional run
+	const ee = 4      // extension engines on the demo unit
+
+	cfg := core.Config{PEs: 4, EEs: ee, PLs: 5, BankSizeWords: 1 << 12, Prime: hw.FixedPrime}
+	mem := hw.NewMemory(1024)
+	rng := ff.NewRand(2024)
+
+	fmt.Printf("%-20s %-6s %-6s %-8s %-12s %-10s %-10s\n",
+		"Halo2 constraint", "deg", "terms", "steps", "sched-nodes", "runtime", "emulated")
+	for id := 3; id <= 19; id++ {
+		c := poly.Registered(id)
+
+		// 1. Schedule the constraint on the unit.
+		prog, err := core.Schedule(c, ee)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 2. Bind random tables with the constraint's sparsity roles and run
+		//    the software prover for ground truth.
+		tables := make([]*mle.Table, c.NumVars())
+		for i := range tables {
+			switch c.Roles[i] {
+			case poly.RoleSelector:
+				ev := make([]ff.Element, 1<<numVars)
+				for j := range ev {
+					if rng.Intn(2) == 1 {
+						ev[j] = ff.One()
+					}
+				}
+				tables[i] = mle.FromEvals(ev)
+			default:
+				tables[i] = mle.FromEvals(rng.Elements(1 << numVars))
+			}
+		}
+		assign, err := sumcheck.NewAssignment(c, tables)
+		if err != nil {
+			log.Fatal(err)
+		}
+		claim := assign.SumAll()
+		tr := transcript.New("halo2")
+		proof, challenges, err := sumcheck.Prove(tr, assign, claim, sumcheck.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Execute the hardware schedule with the emulator and compare
+		//    every round polynomial.
+		emu, err := core.NewEmulator(prog, tables)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := true
+		runningClaim := claim
+		for round := 0; round < numVars; round++ {
+			got := emu.Round()
+			want := sumcheck.DecompressRound(proof.RoundEvals[round], &runningClaim)
+			for i := range got {
+				if !got[i].Equal(&want[i]) {
+					match = false
+				}
+			}
+			runningClaim = ff.EvalFromPoints(want, &challenges[round])
+			emu.Fold(&challenges[round])
+		}
+
+		// 4. Model production-scale performance (2^24 rows).
+		res, err := core.Simulate(cfg, core.NewWorkload(c, 24), mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		status := "✓ matches"
+		if !match {
+			status = "✗ MISMATCH"
+		}
+		fmt.Printf("%-20s %-6d %-6d %-8d %-12d %7.2f ms %-10s\n",
+			c.Name, c.Degree(), c.NumTerms(), prog.NumSteps(), prog.MaxConcurrentMLEs(),
+			res.Seconds*1e3, status)
+	}
+	fmt.Println("\nEvery Halo2 gate ran on the SAME hardware configuration — no per-gate RTL.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: prove knowledge of a secret x with x³ + x + 5 = 35 using the
+// public API, verify the proof, and ask the hardware model what the same
+// SumCheck workload would cost on the zkPHIRE accelerator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"zkphire"
+)
+
+func main() {
+	// One-time universal setup (deterministic here for reproducibility).
+	srs := zkphire.SetupDeterministic(9, 42)
+
+	// Build the circuit. Values attached to wires form the witness.
+	b := zkphire.NewCircuitBuilder()
+	x := b.Secret(3)
+	x2 := b.Mul(x, x)
+	x3 := b.Mul(x2, x)
+	sum := b.Add(x3, x)
+	out := b.AddConst(sum, 5)
+	b.AssertEqualConst(out, 35)
+	fmt.Printf("circuit: %d Vanilla gates\n", b.GateCount())
+
+	// Prove and verify.
+	start := time.Now()
+	proof, vk, err := zkphire.ProveCircuit(srs, b, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proof generated in %v (%d bytes)\n", time.Since(start).Round(time.Millisecond), proof.SizeBytes())
+
+	if err := zkphire.VerifyCircuit(srs, vk, proof); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	fmt.Println("proof verified ✓")
+
+	// What would the accelerator do with a production-sized version?
+	acc := zkphire.DefaultAccelerator()
+	est, err := acc.EstimateSumCheck(zkphire.VanillaZeroCheckID, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zkPHIRE model: Vanilla ZeroCheck over 2^24 gates ≈ %.1f ms at %.0f%% utilization\n",
+		est.Seconds*1e3, est.Utilization*100)
+}

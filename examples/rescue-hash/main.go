@@ -1,0 +1,84 @@
+// Rescue-hash example: the workload class the paper's Jellyfish gate was
+// designed for. A Rescue-style sponge round is dominated by x⁵ S-boxes; one
+// Jellyfish gate absorbs a full S-box layer (4 power-5 terms plus the MDS
+// row), where Vanilla gates would need ~5 gates per S-box alone. The example
+// proves a hash-chain preimage with real Jellyfish gates and reports the
+// gate-count reduction that drives Tables VII/VIII.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+	"zkphire/internal/hyperplonk"
+	"zkphire/internal/pcs"
+)
+
+// rescueRound applies one simplified Rescue round to a 4-element state:
+// state'ᵢ = Σⱼ mds[i][j]·stateⱼ⁵ + rc[i]. Each output element is ONE
+// Jellyfish gate.
+func rescueRound(b *gates.JellyfishBuilder, state [4]gates.Variable, rc uint64) [4]gates.Variable {
+	mds := [4][4]uint64{
+		{1, 2, 3, 4},
+		{4, 1, 2, 3},
+		{3, 4, 1, 2},
+		{2, 3, 4, 1},
+	}
+	var out [4]gates.Variable
+	for i := 0; i < 4; i++ {
+		var coeffs [4]ff.Element
+		for j := 0; j < 4; j++ {
+			coeffs[j] = ff.NewElement(mds[i][j])
+		}
+		out[i] = b.Power5Round(state, coeffs, ff.NewElement(rc+uint64(i)))
+	}
+	return out
+}
+
+func main() {
+	const rounds = 6
+	b := gates.NewJellyfishBuilder()
+
+	var state [4]gates.Variable
+	for i := range state {
+		state[i] = b.NewVariable(ff.NewElement(uint64(10 + i)))
+	}
+	for r := 0; r < rounds; r++ {
+		state = rescueRound(b, state, uint64(100*r))
+	}
+	digest := b.Value(state[0])
+	b.AssertConst(state[0], digest) // bind the public digest
+
+	jellyGates := b.GateCount()
+	vanillaEquivalent := rounds * 4 * 7 // ≈5 gates per x⁵ + 2 for the MDS row
+	fmt.Printf("Rescue chain: %d rounds → %d Jellyfish gates (≈%d Vanilla gates, %.0fx reduction)\n",
+		rounds, jellyGates, vanillaEquivalent, float64(vanillaEquivalent)/float64(jellyGates))
+
+	circ, err := b.Build(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !circ.Satisfied() {
+		log.Fatal("rescue circuit unsatisfied")
+	}
+
+	srs := pcs.SetupDeterministic(8, 7)
+	idx, err := hyperplonk.Preprocess(srs, circ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	proof, err := hyperplonk.Prove(srs, idx, circ, hyperplonk.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proved hash-chain preimage in %v (%d-byte proof)\n",
+		time.Since(start).Round(time.Millisecond), proof.SizeBytes())
+	if err := hyperplonk.Verify(srs, idx, proof); err != nil {
+		log.Fatal("verify: ", err)
+	}
+	fmt.Println("verified ✓ — the verifier learned only the digest, not the preimage")
+}

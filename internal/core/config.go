@@ -1,0 +1,98 @@
+// Package core models the paper's primary contribution: the programmable
+// SumCheck accelerator of Section III. It contains
+//
+//   - the graph-decomposition scheduler (Fig. 2) that maps a composite
+//     polynomial's terms onto Extension Engines with a single Tmp-MLE
+//     accumulation buffer;
+//   - the generated Program (the instruction list of Section III-E);
+//   - a functional Emulator that executes a Program on real field elements,
+//     used to co-verify the schedule against the software SumCheck prover;
+//   - a cycle-level performance model of the datapath (Fig. 3): PEs with MLE
+//     Update units, Extension Engines, Product Lanes with II = ceil(K/P)
+//     lane scheduling, scratchpad tiles, and bandwidth limits;
+//   - the unit's area model (modular multipliers, adders, SRAM).
+package core
+
+import (
+	"fmt"
+
+	"zkphire/internal/hw"
+)
+
+// Config describes one programmable SumCheck unit instance (the Table III
+// design knobs that belong to the SumCheck module).
+type Config struct {
+	// PEs is the number of SumCheck processing elements.
+	PEs int
+	// EEs is the number of Extension Engines per PE.
+	EEs int
+	// PLs is the number of Product Lanes per PE.
+	PLs int
+	// BankSizeWords is the per-MLE scratchpad tile capacity in 255-bit words
+	// (Table III sweeps 2^10..2^15).
+	BankSizeWords int
+	// Prime selects fixed- or arbitrary-prime multipliers.
+	Prime hw.PrimeKind
+}
+
+// NumScratchpadBuffers is fixed at 16 (Section III-B): "We allocate 16
+// scratchpad buffers, more than sufficient to accommodate polynomial
+// structures we see in current ZKP systems."
+const NumScratchpadBuffers = 16
+
+// NumAccumRegisters is fixed at 32 (Section III-B): degrees above 31 spill
+// to scratchpad.
+const NumAccumRegisters = 32
+
+// Validate checks the configuration against datapath invariants.
+func (c Config) Validate() error {
+	if c.PEs < 1 {
+		return fmt.Errorf("core: need at least one PE")
+	}
+	if c.EEs < 2 {
+		return fmt.Errorf("core: need at least 2 extension engines (got %d)", c.EEs)
+	}
+	if c.PLs < 1 {
+		return fmt.Errorf("core: need at least one product lane")
+	}
+	if c.BankSizeWords < 2 || c.BankSizeWords&(c.BankSizeWords-1) != 0 {
+		return fmt.Errorf("core: bank size must be a power of two >= 2 (got %d)", c.BankSizeWords)
+	}
+	return nil
+}
+
+// ScratchpadBytes returns the unit's total SRAM: 16 double-buffered per-MLE
+// tiles plus the Tmp-MLE buffer and writeback FIFOs.
+func (c Config) ScratchpadBytes() float64 {
+	tileBytes := float64(c.BankSizeWords) * hw.ElementBytes
+	buffers := float64(NumScratchpadBuffers) * 2 * tileBytes // double buffered
+	tmp := tileBytes * 2                                     // Tmp MLE (extension-wide)
+	fifos := tileBytes
+	return buffers + tmp + fifos
+}
+
+// MulCount returns the unit's modular-multiplier inventory: each Product
+// Lane carries EEs−1 fully pipelined multipliers (Section III-B) and each
+// Extension Engine's fused MLE Update path carries one.
+func (c Config) MulCount() int {
+	perPE := c.PLs*(c.EEs-1) + c.EEs
+	return c.PEs * perPE
+}
+
+// Area22 returns the unit area in mm² at 22nm: multipliers, extension
+// adder chains (one adder per extension point slot per EE, up to the
+// register file depth), scratchpads, and 10% control/interconnect overhead.
+func (c Config) Area22() float64 {
+	mul := float64(c.MulCount()) * hw.ModMul255(c.Prime)
+	adders := float64(c.PEs*c.EEs*4) * hw.ModAdd255
+	sram := c.ScratchpadBytes() / (1 << 20) * hw.SRAMmm2PerMB22
+	logic := mul + adders
+	return (logic+sram)*1.0 + logic*0.10
+}
+
+// Area7 returns the unit area in mm² scaled to 7nm.
+func (c Config) Area7() float64 { return hw.To7nm(c.Area22()) }
+
+func (c Config) String() string {
+	return fmt.Sprintf("SC{PE:%d EE:%d PL:%d bank:%d %s}", c.PEs, c.EEs, c.PLs, c.BankSizeWords, c.Prime)
+}

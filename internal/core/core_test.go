@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/hw"
+	"zkphire/internal/mle"
+	"zkphire/internal/poly"
+	"zkphire/internal/sumcheck"
+	"zkphire/internal/transcript"
+)
+
+func defaultConfig() Config {
+	return Config{PEs: 4, EEs: 5, PLs: 5, BankSizeWords: 1 << 12, Prime: hw.FixedPrime}
+}
+
+func buildTables(c *poly.Composite, numVars int, rng *ff.Rand) []*mle.Table {
+	n := 1 << uint(numVars)
+	tables := make([]*mle.Table, c.NumVars())
+	for i := range tables {
+		switch c.Roles[i] {
+		case poly.RoleSelector:
+			evals := make([]ff.Element, n)
+			for j := range evals {
+				if rng.Intn(2) == 1 {
+					evals[j] = ff.One()
+				}
+			}
+			tables[i] = mle.FromEvals(evals)
+		case poly.RoleWitness:
+			tables[i] = mle.FromEvals(rng.SparseElements(n, 0.1))
+		case poly.RoleEq:
+			tables[i] = mle.Eq(rng.Elements(numVars))
+		default:
+			tables[i] = mle.FromEvals(rng.Elements(n))
+		}
+	}
+	return tables
+}
+
+func TestNodesForDegree(t *testing.T) {
+	// Fig. 8 cluster boundaries: with 6 EEs, slot counts 1–6 need 1 node and
+	// 7–11 need 2 (continuation nodes lose one slot to Tmp).
+	for slots := 1; slots <= 6; slots++ {
+		if got := NodesForDegree(slots, 6); got != 1 {
+			t.Fatalf("NodesForDegree(%d, 6) = %d, want 1", slots, got)
+		}
+	}
+	for slots := 7; slots <= 11; slots++ {
+		if got := NodesForDegree(slots, 6); got != 2 {
+			t.Fatalf("NodesForDegree(%d, 6) = %d, want 2", slots, got)
+		}
+	}
+	if got := NodesForDegree(12, 6); got != 3 {
+		t.Fatalf("NodesForDegree(12, 6) = %d, want 3", got)
+	}
+	// Degenerate EE counts.
+	if got := NodesForDegree(5, 2); got != 4 {
+		t.Fatalf("NodesForDegree(5, 2) = %d, want 4 (2 then 1+1+1)", got)
+	}
+}
+
+func TestScheduleMatchesNodeCount(t *testing.T) {
+	for _, ee := range []int{2, 3, 4, 5, 6, 7} {
+		for id := 0; id < poly.NumRegistered; id++ {
+			c := poly.Registered(id)
+			prog, err := Schedule(c, ee)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for _, term := range c.Terms {
+				slots := 0
+				for _, f := range term.Factors {
+					slots += f.Power
+				}
+				if slots == 0 {
+					want++ // constant term: one degenerate step
+					continue
+				}
+				want += NodesForDegree(slots, ee)
+			}
+			if prog.NumSteps() != want {
+				t.Fatalf("poly %d ee=%d: %d steps, want %d", id, ee, prog.NumSteps(), want)
+			}
+		}
+	}
+}
+
+func TestScheduleSlotInvariants(t *testing.T) {
+	c := poly.JellyfishZeroCheck()
+	for _, ee := range []int{2, 4, 7} {
+		prog, err := Schedule(c, ee)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range prog.Steps {
+			cap := ee
+			if st.UsesTmp() {
+				cap = ee - len(st.TmpIn)
+			}
+			if len(st.Slots) > cap {
+				t.Fatalf("step exceeds capacity: %d slots, cap %d", len(st.Slots), cap)
+			}
+			if st.Node == 0 && st.UsesTmp() {
+				t.Fatal("first node must not read Tmp")
+			}
+			if st.WritesTmp() && st.Final {
+				t.Fatal("a step cannot both continue and finalize")
+			}
+		}
+		if prog.TmpBuffers > 1 {
+			t.Fatal("accumulation schedule must use at most one Tmp buffer")
+		}
+		if prog.MaxConcurrentMLEs() > NumScratchpadBuffers {
+			t.Fatal("schedule exceeds scratchpad buffers")
+		}
+	}
+}
+
+// TestEmulatorMatchesSoftwareProver is the hardware/software co-verification:
+// the emulated datapath must produce the same round polynomials as the
+// software SumCheck prover for every Table I constraint and EE count.
+func TestEmulatorMatchesSoftwareProver(t *testing.T) {
+	numVars := 5
+	for id := 0; id < poly.NumRegistered; id++ {
+		id := id
+		t.Run(fmt.Sprintf("poly%d", id), func(t *testing.T) {
+			t.Parallel()
+			c := poly.Registered(id)
+			rng := ff.NewRand(int64(500 + id))
+			tables := buildTables(c, numVars, rng)
+
+			assign, err := sumcheck.NewAssignment(c, tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			claim := assign.SumAll()
+			tr := transcript.New("emu")
+			proof, challenges, err := sumcheck.Prove(tr, assign, claim, sumcheck.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, ee := range []int{2, 3, 7} {
+				prog, err := Schedule(c, ee)
+				if err != nil {
+					t.Fatal(err)
+				}
+				emu, err := NewEmulator(prog, tables)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runningClaim := claim
+				for round := 0; round < numVars; round++ {
+					got := emu.Round()
+					want := sumcheck.DecompressRound(proof.RoundEvals[round], &runningClaim)
+					if len(got) != len(want) {
+						t.Fatalf("ee=%d round %d: %d evals, want %d", ee, round, len(got), len(want))
+					}
+					for i := range want {
+						if !got[i].Equal(&want[i]) {
+							t.Fatalf("ee=%d round %d eval %d mismatch", ee, round, i)
+						}
+					}
+					runningClaim = ff.EvalFromPoints(want, &challenges[round])
+					emu.Fold(&challenges[round])
+				}
+				finals := emu.FinalEvals()
+				for i := range finals {
+					if !finals[i].Equal(&proof.FinalEvals[i]) {
+						t.Fatalf("ee=%d final eval %d mismatch", ee, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEmulatorHighDegree(t *testing.T) {
+	// High-degree powers stress the slot expansion (w1^{d-1}).
+	c := poly.HighDegree(9)
+	rng := ff.NewRand(42)
+	tables := buildTables(c, 4, rng)
+	assign, _ := sumcheck.NewAssignment(c, tables)
+	claim := assign.SumAll()
+	tr := transcript.New("emuhd")
+	proof, challenges, err := sumcheck.Prove(tr, assign, claim, sumcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Schedule(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, _ := NewEmulator(prog, tables)
+	runningClaim := claim
+	for round := 0; round < 4; round++ {
+		got := emu.Round()
+		want := sumcheck.DecompressRound(proof.RoundEvals[round], &runningClaim)
+		for i := range got {
+			if !got[i].Equal(&want[i]) {
+				t.Fatalf("round %d eval %d mismatch", round, i)
+			}
+		}
+		runningClaim = ff.EvalFromPoints(want, &challenges[round])
+		emu.Fold(&challenges[round])
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	cfg := defaultConfig()
+	mem := hw.NewMemory(1024)
+	w := NewWorkload(poly.VanillaZeroCheck(), 20)
+	res, err := Simulate(cfg, w, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Seconds <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+	if len(res.RoundCycles) != 20 {
+		t.Fatal("wrong round count")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %f out of range", res.Utilization)
+	}
+	if !w.BuildEqInRound1 {
+		t.Fatal("ZeroCheck workload should build f_r on the fly")
+	}
+	// Rounds must shrink geometrically (compute-bound tail).
+	last := res.RoundCycles[len(res.RoundCycles)-1]
+	if last > res.RoundCycles[2] {
+		t.Fatal("later rounds should be cheaper")
+	}
+}
+
+func TestSimulateBandwidthMonotone(t *testing.T) {
+	cfg := defaultConfig()
+	w := NewWorkload(poly.JellyfishZeroCheck(), 22)
+	var prev float64
+	for i, bw := range []float64{64, 256, 1024, 4096} {
+		res, err := Simulate(cfg, w, hw.NewMemory(bw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Cycles > prev {
+			t.Fatalf("runtime increased with bandwidth (%.0f GB/s)", bw)
+		}
+		prev = res.Cycles
+	}
+}
+
+func TestSimulateComputeScalesWithPEs(t *testing.T) {
+	w := NewWorkload(poly.JellyfishZeroCheck(), 22)
+	mem := hw.NewMemory(4096) // compute-bound regime
+	cfg1 := defaultConfig()
+	cfg1.PEs = 1
+	cfg8 := defaultConfig()
+	cfg8.PEs = 8
+	r1, err := Simulate(cfg1, w, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Simulate(cfg8, w, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r1.Cycles / r8.Cycles
+	if speedup < 4 {
+		t.Fatalf("8 PEs only %.2fx faster than 1 in compute-bound regime", speedup)
+	}
+}
+
+func TestSimulateSchedulerJumps(t *testing.T) {
+	// Fig. 8: latency jumps when the slot count crosses a node boundary.
+	cfg := defaultConfig()
+	cfg.EEs = 6
+	cfg.PEs = 1
+	mem := hw.NewMemory(4096)
+	cyclesAt := func(d int) float64 {
+		w := NewWorkload(poly.HighDegree(d), 16)
+		r, err := Simulate(cfg, w, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	// HighDegree(d) has max slot count d+1 (q3·w1^{d-1}·w2). With 6 EEs the
+	// big term needs 1 node through slots ≤ 6 (d ≤ 5) and 2 nodes for
+	// d = 6..10.
+	within := cyclesAt(5) / cyclesAt(4)   // same node count (K grows only)
+	crossing := cyclesAt(6) / cyclesAt(5) // node count jumps
+	if crossing <= within {
+		t.Fatalf("no scheduler jump: within-cluster ratio %.3f, crossing %.3f", within, crossing)
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	cfg := defaultConfig()
+	a22 := cfg.Area22()
+	a7 := cfg.Area7()
+	if a22 <= 0 || a7 <= 0 || a7 >= a22 {
+		t.Fatal("area scaling broken")
+	}
+	// Fixed prime should be roughly half the multiplier area.
+	arb := cfg
+	arb.Prime = hw.ArbitraryPrime
+	if arb.Area22() <= a22 {
+		t.Fatal("arbitrary-prime design should be larger")
+	}
+	// Multiplier inventory formula.
+	if cfg.MulCount() != 4*(5*4+5) {
+		t.Fatalf("MulCount = %d", cfg.MulCount())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PEs: 0, EEs: 2, PLs: 1, BankSizeWords: 1024},
+		{PEs: 1, EEs: 1, PLs: 1, BankSizeWords: 1024},
+		{PEs: 1, EEs: 2, PLs: 0, BankSizeWords: 1024},
+		{PEs: 1, EEs: 2, PLs: 1, BankSizeWords: 1000},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestSimulateManyAggregates(t *testing.T) {
+	cfg := defaultConfig()
+	mem := hw.NewMemory(1024)
+	w := NewWorkload(poly.ProductGate(3), 18)
+	single, err := Simulate(cfg, w, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SimulateMany(cfg, []Workload{w, w, w}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := many.Cycles - 3*single.Cycles; diff > 1e-6 || diff < -1e-6 {
+		t.Fatal("SimulateMany does not sum")
+	}
+}
+
+func TestLaneII(t *testing.T) {
+	// K=5 extensions on 3 lanes → II=2 (Fig. 3 example).
+	if LaneII(5, 3) != 2 {
+		t.Fatal("LaneII(5,3) != 2")
+	}
+	if LaneII(5, 5) != 1 || LaneII(6, 5) != 2 {
+		t.Fatal("LaneII boundary wrong")
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	c := poly.JellyfishPermCheck(ff.NewElement(2))
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(c, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	cfg := defaultConfig()
+	mem := hw.NewMemory(2048)
+	w := NewWorkload(poly.JellyfishZeroCheck(), 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, w, mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

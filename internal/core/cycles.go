@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"zkphire/internal/hw"
+	"zkphire/internal/poly"
+)
+
+// Workload is one SumCheck instance to simulate.
+type Workload struct {
+	Composite *poly.Composite
+	NumVars   int
+	Sparsity  hw.SparsityProfile
+	// BuildEqInRound1 reserves one product lane during round 1 to construct
+	// the f_r polynomial on the fly (Section III-F). Set automatically when
+	// the composite has an Eq-role constituent.
+	BuildEqInRound1 bool
+}
+
+// NewWorkload builds a workload with defaults derived from the composite.
+func NewWorkload(c *poly.Composite, numVars int) Workload {
+	w := Workload{Composite: c, NumVars: numVars, Sparsity: hw.DefaultSparsity}
+	for _, r := range c.Roles {
+		if r == poly.RoleEq {
+			w.BuildEqInRound1 = true
+			break
+		}
+	}
+	return w
+}
+
+// Result is the simulation outcome for one SumCheck.
+type Result struct {
+	Cycles         float64
+	Seconds        float64
+	ComputeCycles  float64
+	MemoryCycles   float64
+	OverheadCycles float64
+	// RoundCycles[i] is the duration of round i+1.
+	RoundCycles []float64
+	// Utilization is active multiplier-cycles over available
+	// multiplier-cycles (the Fig. 6 metric).
+	Utilization float64
+	// OffchipBytes is total off-chip traffic.
+	OffchipBytes float64
+	Program      *Program
+}
+
+// Simulate runs the cycle model for one SumCheck on one unit configuration.
+//
+// Model summary (assumptions documented in DESIGN.md):
+//
+//   - per evaluation pair, the schedule executes Steps nodes; each node
+//     occupies the product lanes for II = ceil(K/P) cycles (K extension
+//     points over P lanes, Section III-D), with P−1 lanes in round 1 when
+//     f_r is built on the fly;
+//   - pairs are split across PEs;
+//   - round 1 streams compressed MLEs (sparsity-dependent); later rounds
+//     stream dense folded tables (read 2 entries + write 1 per pair per
+//     constituent) until the working set fits in the scratchpads;
+//   - each tile fetched charges a fill/drain overhead;
+//   - a round's duration is max(compute, memory) + overhead (decoupled
+//     streaming with double-buffered tiles).
+func Simulate(cfg Config, w Workload, mem hw.Memory) (*Result, error) {
+	return SimulateOpts(cfg, w, mem, Options{})
+}
+
+// SimulateOpts runs the cycle model under explicit scheduler options (used
+// by the Fig. 2 / term-packing ablations).
+func SimulateOpts(cfg Config, w Workload, mem hw.Memory, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w.NumVars < 1 {
+		return nil, fmt.Errorf("core: workload needs at least 1 variable")
+	}
+	prog, err := ScheduleOpts(w.Composite, cfg.EEs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if prog.MaxConcurrentMLEs() > NumScratchpadBuffers {
+		return nil, fmt.Errorf("core: step touches %d MLEs, scratchpad holds %d", prog.MaxConcurrentMLEs(), NumScratchpadBuffers)
+	}
+
+	k := prog.K
+	comp := w.Composite
+	res := &Result{Program: prog}
+
+	// Active multiplier work (for utilization).
+	var laneActive, updateActive float64
+	lanesMulsPerPair := 0.0
+	for _, st := range prog.Steps {
+		if ops := st.Operands(); ops > 1 {
+			lanesMulsPerPair += float64((ops - 1) * k)
+		}
+	}
+
+	// The 16 scratchpad buffers are shared by (banked across) the PEs;
+	// later rounds go fully on-chip once every folded table fits in them.
+	onchipCapacity := cfg.ScratchpadBytes()
+
+	for round := 1; round <= w.NumVars; round++ {
+		pairs := float64(uint64(1) << uint(w.NumVars-round))
+
+		// Compute.
+		pl := cfg.PLs
+		if round == 1 && w.BuildEqInRound1 && pl > 1 {
+			pl--
+		}
+		ii := float64(LaneII(k, pl))
+		perPair := float64(prog.NumSteps()) * ii
+		// Degrees above the 32 accumulation registers spill extension
+		// products to the scratchpads (Section III-B), costing an extra
+		// write+read pass per spilled point.
+		if k > NumAccumRegisters {
+			perPair += 2 * float64(k-NumAccumRegisters)
+		}
+		compute := pairs * perPair / float64(cfg.PEs)
+
+		// Memory.
+		var bytes float64
+		entries := pairs * 2
+		if round == 1 {
+			bytes = 0
+			for _, role := range comp.Roles {
+				bytes += entries * w.Sparsity.BytesPerEntry(role)
+			}
+		} else {
+			working := entries * hw.ElementBytes * float64(comp.NumVars())
+			if working <= onchipCapacity {
+				bytes = 0 // tables now live entirely on chip
+			} else {
+				// Read the full tables, write back the halved ones.
+				bytes = (entries + pairs) * hw.ElementBytes * float64(comp.NumVars())
+			}
+		}
+		memCycles := mem.TransferCycles(bytes)
+
+		// Tile fill/drain.
+		tiles := math.Ceil(entries / float64(cfg.BankSizeWords))
+		overhead := 0.0
+		if bytes > 0 {
+			overhead = tiles * mem.TileOverheadCycles
+		}
+
+		roundTime := math.Max(compute, memCycles) + overhead
+		res.RoundCycles = append(res.RoundCycles, roundTime)
+		res.Cycles += roundTime
+		res.ComputeCycles += compute
+		res.MemoryCycles += memCycles
+		res.OverheadCycles += overhead
+		res.OffchipBytes += bytes
+
+		laneActive += pairs * lanesMulsPerPair
+		if round > 1 {
+			updateActive += pairs * float64(comp.NumVars())
+		}
+	}
+
+	totalMulCap := res.Cycles * float64(cfg.MulCount())
+	if totalMulCap > 0 {
+		res.Utilization = (laneActive + updateActive) / totalMulCap
+		if res.Utilization > 1 {
+			res.Utilization = 1
+		}
+	}
+	res.Seconds = res.Cycles / (hw.ClockGHz * 1e9)
+	return res, nil
+}
+
+// SimulateMany runs several independent SumChecks back to back (e.g. the
+// twelve A·B·C instances of Table II) and returns the summed result.
+func SimulateMany(cfg Config, ws []Workload, mem hw.Memory) (*Result, error) {
+	total := &Result{}
+	var utilWeighted float64
+	for _, w := range ws {
+		r, err := Simulate(cfg, w, mem)
+		if err != nil {
+			return nil, err
+		}
+		total.Cycles += r.Cycles
+		total.ComputeCycles += r.ComputeCycles
+		total.MemoryCycles += r.MemoryCycles
+		total.OverheadCycles += r.OverheadCycles
+		total.OffchipBytes += r.OffchipBytes
+		utilWeighted += r.Utilization * r.Cycles
+	}
+	if total.Cycles > 0 {
+		total.Utilization = utilWeighted / total.Cycles
+	}
+	total.Seconds = total.Cycles / (hw.ClockGHz * 1e9)
+	return total, nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Listing renders the program as the instruction stream loaded into the
+// on-chip controllers (Section III-E): per step, the MLE→EE bank selection,
+// Tmp-buffer routing, accumulation target, and prefetch annotations, plus
+// the FSM header with lane mapping for the (K, P) setting.
+func (p *Program) Listing(pls int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s\n", p.Composite.Name)
+	fmt.Fprintf(&b, "; mode=%s packTerms=%v\n", p.Opts.Mode, p.Opts.PackTerms)
+	fmt.Fprintf(&b, "; K=%d extensions, lane II=%d on %d lanes, %d tmp buffer(s)\n",
+		p.K, LaneII(p.K, pls), pls, p.TmpBuffers)
+	fmt.Fprintf(&b, "; %d steps/pair, max %d concurrent MLEs (of %d scratchpad buffers)\n",
+		p.NumSteps(), p.MaxConcurrentMLEs(), NumScratchpadBuffers)
+
+	for i, st := range p.Steps {
+		b.WriteString(p.renderStep(i, &st, ""))
+		for j := range st.Packed {
+			b.WriteString(p.renderStep(i, &st.Packed[j], fmt.Sprintf("  ||pack[%d] ", j)))
+		}
+	}
+	return b.String()
+}
+
+func (p *Program) renderStep(i int, st *Step, prefix string) string {
+	names := make([]string, len(st.Slots))
+	for j, v := range st.Slots {
+		names[j] = p.Composite.VarNames[v]
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("ee<=%s", strings.Join(names, ",")))
+	if st.UsesTmp() {
+		ins := make([]string, len(st.TmpIn))
+		for j, t := range st.TmpIn {
+			ins[j] = fmt.Sprintf("tmp%d", t)
+		}
+		parts = append(parts, "mul<="+strings.Join(ins, ","))
+	}
+	switch {
+	case st.WritesTmp():
+		parts = append(parts, fmt.Sprintf("wb=>tmp%d", st.TmpOut))
+	case st.Final:
+		parts = append(parts, fmt.Sprintf("acc=>reg[0..%d] *coeff(t%d)", p.K-1, st.Term))
+	}
+	if len(st.Prefetch) > 0 {
+		pf := make([]string, len(st.Prefetch))
+		for j, v := range st.Prefetch {
+			pf[j] = p.Composite.VarNames[v]
+		}
+		parts = append(parts, "prefetch("+strings.Join(pf, ",")+")")
+	}
+	return fmt.Sprintf("%s%03d: term=%d node=%d  %s\n", prefix, i, st.Term, st.Node, strings.Join(parts, "  "))
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+
+	"zkphire/internal/poly"
+)
+
+// The scheduler implements the graph decomposition of Fig. 2: each term's
+// factor slots (counting powers — every operand consumes a product-lane
+// input) are split into nodes of at most EEs slots.
+//
+// Two decomposition modes are provided, matching the two sides of Fig. 2:
+//
+//   - Accumulate (the paper's choice, right side): the first node of a term
+//     seeds a single Tmp-MLE buffer and every subsequent node folds E−1
+//     fresh slots into it. One Tmp buffer regardless of degree, and prefetch
+//     bandwidth is spread evenly across steps.
+//   - BalancedTree (left side): a log-depth combining tree. Same step count,
+//     but the number of live intermediate buffers grows with the first
+//     level's width, and all leaf MLEs are needed in the early steps
+//     (front-loaded prefetch) — exactly the costs the paper cites for
+//     rejecting it.
+//
+// A third option, PackTerms, implements the paper's future-work idea of
+// mapping multiple small terms onto the EEs in one step when their combined
+// distinct MLEs fit.
+
+// Mode selects the graph-decomposition strategy.
+type Mode int
+
+const (
+	// Accumulate is the paper's single-Tmp accumulation schedule.
+	Accumulate Mode = iota
+	// BalancedTree is the log-depth combining tree of Fig. 2 (left).
+	BalancedTree
+)
+
+func (m Mode) String() string {
+	if m == BalancedTree {
+		return "balanced-tree"
+	}
+	return "accumulate"
+}
+
+// Options configures the scheduler.
+type Options struct {
+	Mode Mode
+	// PackTerms co-schedules whole small terms into one step when their
+	// combined distinct MLEs fit the EEs (Section VI-A1 future work).
+	PackTerms bool
+}
+
+// Step is one schedule node: the unit multiplies the extensions of Slots
+// (plus any Tmp buffers in TmpIn), writing the product to Tmp buffer TmpOut
+// or, for Final nodes, scaling by the term coefficient and accumulating into
+// the round registers. Packed carries co-scheduled whole terms sharing this
+// step's cycle slot.
+type Step struct {
+	Term int
+	Node int
+	// Slots lists the constituent variables feeding the lanes, with
+	// multiplicity (a factor of power p occupies p slots across the term).
+	Slots []int
+	// TmpIn lists intermediate buffers consumed as extra lane operands.
+	TmpIn []int
+	// TmpOut is the buffer the product is written to, or -1.
+	TmpOut int
+	// Final marks the node whose product is accumulated into the round
+	// registers (scaled by the term coefficient).
+	Final bool
+	// Prefetch lists variables whose next tile is fetched during this step.
+	Prefetch []int
+	// Packed holds whole terms co-scheduled with this step (PackTerms).
+	Packed []Step
+}
+
+// UsesTmp reports whether the step consumes intermediate buffers.
+func (s Step) UsesTmp() bool { return len(s.TmpIn) > 0 }
+
+// WritesTmp reports whether the step produces an intermediate buffer.
+func (s Step) WritesTmp() bool { return s.TmpOut >= 0 }
+
+// DistinctSlots returns the number of distinct constituent MLEs the step
+// (including packed terms) feeds to Extension Engines.
+func (s Step) DistinctSlots() int {
+	seen := map[int]bool{}
+	for _, v := range s.Slots {
+		seen[v] = true
+	}
+	for _, p := range s.Packed {
+		for _, v := range p.Slots {
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}
+
+// Operands returns the total lane operand count (slots + tmp inputs),
+// including packed terms — the multiplier-work measure.
+func (s Step) Operands() int {
+	n := len(s.Slots) + len(s.TmpIn)
+	for _, p := range s.Packed {
+		n += len(p.Slots) + len(p.TmpIn)
+	}
+	return n
+}
+
+// Program is a full schedule for one composite polynomial on one hardware
+// configuration.
+type Program struct {
+	Composite *poly.Composite
+	EEs       int
+	Steps     []Step
+	// K is the number of extension points (composite degree + 1).
+	K int
+	// TmpBuffers is the number of intermediate MLE buffers the schedule
+	// needs concurrently (1 for Accumulate, wider for BalancedTree).
+	TmpBuffers int
+	Opts       Options
+}
+
+// NodesForDegree returns how many schedule nodes a term with the given slot
+// count needs on E extension engines under the accumulation schedule: the
+// first node holds E slots, each later node holds E−1 (one lane operand is
+// the Tmp buffer). This step function produces the discrete runtime jumps of
+// Fig. 8.
+func NodesForDegree(slots, ee int) int {
+	if slots <= 0 {
+		return 0
+	}
+	if slots <= ee {
+		return 1
+	}
+	rem := slots - ee
+	per := ee - 1
+	if per < 1 {
+		per = 1
+	}
+	return 1 + (rem+per-1)/per
+}
+
+// Schedule builds the default (accumulation) program.
+func Schedule(c *poly.Composite, ee int) (*Program, error) {
+	return ScheduleOpts(c, ee, Options{})
+}
+
+// ScheduleOpts builds a program with explicit scheduler options.
+func ScheduleOpts(c *poly.Composite, ee int, opts Options) (*Program, error) {
+	if ee < 2 {
+		return nil, fmt.Errorf("core: scheduler needs >= 2 EEs")
+	}
+	p := &Program{Composite: c, EEs: ee, K: c.Degree() + 1, TmpBuffers: 0, Opts: opts}
+
+	for ti, term := range c.Terms {
+		slots := expandSlots(term)
+		if len(slots) == 0 {
+			// Constant term: a single degenerate step (coefficient only).
+			p.Steps = append(p.Steps, Step{Term: ti, Node: 0, TmpOut: -1, Final: true})
+			continue
+		}
+		switch opts.Mode {
+		case BalancedTree:
+			p.scheduleTree(ti, slots)
+		default:
+			p.scheduleAccumulate(ti, slots)
+		}
+	}
+
+	if opts.PackTerms {
+		p.packTerms()
+	}
+	p.planPrefetch()
+	return p, nil
+}
+
+func expandSlots(term poly.Term) []int {
+	var slots []int
+	for _, f := range term.Factors {
+		for i := 0; i < f.Power; i++ {
+			slots = append(slots, f.Var)
+		}
+	}
+	return slots
+}
+
+// scheduleAccumulate emits the single-Tmp chain (Fig. 2, right).
+func (p *Program) scheduleAccumulate(ti int, slots []int) {
+	if p.TmpBuffers < 1 && len(slots) > p.EEs {
+		p.TmpBuffers = 1
+	}
+	node := 0
+	for len(slots) > 0 {
+		capacity := p.EEs
+		var tmpIn []int
+		if node > 0 {
+			capacity = p.EEs - 1
+			tmpIn = []int{0}
+		}
+		take := capacity
+		if take > len(slots) {
+			take = len(slots)
+		}
+		st := Step{
+			Term:   ti,
+			Node:   node,
+			Slots:  append([]int(nil), slots[:take]...),
+			TmpIn:  tmpIn,
+			TmpOut: -1,
+		}
+		slots = slots[take:]
+		if len(slots) > 0 {
+			st.TmpOut = 0
+		} else {
+			st.Final = true
+		}
+		p.Steps = append(p.Steps, st)
+		node++
+	}
+}
+
+// scheduleTree emits the balanced combining tree (Fig. 2, left). Leaf-level
+// nodes each take up to EEs slots and write distinct buffers; upper levels
+// combine up to EEs buffers per node. Buffer ids are reused once consumed,
+// and the program records the peak concurrent count.
+func (p *Program) scheduleTree(ti int, slots []int) {
+	type operandSet struct {
+		slots []int
+		tmps  []int
+	}
+	node := 0
+	live := 0
+	peak := 0
+	var free []int
+	alloc := func() int {
+		if n := len(free); n > 0 {
+			id := free[n-1]
+			free = free[:n-1]
+			live++
+			if live > peak {
+				peak = live
+			}
+			return id
+		}
+		id := live
+		live++
+		if live > peak {
+			peak = live
+		}
+		return id
+	}
+	release := func(ids []int) {
+		for _, id := range ids {
+			free = append(free, id)
+			live--
+		}
+	}
+
+	// Level 0: chunk the leaf slots.
+	var current []int // live buffer ids, in combine order
+	if len(slots) <= p.EEs {
+		p.Steps = append(p.Steps, Step{Term: ti, Node: node, Slots: slots, TmpOut: -1, Final: true})
+		return
+	}
+	for i := 0; i < len(slots); i += p.EEs {
+		j := i + p.EEs
+		if j > len(slots) {
+			j = len(slots)
+		}
+		out := alloc()
+		p.Steps = append(p.Steps, Step{
+			Term: ti, Node: node,
+			Slots:  append([]int(nil), slots[i:j]...),
+			TmpOut: out,
+		})
+		current = append(current, out)
+		node++
+	}
+	// Upper levels: combine buffers EEs at a time.
+	for len(current) > 1 {
+		var next []int
+		for i := 0; i < len(current); i += p.EEs {
+			j := i + p.EEs
+			if j > len(current) {
+				j = len(current)
+			}
+			in := append([]int(nil), current[i:j]...)
+			st := Step{Term: ti, Node: node, TmpIn: in, TmpOut: -1}
+			release(in)
+			if len(current) <= p.EEs {
+				st.Final = true
+			} else {
+				st.TmpOut = alloc()
+				next = append(next, st.TmpOut)
+			}
+			p.Steps = append(p.Steps, st)
+			node++
+		}
+		current = next
+	}
+	if peak > p.TmpBuffers {
+		p.TmpBuffers = peak
+	}
+}
+
+// packTerms greedily merges adjacent single-node terms whose combined
+// distinct MLEs fit the EEs (the future-work optimization: higher EE
+// utilization at the cost of extra crossbar complexity).
+func (p *Program) packTerms() {
+	var out []Step
+	for _, st := range p.Steps {
+		if len(out) > 0 && packable(&out[len(out)-1], &st, p.EEs) {
+			out[len(out)-1].Packed = append(out[len(out)-1].Packed, st)
+			continue
+		}
+		out = append(out, st)
+	}
+	p.Steps = out
+}
+
+func packable(a, b *Step, ee int) bool {
+	if !a.Final || !b.Final || a.UsesTmp() || b.UsesTmp() || a.Node != 0 || b.Node != 0 {
+		return false
+	}
+	if len(b.Packed) > 0 {
+		return false
+	}
+	merged := Step{Slots: a.Slots, Packed: append(append([]Step(nil), a.Packed...), *b)}
+	return merged.DistinctSlots() <= ee
+}
+
+// planPrefetch schedules each variable's tile fetch in the step before its
+// first use (Fig. 2: h is prefetched while the prior node runs).
+func (p *Program) planPrefetch() {
+	resident := map[int]bool{}
+	stepVars := func(s *Step) []int {
+		vars := append([]int(nil), s.Slots...)
+		for _, pk := range s.Packed {
+			vars = append(vars, pk.Slots...)
+		}
+		return vars
+	}
+	for i := range p.Steps {
+		if i+1 < len(p.Steps) {
+			for _, v := range stepVars(&p.Steps[i+1]) {
+				if !resident[v] && !contains(p.Steps[i].Prefetch, v) {
+					p.Steps[i].Prefetch = append(p.Steps[i].Prefetch, v)
+				}
+			}
+		}
+		for _, v := range stepVars(&p.Steps[i]) {
+			resident[v] = true
+		}
+		for _, v := range p.Steps[i].Prefetch {
+			resident[v] = true
+		}
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumSteps returns the schedule length (per evaluation pair).
+func (p *Program) NumSteps() int { return len(p.Steps) }
+
+// MaxConcurrentMLEs returns the largest number of distinct MLEs any step
+// touches — must fit the 16 scratchpad buffers.
+func (p *Program) MaxConcurrentMLEs() int {
+	m := 0
+	for _, s := range p.Steps {
+		if d := s.DistinctSlots(); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PeakPrefetch returns the largest number of tiles any single step must
+// prefetch — the bandwidth-balance metric that favors the accumulation
+// schedule over the balanced tree.
+func (p *Program) PeakPrefetch() int {
+	m := 0
+	for _, s := range p.Steps {
+		if len(s.Prefetch) > m {
+			m = len(s.Prefetch)
+		}
+	}
+	return m
+}
+
+// LaneII returns the product-lane initiation interval for k extension points
+// on pl lanes: II = ceil(K/P) (Section III-D). During ZeroCheck round 1 one
+// lane is reserved for building f_r (Section III-F), handled by the caller
+// passing pl-1.
+func LaneII(k, pl int) int {
+	if pl < 1 {
+		pl = 1
+	}
+	return (k + pl - 1) / pl
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/hw"
+	"zkphire/internal/poly"
+	"zkphire/internal/sumcheck"
+	"zkphire/internal/transcript"
+)
+
+// TestSchedulerModesAllComputeTheSamePolynomial runs the emulator under
+// every scheduler mode (accumulate, balanced tree, term packing) for every
+// Table I constraint and checks the round polynomials against the software
+// prover — the Fig. 2 variants must be functionally interchangeable.
+func TestSchedulerModesAllComputeTheSamePolynomial(t *testing.T) {
+	numVars := 4
+	modes := []Options{
+		{Mode: Accumulate},
+		{Mode: BalancedTree},
+		{Mode: Accumulate, PackTerms: true},
+		{Mode: BalancedTree, PackTerms: true},
+	}
+	for id := 0; id < poly.NumRegistered; id++ {
+		id := id
+		t.Run(fmt.Sprintf("poly%d", id), func(t *testing.T) {
+			t.Parallel()
+			c := poly.Registered(id)
+			rng := ff.NewRand(int64(900 + id))
+			tables := buildTables(c, numVars, rng)
+			assign, err := sumcheck.NewAssignment(c, tables)
+			if err != nil {
+				t.Fatal(err)
+			}
+			claim := assign.SumAll()
+			tr := transcript.New("modes")
+			proof, challenges, err := sumcheck.Prove(tr, assign, claim, sumcheck.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, opts := range modes {
+				for _, ee := range []int{2, 4} {
+					prog, err := ScheduleOpts(c, ee, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					emu, err := NewEmulator(prog, tables)
+					if err != nil {
+						t.Fatal(err)
+					}
+					runningClaim := claim
+					for round := 0; round < numVars; round++ {
+						got := emu.Round()
+						want := sumcheck.DecompressRound(proof.RoundEvals[round], &runningClaim)
+						for i := range want {
+							if !got[i].Equal(&want[i]) {
+								t.Fatalf("mode %v ee=%d round %d eval %d mismatch", opts, ee, round, i)
+							}
+						}
+						runningClaim = ff.EvalFromPoints(want, &challenges[round])
+						emu.Fold(&challenges[round])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTreeUsesMoreBuffers is the Fig. 2 tradeoff: same step count, but the
+// balanced tree needs multiple concurrent Tmp buffers where accumulation
+// needs one.
+func TestTreeUsesMoreBuffers(t *testing.T) {
+	// A degree-9 single-term polynomial on 3 EEs: leaves split 3+3+3, tree
+	// needs 3 live buffers; accumulation needs 1.
+	c := poly.HighDegree(8) // q3·w1^7·w2 term has 9 slots
+	acc, err := ScheduleOpts(c, 3, Options{Mode: Accumulate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := ScheduleOpts(c, 3, Options{Mode: BalancedTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.TmpBuffers != 1 {
+		t.Fatalf("accumulation uses %d buffers, want 1", acc.TmpBuffers)
+	}
+	if tree.TmpBuffers < 2 {
+		t.Fatalf("tree uses %d buffers, expected several", tree.TmpBuffers)
+	}
+	// The paper's observation: the accumulation schedule uses the same
+	// number of steps (or fewer) while minimizing temporary storage.
+	if acc.NumSteps() > tree.NumSteps()+1 {
+		t.Fatalf("accumulation schedule much longer than tree: %d vs %d", acc.NumSteps(), tree.NumSteps())
+	}
+}
+
+// TestTreeFrontLoadsPrefetch verifies the bandwidth-balance argument: the
+// tree wants all leaf MLEs early, so its peak per-step prefetch is at least
+// the accumulation schedule's.
+func TestTreeFrontLoadsPrefetch(t *testing.T) {
+	c := poly.JellyfishPermCheck(ff.NewElement(2)) // ϕ·D1..D5·fr term: 7 slots
+	acc, _ := ScheduleOpts(c, 3, Options{Mode: Accumulate})
+	tree, _ := ScheduleOpts(c, 3, Options{Mode: BalancedTree})
+	if tree.PeakPrefetch() < acc.PeakPrefetch() {
+		t.Fatalf("tree peak prefetch %d < accumulation %d", tree.PeakPrefetch(), acc.PeakPrefetch())
+	}
+}
+
+// TestPackTermsReducesSteps: the future-work optimization merges small
+// whole terms, shortening the schedule (and raising EE utilization).
+func TestPackTermsReducesSteps(t *testing.T) {
+	// Vanilla gate: five small terms, all ≤4 distinct MLEs. With 7 EEs,
+	// pairs of terms share steps.
+	c := poly.VanillaZeroCheck()
+	plain, _ := ScheduleOpts(c, 7, Options{})
+	packed, _ := ScheduleOpts(c, 7, Options{PackTerms: true})
+	if packed.NumSteps() >= plain.NumSteps() {
+		t.Fatalf("packing did not shorten the schedule: %d vs %d", packed.NumSteps(), plain.NumSteps())
+	}
+	// Packed steps must still respect the EE budget.
+	if packed.MaxConcurrentMLEs() > 7 {
+		t.Fatal("packed step exceeds EE budget")
+	}
+}
+
+// TestPackTermsSpeedsUpSimulation: packing translates into modeled cycles.
+func TestPackTermsSpeedsUpSimulation(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.EEs = 7
+	mem := hw.NewMemory(4096)
+	c := poly.VanillaZeroCheck()
+
+	plain, err := SimulateOpts(cfg, NewWorkload(c, 20), mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := SimulateOpts(cfg, NewWorkload(c, 20), mem, Options{PackTerms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Cycles >= plain.Cycles {
+		t.Fatalf("packing did not speed up: %.0f vs %.0f cycles", packed.Cycles, plain.Cycles)
+	}
+	if packed.Utilization <= plain.Utilization {
+		t.Fatal("packing should raise utilization")
+	}
+}
+
+func TestBalancedTreeSingleNodeTerm(t *testing.T) {
+	// Terms that fit one node behave identically in both modes.
+	c := poly.ProductGate(3)
+	acc, _ := ScheduleOpts(c, 4, Options{Mode: Accumulate})
+	tree, _ := ScheduleOpts(c, 4, Options{Mode: BalancedTree})
+	if acc.NumSteps() != 1 || tree.NumSteps() != 1 {
+		t.Fatal("single-node term should need one step in both modes")
+	}
+	if acc.TmpBuffers != 0 || tree.TmpBuffers != 0 {
+		t.Fatal("single-node term needs no Tmp buffer")
+	}
+}
+
+func TestListingRendersAllSections(t *testing.T) {
+	prog, err := ScheduleOpts(poly.Registered(22), 4, Options{PackTerms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := prog.Listing(5)
+	for _, want := range []string{"K=8", "steps/pair", "ee<=", "acc=>reg", "term="} {
+		if !containsStr(l, want) {
+			t.Fatalf("listing missing %q:\n%s", want, l)
+		}
+	}
+	// Continuation nodes must show Tmp routing.
+	if !containsStr(l, "tmp0") {
+		t.Fatal("listing missing tmp routing")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}
+
+func TestAccumRegisterSpill(t *testing.T) {
+	// Degree 35 (K=37 > 32 registers) must cost more per pair than the
+	// register-resident degree 30 (K=32) beyond the pure K scaling.
+	cfg := defaultConfig()
+	cfg.PLs = 8
+	mem := hw.NewMemory(4096)
+	r31, err := Simulate(cfg, NewWorkload(poly.HighDegree(30), 14), mem) // K=32
+	if err != nil {
+		t.Fatal(err)
+	}
+	r35, err := Simulate(cfg, NewWorkload(poly.HighDegree(35), 14), mem) // K=37
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure lane scaling would be 37/32 ≈ 1.16x in II ceil terms; the spill
+	// must add measurably more.
+	if r35.Cycles/r31.Cycles < 1.2 {
+		t.Fatalf("no spill penalty visible: ratio %.2f", r35.Cycles/r31.Cycles)
+	}
+}

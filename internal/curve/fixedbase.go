@@ -1,0 +1,86 @@
+package curve
+
+import "zkphire/internal/ff"
+
+// FixedBaseTable precomputes windowed multiples of a fixed base point so
+// that scalar multiplications cost ~32 mixed additions instead of ~255
+// doublings. PCS setup (thousands of multiplications of the generator) uses
+// this; it mirrors the precomputed-point ROM common in MSM hardware.
+type FixedBaseTable struct {
+	window  int
+	entries [][]G1Affine // entries[w][d-1] = d·2^{w·window}·base
+}
+
+// NewFixedBaseTable builds a table for base with the given window width in
+// bits (8 is a good default).
+func NewFixedBaseTable(base G1Affine, window int) *FixedBaseTable {
+	if window < 1 || window > 16 {
+		panic("curve: unreasonable fixed-base window")
+	}
+	const scalarBits = 255
+	numWindows := (scalarBits + window - 1) / window
+	t := &FixedBaseTable{window: window, entries: make([][]G1Affine, numWindows)}
+
+	var cur G1Jac
+	cur.FromAffine(&base)
+	for w := 0; w < numWindows; w++ {
+		count := (1 << uint(window)) - 1
+		jacs := make([]G1Jac, count)
+		var acc G1Jac
+		acc.SetInfinity()
+		for d := 0; d < count; d++ {
+			acc.AddAssign(&cur)
+			jacs[d] = acc
+		}
+		t.entries[w] = BatchFromJacobian(jacs)
+		// cur <<= window
+		for k := 0; k < window; k++ {
+			cur.Double(&cur)
+		}
+	}
+	return t
+}
+
+// Mul returns k·base.
+func (t *FixedBaseTable) Mul(k *ff.Element) G1Jac {
+	var acc G1Jac
+	acc.SetInfinity()
+	b := k.Bytes() // big-endian canonical
+	// Reverse to little-endian for digit extraction.
+	var le [32]byte
+	for i := range b {
+		le[i] = b[31-i]
+	}
+	for w := range t.entries {
+		d := extractDigitBytes(le[:], w*t.window, t.window)
+		if d == 0 {
+			continue
+		}
+		acc.AddMixed(&t.entries[w][d-1])
+	}
+	return acc
+}
+
+// MulMany applies Mul to each scalar, returning affine points.
+func (t *FixedBaseTable) MulMany(ks []ff.Element) []G1Affine {
+	jacs := make([]G1Jac, len(ks))
+	for i := range ks {
+		jacs[i] = t.Mul(&ks[i])
+	}
+	return BatchFromJacobian(jacs)
+}
+
+func extractDigitBytes(le []byte, bit, width int) uint32 {
+	var v uint32
+	for i := 0; i < width; i++ {
+		idx := bit + i
+		byteIdx := idx / 8
+		if byteIdx >= len(le) {
+			break
+		}
+		if le[byteIdx]&(1<<uint(idx%8)) != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

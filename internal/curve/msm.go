@@ -1,0 +1,168 @@
+package curve
+
+import (
+	"math/big"
+	"runtime"
+	"sync"
+
+	"zkphire/internal/ff"
+)
+
+// MSM computes Σ scalars[i]·points[i] with Pippenger's bucket method,
+// parallelized across windows. It panics if the slice lengths differ.
+//
+// This is the software ground truth for the zkPHIRE MSM unit model; the
+// structure (windows of width c, 2^c−1 buckets, running-sum aggregation,
+// cross-window doubling) is the same computation the hardware performs.
+func MSM(points []G1Affine, scalars []ff.Element) G1Jac {
+	if len(points) != len(scalars) {
+		panic("curve: MSM length mismatch")
+	}
+	var res G1Jac
+	res.SetInfinity()
+	n := len(points)
+	if n == 0 {
+		return res
+	}
+
+	c := windowSize(n)
+	const scalarBits = 255
+	numWindows := (scalarBits + c - 1) / c
+
+	// Decompose scalars into base-2^c digits once.
+	digits := make([][]uint32, numWindows)
+	for w := range digits {
+		digits[w] = make([]uint32, n)
+	}
+	var kBig big.Int
+	for i := range scalars {
+		scalars[i].BigInt(&kBig)
+		words := kBig.Bits()
+		for w := 0; w < numWindows; w++ {
+			digits[w][i] = extractDigit(words, w*c, c)
+		}
+	}
+
+	// Each window's bucket accumulation is independent.
+	windowSums := make([]G1Jac, numWindows)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < numWindows; w++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(w int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			windowSums[w] = bucketSum(points, digits[w], c)
+		}(w)
+	}
+	wg.Wait()
+
+	// Combine windows: res = Σ 2^{wc} · windowSums[w]
+	res = windowSums[numWindows-1]
+	for w := numWindows - 2; w >= 0; w-- {
+		for k := 0; k < c; k++ {
+			res.Double(&res)
+		}
+		res.AddAssign(&windowSums[w])
+	}
+	return res
+}
+
+// bucketSum accumulates one Pippenger window: points with digit d go to
+// bucket d; the weighted sum Σ d·bucket[d] is formed with a running suffix
+// sum (two passes of additions, no multiplications).
+func bucketSum(points []G1Affine, digit []uint32, c int) G1Jac {
+	numBuckets := (1 << uint(c)) - 1
+	buckets := make([]G1Jac, numBuckets)
+	for i := range buckets {
+		buckets[i].SetInfinity()
+	}
+	for i := range points {
+		d := digit[i]
+		if d == 0 {
+			continue
+		}
+		buckets[d-1].AddMixed(&points[i])
+	}
+	var running, sum G1Jac
+	running.SetInfinity()
+	sum.SetInfinity()
+	for b := numBuckets - 1; b >= 0; b-- {
+		running.AddAssign(&buckets[b])
+		sum.AddAssign(&running)
+	}
+	return sum
+}
+
+func extractDigit(words []big.Word, bit, width int) uint32 {
+	const wordBits = 64 // big.Word is 64-bit on all supported platforms here
+	var v uint64
+	wordIdx := bit / wordBits
+	ofs := bit % wordBits
+	if wordIdx < len(words) {
+		v = uint64(words[wordIdx]) >> uint(ofs)
+		if ofs+width > wordBits && wordIdx+1 < len(words) {
+			v |= uint64(words[wordIdx+1]) << uint(wordBits-ofs)
+		}
+	}
+	return uint32(v & ((1 << uint(width)) - 1))
+}
+
+// windowSize picks the Pippenger window width for n points, matching the
+// usual n/log(n) tradeoff (and the 7..10-bit windows the paper sweeps).
+func windowSize(n int) int {
+	switch {
+	case n < 32:
+		return 3
+	case n < 256:
+		return 5
+	case n < 4096:
+		return 7
+	case n < 65536:
+		return 9
+	case n < 1<<20:
+		return 10
+	default:
+		return 12
+	}
+}
+
+// MSMNaive computes the MSM by independent scalar multiplications; used to
+// validate MSM in tests.
+func MSMNaive(points []G1Affine, scalars []ff.Element) G1Jac {
+	var acc, tmp, pj G1Jac
+	acc.SetInfinity()
+	for i := range points {
+		pj.FromAffine(&points[i])
+		tmp.ScalarMul(&pj, &scalars[i])
+		acc.AddAssign(&tmp)
+	}
+	return acc
+}
+
+// SparseMSM computes an MSM where most scalars are 0 or 1, the statistics of
+// HyperPlonk witness commitments. Zero scalars are skipped, one scalars
+// reduce to plain point additions, and only the dense remainder runs through
+// Pippenger. This mirrors the paper's Sparse MSM datapath.
+func SparseMSM(points []G1Affine, scalars []ff.Element) G1Jac {
+	var onesAcc G1Jac
+	onesAcc.SetInfinity()
+	var densePoints []G1Affine
+	var denseScalars []ff.Element
+	oneE := ff.One()
+	for i := range scalars {
+		switch {
+		case scalars[i].IsZero():
+			// skip
+		case scalars[i].Equal(&oneE):
+			onesAcc.AddMixed(&points[i])
+		default:
+			densePoints = append(densePoints, points[i])
+			denseScalars = append(denseScalars, scalars[i])
+		}
+	}
+	dense := MSM(densePoints, denseScalars)
+	onesAcc.AddAssign(&dense)
+	return onesAcc
+}

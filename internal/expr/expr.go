@@ -1,0 +1,295 @@
+// Package expr provides a small symbolic algebra for gate constraints: an
+// expression AST over named multilinear polynomials, with expansion into a
+// canonical sum-of-products form. This is the "arithmetization language"
+// front end: Halo2-style custom gates are written as expressions
+// (e.g. q_add·((x_r+x_q+x_p)·(x_p−x_q)² − (y_p−y_q)²)) and expanded into the
+// flat term lists the SumCheck engine and the hardware scheduler consume.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zkphire/internal/ff"
+)
+
+// Expr is a node in the expression tree.
+type Expr interface {
+	isExpr()
+}
+
+type (
+	// Var references a constituent multilinear polynomial by name.
+	Var struct{ Name string }
+	// Const is a scalar constant.
+	Const struct{ Value ff.Element }
+	// Add is e1 + e2 + ...
+	Add struct{ Operands []Expr }
+	// Mul is e1 · e2 · ...
+	Mul struct{ Operands []Expr }
+	// Neg is -e.
+	Neg struct{ Operand Expr }
+	// Pow is e^k for a small non-negative integer k.
+	Pow struct {
+		Operand Expr
+		K       int
+	}
+)
+
+func (Var) isExpr()   {}
+func (Const) isExpr() {}
+func (Add) isExpr()   {}
+func (Mul) isExpr()   {}
+func (Neg) isExpr()   {}
+func (Pow) isExpr()   {}
+
+// V returns a variable reference.
+func V(name string) Expr { return Var{Name: name} }
+
+// C returns a small-integer constant.
+func C(v int64) Expr { return Const{Value: ff.NewInt64(v)} }
+
+// CE returns a field-element constant.
+func CE(v ff.Element) Expr { return Const{Value: v} }
+
+// Sum builds e1 + e2 + ...
+func Sum(es ...Expr) Expr { return Add{Operands: es} }
+
+// Prod builds e1 · e2 · ...
+func Prod(es ...Expr) Expr { return Mul{Operands: es} }
+
+// Minus builds a - b.
+func Minus(a, b Expr) Expr { return Add{Operands: []Expr{a, Neg{Operand: b}}} }
+
+// P builds e^k.
+func P(e Expr, k int) Expr {
+	if k < 0 {
+		panic("expr: negative power")
+	}
+	return Pow{Operand: e, K: k}
+}
+
+// Monomial is a product of variables (with multiplicity) times a coefficient.
+// Vars is sorted; repeated names encode powers.
+type Monomial struct {
+	Coeff ff.Element
+	Vars  []string
+}
+
+// Degree returns the total degree of the monomial (with multiplicity).
+func (m Monomial) Degree() int { return len(m.Vars) }
+
+// Key returns a canonical identity for the variable multiset.
+func (m Monomial) Key() string { return strings.Join(m.Vars, "*") }
+
+// Expand converts an expression into its canonical sum-of-products form:
+// like monomials are merged, zero-coefficient monomials dropped, and the
+// result is sorted by (degree, key) for determinism.
+func Expand(e Expr) []Monomial {
+	raw := expand(e)
+	merged := map[string]*Monomial{}
+	order := []string{}
+	for _, m := range raw {
+		k := m.Key()
+		if ex, ok := merged[k]; ok {
+			ex.Coeff.Add(&ex.Coeff, &m.Coeff)
+		} else {
+			cp := m
+			cp.Vars = append([]string(nil), m.Vars...)
+			merged[k] = &cp
+			order = append(order, k)
+		}
+	}
+	var out []Monomial
+	for _, k := range order {
+		if !merged[k].Coeff.IsZero() {
+			out = append(out, *merged[k])
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Degree() != out[j].Degree() {
+			return out[i].Degree() < out[j].Degree()
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+func expand(e Expr) []Monomial {
+	switch n := e.(type) {
+	case Var:
+		return []Monomial{{Coeff: ff.One(), Vars: []string{n.Name}}}
+	case Const:
+		if n.Value.IsZero() {
+			return nil
+		}
+		return []Monomial{{Coeff: n.Value}}
+	case Neg:
+		ms := expand(n.Operand)
+		out := make([]Monomial, len(ms))
+		for i, m := range ms {
+			out[i] = m
+			out[i].Coeff.Neg(&m.Coeff)
+		}
+		return out
+	case Add:
+		var out []Monomial
+		for _, op := range n.Operands {
+			out = append(out, expand(op)...)
+		}
+		return out
+	case Mul:
+		out := []Monomial{{Coeff: ff.One()}}
+		for _, op := range n.Operands {
+			out = mulMonomials(out, expand(op))
+		}
+		return out
+	case Pow:
+		out := []Monomial{{Coeff: ff.One()}}
+		base := expand(n.Operand)
+		for i := 0; i < n.K; i++ {
+			out = mulMonomials(out, base)
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+func mulMonomials(a, b []Monomial) []Monomial {
+	var out []Monomial
+	for _, ma := range a {
+		for _, mb := range b {
+			var c ff.Element
+			c.Mul(&ma.Coeff, &mb.Coeff)
+			if c.IsZero() {
+				continue
+			}
+			vars := make([]string, 0, len(ma.Vars)+len(mb.Vars))
+			vars = append(vars, ma.Vars...)
+			vars = append(vars, mb.Vars...)
+			sort.Strings(vars)
+			out = append(out, Monomial{Coeff: c, Vars: vars})
+		}
+	}
+	return out
+}
+
+// Eval evaluates the expression given an assignment of variables to field
+// elements. Missing variables panic: constraint authors must bind every name.
+func Eval(e Expr, env map[string]ff.Element) ff.Element {
+	switch n := e.(type) {
+	case Var:
+		v, ok := env[n.Name]
+		if !ok {
+			panic("expr: unbound variable " + n.Name)
+		}
+		return v
+	case Const:
+		return n.Value
+	case Neg:
+		v := Eval(n.Operand, env)
+		var out ff.Element
+		out.Neg(&v)
+		return out
+	case Add:
+		var out ff.Element
+		for _, op := range n.Operands {
+			v := Eval(op, env)
+			out.Add(&out, &v)
+		}
+		return out
+	case Mul:
+		out := ff.One()
+		for _, op := range n.Operands {
+			v := Eval(op, env)
+			out.Mul(&out, &v)
+		}
+		return out
+	case Pow:
+		v := Eval(n.Operand, env)
+		var out ff.Element
+		out.ExpUint64(&v, uint64(n.K))
+		return out
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+// EvalMonomials evaluates an expanded monomial list under an environment.
+func EvalMonomials(ms []Monomial, env map[string]ff.Element) ff.Element {
+	var out ff.Element
+	for _, m := range ms {
+		term := m.Coeff
+		for _, v := range m.Vars {
+			val, ok := env[v]
+			if !ok {
+				panic("expr: unbound variable " + v)
+			}
+			term.Mul(&term, &val)
+		}
+		out.Add(&out, &term)
+	}
+	return out
+}
+
+// Variables returns the sorted set of variable names appearing in e.
+func Variables(e Expr) []string {
+	set := map[string]bool{}
+	collectVars(e, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectVars(e Expr, set map[string]bool) {
+	switch n := e.(type) {
+	case Var:
+		set[n.Name] = true
+	case Const:
+	case Neg:
+		collectVars(n.Operand, set)
+	case Add:
+		for _, op := range n.Operands {
+			collectVars(op, set)
+		}
+	case Mul:
+		for _, op := range n.Operands {
+			collectVars(op, set)
+		}
+	case Pow:
+		collectVars(n.Operand, set)
+	}
+}
+
+// String renders the expression for diagnostics.
+func String(e Expr) string {
+	switch n := e.(type) {
+	case Var:
+		return n.Name
+	case Const:
+		return n.Value.String()
+	case Neg:
+		return "-(" + String(n.Operand) + ")"
+	case Add:
+		parts := make([]string, len(n.Operands))
+		for i, op := range n.Operands {
+			parts[i] = String(op)
+		}
+		return "(" + strings.Join(parts, " + ") + ")"
+	case Mul:
+		parts := make([]string, len(n.Operands))
+		for i, op := range n.Operands {
+			parts[i] = String(op)
+		}
+		return strings.Join(parts, "·")
+	case Pow:
+		return String(n.Operand) + "^" + fmt.Sprint(n.K)
+	default:
+		return "?"
+	}
+}

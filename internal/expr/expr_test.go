@@ -1,0 +1,142 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zkphire/internal/ff"
+)
+
+func env(rng *ff.Rand, names ...string) map[string]ff.Element {
+	m := map[string]ff.Element{}
+	for _, n := range names {
+		m[n] = rng.Element()
+	}
+	return m
+}
+
+func TestExpandMatchesEval(t *testing.T) {
+	rng := ff.NewRand(1)
+	cases := []struct {
+		name string
+		e    Expr
+		vars []string
+	}{
+		{"plonk", Sum(
+			Prod(V("qL"), V("w1")),
+			Prod(V("qR"), V("w2")),
+			Neg{Operand: Prod(V("qO"), V("w3"))},
+			Prod(V("qM"), V("w1"), V("w2")),
+			V("qC"),
+		), []string{"qL", "qR", "qO", "qM", "qC", "w1", "w2", "w3"}},
+		{"square of sum", P(Sum(V("a"), V("b")), 2), []string{"a", "b"}},
+		{"cubic", Prod(V("q"), Minus(P(V("y"), 2), Sum(P(V("x"), 3), C(5)))), []string{"q", "x", "y"}},
+		{"nested pow", P(Minus(V("a"), V("b")), 3), []string{"a", "b"}},
+		{"constant only", C(42), nil},
+		{"cancellation", Minus(Prod(V("a"), V("b")), Prod(V("b"), V("a"))), []string{"a", "b"}},
+	}
+	for _, tc := range cases {
+		monos := Expand(tc.e)
+		for trial := 0; trial < 10; trial++ {
+			en := env(rng, tc.vars...)
+			direct := Eval(tc.e, en)
+			expanded := EvalMonomials(monos, en)
+			if !direct.Equal(&expanded) {
+				t.Fatalf("%s: expansion does not match direct evaluation", tc.name)
+			}
+		}
+	}
+}
+
+func TestCancellationProducesEmpty(t *testing.T) {
+	e := Minus(Prod(V("a"), V("b")), Prod(V("b"), V("a")))
+	monos := Expand(e)
+	if len(monos) != 0 {
+		t.Fatalf("a·b − b·a should expand to nothing, got %d monomials", len(monos))
+	}
+}
+
+func TestPowersMerge(t *testing.T) {
+	// (a+b)² = a² + 2ab + b²
+	monos := Expand(P(Sum(V("a"), V("b")), 2))
+	if len(monos) != 3 {
+		t.Fatalf("(a+b)^2 should have 3 monomials, got %d", len(monos))
+	}
+	two := ff.NewElement(2)
+	foundCross := false
+	for _, m := range monos {
+		if m.Key() == "a*b" {
+			foundCross = true
+			if !m.Coeff.Equal(&two) {
+				t.Fatal("cross-term coefficient != 2")
+			}
+		}
+	}
+	if !foundCross {
+		t.Fatal("missing a·b cross term")
+	}
+}
+
+func TestVariables(t *testing.T) {
+	e := Prod(V("q"), Sum(V("b"), V("a")), P(V("z"), 2))
+	vars := Variables(e)
+	want := []string{"a", "b", "q", "z"}
+	if len(vars) != len(want) {
+		t.Fatalf("got %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("got %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	monos := Expand(Prod(V("q"), P(V("w"), 5)))
+	if len(monos) != 1 || monos[0].Degree() != 6 {
+		t.Fatalf("q·w^5 degree should be 6")
+	}
+}
+
+func TestQuickExpansionHomomorphic(t *testing.T) {
+	// Property: Expand(e1 + e2) evaluates to Eval(e1) + Eval(e2).
+	rng := ff.NewRand(2)
+	builders := []func() Expr{
+		func() Expr { return V("a") },
+		func() Expr { return Prod(V("a"), V("b")) },
+		func() Expr { return P(Sum(V("a"), C(3)), 2) },
+		func() Expr { return Minus(V("b"), V("c")) },
+	}
+	prop := func(i, j uint8) bool {
+		e1 := builders[int(i)%len(builders)]()
+		e2 := builders[int(j)%len(builders)]()
+		sum := Sum(e1, e2)
+		en := env(rng, "a", "b", "c")
+		v1 := Eval(e1, en)
+		v2 := Eval(e2, en)
+		var want ff.Element
+		want.Add(&v1, &v2)
+		got := EvalMonomials(Expand(sum), en)
+		return got.Equal(&want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Prod(V("q"), P(V("w"), 5))
+	s := String(e)
+	if s != "q·w^5" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestUnboundVariablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unbound variable")
+		}
+	}()
+	Eval(V("missing"), map[string]ff.Element{})
+}

@@ -1,0 +1,515 @@
+// Package ff implements arithmetic over the BLS12-381 scalar field Fr,
+// the 255-bit prime field with modulus
+//
+//	q = 0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001
+//
+// Elements are stored in Montgomery form as four little-endian 64-bit limbs.
+// All arithmetic is constant-size limb arithmetic built on math/bits; the
+// Montgomery constants are derived at package init from math/big so the only
+// trusted literal is the modulus itself.
+package ff
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"math/bits"
+)
+
+// Limbs is the number of 64-bit limbs in an Element.
+const Limbs = 4
+
+// Bits is the bit size of the modulus.
+const Bits = 255
+
+// Bytes is the byte size of a canonical serialized element.
+const Bytes = 32
+
+// Element is a field element in Montgomery form: the limbs hold a*R mod q
+// where R = 2^256.
+type Element [Limbs]uint64
+
+// q is the field modulus as limbs (little-endian).
+var q = Element{
+	0xffffffff00000001,
+	0x53bda402fffe5bfe,
+	0x3339d80809a1d805,
+	0x73eda753299d7d48,
+}
+
+// Modulus string in hex, the single trusted constant.
+const modulusHex = "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+
+var (
+	qBig *big.Int // modulus
+	// qInvNeg = -q^{-1} mod 2^64
+	qInvNeg uint64
+	// rSquare = R^2 mod q, used to convert into Montgomery form.
+	rSquare Element
+	// one is 1 in Montgomery form (R mod q).
+	one Element
+	// zero is the additive identity.
+	zero Element
+	// twoInv is 1/2 in Montgomery form.
+	twoInv Element
+)
+
+func init() {
+	qBig, _ = new(big.Int).SetString(modulusHex, 16)
+
+	// Consistency: limbs must match the hex constant.
+	var check big.Int
+	limbsToBig(&q, &check)
+	if check.Cmp(qBig) != 0 {
+		panic("ff: modulus limb constant mismatch")
+	}
+
+	// qInvNeg via Newton iteration mod 2^64.
+	inv := uint64(1)
+	for i := 0; i < 6; i++ {
+		inv *= 2 - q[0]*inv
+	}
+	qInvNeg = -inv
+
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	r.Mod(r, qBig)
+	bigToLimbs(r, (*[Limbs]uint64)(&one))
+
+	r2 := new(big.Int).Lsh(big.NewInt(1), 512)
+	r2.Mod(r2, qBig)
+	bigToLimbs(r2, (*[Limbs]uint64)(&rSquare))
+
+	half := new(big.Int).ModInverse(big.NewInt(2), qBig)
+	half.Lsh(half, 256)
+	half.Mod(half, qBig)
+	bigToLimbs(half, (*[Limbs]uint64)(&twoInv))
+}
+
+// Modulus returns a copy of the field modulus as a big.Int.
+func Modulus() *big.Int { return new(big.Int).Set(qBig) }
+
+func limbsToBig(e *Element, out *big.Int) {
+	var buf [Bytes]byte
+	for i := 0; i < Limbs; i++ {
+		for j := 0; j < 8; j++ {
+			buf[Bytes-1-(8*i+j)] = byte(e[i] >> (8 * j))
+		}
+	}
+	out.SetBytes(buf[:])
+}
+
+func bigToLimbs(v *big.Int, out *[Limbs]uint64) {
+	var tmp big.Int
+	tmp.Set(v)
+	mask := new(big.Int).SetUint64(^uint64(0))
+	for i := 0; i < Limbs; i++ {
+		var lo big.Int
+		lo.And(&tmp, mask)
+		out[i] = lo.Uint64()
+		tmp.Rsh(&tmp, 64)
+	}
+}
+
+// One returns 1 (multiplicative identity).
+func One() Element { return one }
+
+// Zero returns 0.
+func Zero() Element { return zero }
+
+// TwoInv returns 1/2.
+func TwoInv() Element { return twoInv }
+
+// SetZero sets z to 0 and returns z.
+func (z *Element) SetZero() *Element {
+	*z = zero
+	return z
+}
+
+// SetOne sets z to 1 and returns z.
+func (z *Element) SetOne() *Element {
+	*z = one
+	return z
+}
+
+// Set sets z to x and returns z.
+func (z *Element) Set(x *Element) *Element {
+	*z = *x
+	return z
+}
+
+// SetUint64 sets z to v (converted into Montgomery form) and returns z.
+func (z *Element) SetUint64(v uint64) *Element {
+	*z = Element{v}
+	return z.Mul(z, &rSquare)
+}
+
+// SetInt64 sets z to v, handling negative values, and returns z.
+func (z *Element) SetInt64(v int64) *Element {
+	if v >= 0 {
+		return z.SetUint64(uint64(v))
+	}
+	z.SetUint64(uint64(-v))
+	return z.Neg(z)
+}
+
+// NewElement returns v as a field element.
+func NewElement(v uint64) Element {
+	var e Element
+	e.SetUint64(v)
+	return e
+}
+
+// NewInt64 returns v as a field element, handling negative values.
+func NewInt64(v int64) Element {
+	var e Element
+	e.SetInt64(v)
+	return e
+}
+
+// SetBigInt sets z to v mod q and returns z.
+func (z *Element) SetBigInt(v *big.Int) *Element {
+	var t big.Int
+	t.Mod(v, qBig)
+	var plain Element
+	bigToLimbs(&t, (*[Limbs]uint64)(&plain))
+	return z.Mul(&plain, &rSquare)
+}
+
+// BigInt writes the canonical (non-Montgomery) value of z into out and
+// returns out.
+func (z *Element) BigInt(out *big.Int) *big.Int {
+	plain := z.fromMont()
+	limbsToBig(&plain, out)
+	return out
+}
+
+// fromMont returns the canonical-representation limbs of z.
+func (z *Element) fromMont() Element {
+	var res Element
+	mont := *z
+	unit := Element{1}
+	res.Mul(&mont, &unit)
+	return res
+}
+
+// Bytes returns the canonical big-endian 32-byte encoding of z.
+func (z *Element) Bytes() [Bytes]byte {
+	plain := z.fromMont()
+	var buf [Bytes]byte
+	for i := 0; i < Limbs; i++ {
+		for j := 0; j < 8; j++ {
+			buf[Bytes-1-(8*i+j)] = byte(plain[i] >> (8 * j))
+		}
+	}
+	return buf
+}
+
+// SetBytes sets z from big-endian bytes, reducing mod q, and returns z.
+func (z *Element) SetBytes(b []byte) *Element {
+	var v big.Int
+	v.SetBytes(b)
+	return z.SetBigInt(&v)
+}
+
+// ErrInvalidEncoding reports a canonical-encoding violation.
+var ErrInvalidEncoding = errors.New("ff: encoding is not a canonical field element")
+
+// SetBytesCanonical sets z from exactly 32 big-endian bytes and fails if the
+// value is not strictly below the modulus.
+func (z *Element) SetBytesCanonical(b []byte) error {
+	if len(b) != Bytes {
+		return ErrInvalidEncoding
+	}
+	var v big.Int
+	v.SetBytes(b)
+	if v.Cmp(qBig) >= 0 {
+		return ErrInvalidEncoding
+	}
+	z.SetBigInt(&v)
+	return nil
+}
+
+// SetRandom sets z to a uniform field element read from rng and returns z.
+func (z *Element) SetRandom(rng io.Reader) (*Element, error) {
+	var buf [48]byte // 128 bits of slack for negligible bias
+	if _, err := io.ReadFull(rng, buf[:]); err != nil {
+		return nil, err
+	}
+	var v big.Int
+	v.SetBytes(buf[:])
+	return z.SetBigInt(&v), nil
+}
+
+// IsZero reports whether z == 0.
+func (z *Element) IsZero() bool {
+	return z[0]|z[1]|z[2]|z[3] == 0
+}
+
+// IsOne reports whether z == 1.
+func (z *Element) IsOne() bool {
+	return *z == one
+}
+
+// Equal reports whether z == x.
+func (z *Element) Equal(x *Element) bool {
+	return *z == *x
+}
+
+// smallerThanModulus reports whether z (as plain limbs) < q.
+func smallerThanModulus(z *Element) bool {
+	for i := Limbs - 1; i >= 0; i-- {
+		if z[i] < q[i] {
+			return true
+		}
+		if z[i] > q[i] {
+			return false
+		}
+	}
+	return false // equal
+}
+
+// Add sets z = x + y mod q and returns z.
+func (z *Element) Add(x, y *Element) *Element {
+	var t Element
+	var carry uint64
+	t[0], carry = bits.Add64(x[0], y[0], 0)
+	t[1], carry = bits.Add64(x[1], y[1], carry)
+	t[2], carry = bits.Add64(x[2], y[2], carry)
+	t[3], carry = bits.Add64(x[3], y[3], carry)
+	// 2q < 2^256, so carry is always 0 for reduced inputs; reduce if >= q.
+	_ = carry
+	if !smallerThanModulus(&t) {
+		var b uint64
+		t[0], b = bits.Sub64(t[0], q[0], 0)
+		t[1], b = bits.Sub64(t[1], q[1], b)
+		t[2], b = bits.Sub64(t[2], q[2], b)
+		t[3], _ = bits.Sub64(t[3], q[3], b)
+	}
+	*z = t
+	return z
+}
+
+// Double sets z = 2x mod q and returns z.
+func (z *Element) Double(x *Element) *Element {
+	return z.Add(x, x)
+}
+
+// Sub sets z = x - y mod q and returns z.
+func (z *Element) Sub(x, y *Element) *Element {
+	var t Element
+	var borrow uint64
+	t[0], borrow = bits.Sub64(x[0], y[0], 0)
+	t[1], borrow = bits.Sub64(x[1], y[1], borrow)
+	t[2], borrow = bits.Sub64(x[2], y[2], borrow)
+	t[3], borrow = bits.Sub64(x[3], y[3], borrow)
+	if borrow != 0 {
+		var c uint64
+		t[0], c = bits.Add64(t[0], q[0], 0)
+		t[1], c = bits.Add64(t[1], q[1], c)
+		t[2], c = bits.Add64(t[2], q[2], c)
+		t[3], _ = bits.Add64(t[3], q[3], c)
+	}
+	*z = t
+	return z
+}
+
+// Neg sets z = -x mod q and returns z.
+func (z *Element) Neg(x *Element) *Element {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	var t Element
+	var borrow uint64
+	t[0], borrow = bits.Sub64(q[0], x[0], 0)
+	t[1], borrow = bits.Sub64(q[1], x[1], borrow)
+	t[2], borrow = bits.Sub64(q[2], x[2], borrow)
+	t[3], _ = bits.Sub64(q[3], x[3], borrow)
+	*z = t
+	return z
+}
+
+// madd returns hi, lo such that hi*2^64 + lo = a*b + c + d.
+func madd(a, b, c, d uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, c, 0)
+	hi += carry
+	lo, carry = bits.Add64(lo, d, 0)
+	hi += carry
+	return hi, lo
+}
+
+// Mul sets z = x*y mod q (Montgomery CIOS) and returns z.
+func (z *Element) Mul(x, y *Element) *Element {
+	var t [Limbs + 2]uint64
+
+	for i := 0; i < Limbs; i++ {
+		// t += x * y[i]
+		var c uint64
+		for j := 0; j < Limbs; j++ {
+			c, t[j] = madd(x[j], y[i], t[j], c)
+		}
+		var c2 uint64
+		t[Limbs], c2 = bits.Add64(t[Limbs], c, 0)
+		t[Limbs+1] += c2
+
+		// Montgomery reduction step.
+		m := t[0] * qInvNeg
+		c, _ = madd(m, q[0], t[0], 0)
+		for j := 1; j < Limbs; j++ {
+			c, t[j-1] = madd(m, q[j], t[j], c)
+		}
+		var carry uint64
+		t[Limbs-1], carry = bits.Add64(t[Limbs], c, 0)
+		t[Limbs] = t[Limbs+1] + carry
+		t[Limbs+1] = 0
+	}
+
+	var r Element
+	copy(r[:], t[:Limbs])
+	if t[Limbs] != 0 || !smallerThanModulus(&r) {
+		var b uint64
+		r[0], b = bits.Sub64(r[0], q[0], 0)
+		r[1], b = bits.Sub64(r[1], q[1], b)
+		r[2], b = bits.Sub64(r[2], q[2], b)
+		r[3], _ = bits.Sub64(r[3], q[3], b)
+	}
+	*z = r
+	return z
+}
+
+// Square sets z = x² mod q and returns z.
+func (z *Element) Square(x *Element) *Element {
+	return z.Mul(x, x)
+}
+
+// Exp sets z = x^e mod q (e as a big.Int, e >= 0) and returns z.
+func (z *Element) Exp(x *Element, e *big.Int) *Element {
+	if e.Sign() == 0 {
+		return z.SetOne()
+	}
+	base := *x
+	res := one
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		res.Square(&res)
+		if e.Bit(i) == 1 {
+			res.Mul(&res, &base)
+		}
+	}
+	*z = res
+	return z
+}
+
+// ExpUint64 sets z = x^e for a machine-word exponent and returns z.
+func (z *Element) ExpUint64(x *Element, e uint64) *Element {
+	if e == 0 {
+		return z.SetOne()
+	}
+	base := *x
+	res := one
+	for i := 63 - bits.LeadingZeros64(e); i >= 0; i-- {
+		res.Square(&res)
+		if e&(1<<uint(i)) != 0 {
+			res.Mul(&res, &base)
+		}
+	}
+	*z = res
+	return z
+}
+
+var qMinus2 = new(big.Int).Sub(mustBig(modulusHex), big.NewInt(2))
+
+func mustBig(hex string) *big.Int {
+	v, ok := new(big.Int).SetString(hex, 16)
+	if !ok {
+		panic("ff: bad hex constant")
+	}
+	return v
+}
+
+// Inverse sets z = 1/x mod q (z = 0 when x = 0) and returns z.
+func (z *Element) Inverse(x *Element) *Element {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	return z.Exp(x, qMinus2)
+}
+
+// BatchInvert inverts every nonzero element of a in place using Montgomery's
+// batching trick (one inversion plus 3(n-1) multiplications). Zero entries
+// are left as zero.
+func BatchInvert(a []Element) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	prefix := make([]Element, n)
+	acc := one
+	for i := 0; i < n; i++ {
+		prefix[i] = acc
+		if !a[i].IsZero() {
+			acc.Mul(&acc, &a[i])
+		}
+	}
+	var inv Element
+	inv.Inverse(&acc)
+	for i := n - 1; i >= 0; i-- {
+		if a[i].IsZero() {
+			continue
+		}
+		var ai Element
+		ai.Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &a[i])
+		a[i] = ai
+	}
+}
+
+// Halve sets z = x/2 and returns z.
+func (z *Element) Halve(x *Element) *Element {
+	return z.Mul(x, &twoInv)
+}
+
+// String returns the decimal representation of z.
+func (z *Element) String() string {
+	var v big.Int
+	z.BigInt(&v)
+	return v.String()
+}
+
+// Hex returns the 0x-prefixed hexadecimal representation of z.
+func (z *Element) Hex() string {
+	var v big.Int
+	z.BigInt(&v)
+	return fmt.Sprintf("0x%064x", &v)
+}
+
+// Uint64 returns the canonical value of z truncated to 64 bits, plus a flag
+// reporting whether z actually fits in a uint64.
+func (z *Element) Uint64() (uint64, bool) {
+	plain := z.fromMont()
+	return plain[0], plain[1]|plain[2]|plain[3] == 0
+}
+
+// Cmp compares canonical values: -1 if z < x, 0 if equal, 1 if z > x.
+func (z *Element) Cmp(x *Element) int {
+	zp, xp := z.fromMont(), x.fromMont()
+	for i := Limbs - 1; i >= 0; i-- {
+		if zp[i] < xp[i] {
+			return -1
+		}
+		if zp[i] > xp[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// MulAssign sets z *= x and returns z.
+func (z *Element) MulAssign(x *Element) *Element { return z.Mul(z, x) }
+
+// AddAssign sets z += x and returns z.
+func (z *Element) AddAssign(x *Element) *Element { return z.Add(z, x) }
+
+// SubAssign sets z -= x and returns z.
+func (z *Element) SubAssign(x *Element) *Element { return z.Sub(z, x) }

@@ -1,0 +1,328 @@
+// Package fp implements arithmetic over the BLS12-381 base field Fp, the
+// 381-bit prime field with modulus
+//
+//	p = 0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624
+//	    1eabfffeb153ffffb9feffffffffaaab
+//
+// Elements are stored in Montgomery form as six little-endian 64-bit limbs.
+// Curve point coordinates (internal/curve) live in this field; all MLE data
+// lives in the 255-bit scalar field (internal/ff).
+package fp
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/bits"
+)
+
+// Limbs is the number of 64-bit limbs in an Element.
+const Limbs = 6
+
+// Bytes is the byte size of a canonical serialized element.
+const Bytes = 48
+
+// Element is a base-field element in Montgomery form (a*R mod p, R = 2^384).
+type Element [Limbs]uint64
+
+const modulusHex = "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
+
+var (
+	p       Element
+	pBig    *big.Int
+	pInvNeg uint64
+	rSquare Element
+	one     Element
+	zero    Element
+)
+
+func init() {
+	pBig, _ = new(big.Int).SetString(modulusHex, 16)
+	bigToLimbs(pBig, (*[Limbs]uint64)(&p))
+
+	inv := uint64(1)
+	for i := 0; i < 6; i++ {
+		inv *= 2 - p[0]*inv
+	}
+	pInvNeg = -inv
+
+	r := new(big.Int).Lsh(big.NewInt(1), 384)
+	r.Mod(r, pBig)
+	bigToLimbs(r, (*[Limbs]uint64)(&one))
+
+	r2 := new(big.Int).Lsh(big.NewInt(1), 768)
+	r2.Mod(r2, pBig)
+	bigToLimbs(r2, (*[Limbs]uint64)(&rSquare))
+}
+
+// Modulus returns a copy of the base-field modulus.
+func Modulus() *big.Int { return new(big.Int).Set(pBig) }
+
+func bigToLimbs(v *big.Int, out *[Limbs]uint64) {
+	var tmp big.Int
+	tmp.Set(v)
+	mask := new(big.Int).SetUint64(^uint64(0))
+	for i := 0; i < Limbs; i++ {
+		var lo big.Int
+		lo.And(&tmp, mask)
+		out[i] = lo.Uint64()
+		tmp.Rsh(&tmp, 64)
+	}
+}
+
+func limbsToBig(e *Element, out *big.Int) {
+	var buf [Bytes]byte
+	for i := 0; i < Limbs; i++ {
+		for j := 0; j < 8; j++ {
+			buf[Bytes-1-(8*i+j)] = byte(e[i] >> (8 * j))
+		}
+	}
+	out.SetBytes(buf[:])
+}
+
+// One returns the multiplicative identity.
+func One() Element { return one }
+
+// Zero returns the additive identity.
+func Zero() Element { return zero }
+
+// SetZero sets z to 0 and returns z.
+func (z *Element) SetZero() *Element { *z = zero; return z }
+
+// SetOne sets z to 1 and returns z.
+func (z *Element) SetOne() *Element { *z = one; return z }
+
+// Set sets z to x and returns z.
+func (z *Element) Set(x *Element) *Element { *z = *x; return z }
+
+// SetUint64 sets z to v and returns z.
+func (z *Element) SetUint64(v uint64) *Element {
+	*z = Element{v}
+	return z.Mul(z, &rSquare)
+}
+
+// SetBigInt sets z to v mod p and returns z.
+func (z *Element) SetBigInt(v *big.Int) *Element {
+	var t big.Int
+	t.Mod(v, pBig)
+	var plain Element
+	bigToLimbs(&t, (*[Limbs]uint64)(&plain))
+	return z.Mul(&plain, &rSquare)
+}
+
+// SetHex sets z from a hex string (no 0x prefix required) and returns z.
+func (z *Element) SetHex(s string) *Element {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic(fmt.Sprintf("fp: bad hex %q", s))
+	}
+	return z.SetBigInt(v)
+}
+
+// BigInt writes the canonical value of z into out and returns out.
+func (z *Element) BigInt(out *big.Int) *big.Int {
+	plain := z.fromMont()
+	limbsToBig(&plain, out)
+	return out
+}
+
+func (z *Element) fromMont() Element {
+	var res Element
+	unit := Element{1}
+	res.Mul(z, &unit)
+	return res
+}
+
+// Bytes returns the canonical big-endian 48-byte encoding.
+func (z *Element) Bytes() [Bytes]byte {
+	plain := z.fromMont()
+	var buf [Bytes]byte
+	for i := 0; i < Limbs; i++ {
+		for j := 0; j < 8; j++ {
+			buf[Bytes-1-(8*i+j)] = byte(plain[i] >> (8 * j))
+		}
+	}
+	return buf
+}
+
+// SetBytes sets z from big-endian bytes (reduced mod p) and returns z.
+func (z *Element) SetBytes(b []byte) *Element {
+	var v big.Int
+	v.SetBytes(b)
+	return z.SetBigInt(&v)
+}
+
+// SetRandom sets z to a uniform element from rng and returns z.
+func (z *Element) SetRandom(rng io.Reader) (*Element, error) {
+	var buf [64]byte
+	if _, err := io.ReadFull(rng, buf[:]); err != nil {
+		return nil, err
+	}
+	var v big.Int
+	v.SetBytes(buf[:])
+	return z.SetBigInt(&v), nil
+}
+
+// IsZero reports whether z == 0.
+func (z *Element) IsZero() bool {
+	return z[0]|z[1]|z[2]|z[3]|z[4]|z[5] == 0
+}
+
+// IsOne reports whether z == 1.
+func (z *Element) IsOne() bool { return *z == one }
+
+// Equal reports whether z == x.
+func (z *Element) Equal(x *Element) bool { return *z == *x }
+
+func smallerThanModulus(z *Element) bool {
+	for i := Limbs - 1; i >= 0; i-- {
+		if z[i] < p[i] {
+			return true
+		}
+		if z[i] > p[i] {
+			return false
+		}
+	}
+	return false
+}
+
+// Add sets z = x + y mod p and returns z.
+func (z *Element) Add(x, y *Element) *Element {
+	var t Element
+	var carry uint64
+	for i := 0; i < Limbs; i++ {
+		t[i], carry = bits.Add64(x[i], y[i], carry)
+	}
+	// p has 381 bits, so 2p < 2^384 and carry is always 0 for reduced inputs.
+	if !smallerThanModulus(&t) {
+		var b uint64
+		for i := 0; i < Limbs; i++ {
+			t[i], b = bits.Sub64(t[i], p[i], b)
+		}
+	}
+	*z = t
+	return z
+}
+
+// Double sets z = 2x and returns z.
+func (z *Element) Double(x *Element) *Element { return z.Add(x, x) }
+
+// Sub sets z = x - y mod p and returns z.
+func (z *Element) Sub(x, y *Element) *Element {
+	var t Element
+	var borrow uint64
+	for i := 0; i < Limbs; i++ {
+		t[i], borrow = bits.Sub64(x[i], y[i], borrow)
+	}
+	if borrow != 0 {
+		var c uint64
+		for i := 0; i < Limbs; i++ {
+			t[i], c = bits.Add64(t[i], p[i], c)
+		}
+	}
+	*z = t
+	return z
+}
+
+// Neg sets z = -x mod p and returns z.
+func (z *Element) Neg(x *Element) *Element {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	var t Element
+	var borrow uint64
+	for i := 0; i < Limbs; i++ {
+		t[i], borrow = bits.Sub64(p[i], x[i], borrow)
+	}
+	_ = borrow
+	*z = t
+	return z
+}
+
+func madd(a, b, c, d uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, c, 0)
+	hi += carry
+	lo, carry = bits.Add64(lo, d, 0)
+	hi += carry
+	return hi, lo
+}
+
+// Mul sets z = x*y mod p (Montgomery CIOS) and returns z.
+func (z *Element) Mul(x, y *Element) *Element {
+	var t [Limbs + 2]uint64
+
+	for i := 0; i < Limbs; i++ {
+		var c uint64
+		for j := 0; j < Limbs; j++ {
+			c, t[j] = madd(x[j], y[i], t[j], c)
+		}
+		var c2 uint64
+		t[Limbs], c2 = bits.Add64(t[Limbs], c, 0)
+		t[Limbs+1] += c2
+
+		m := t[0] * pInvNeg
+		c, _ = madd(m, p[0], t[0], 0)
+		for j := 1; j < Limbs; j++ {
+			c, t[j-1] = madd(m, p[j], t[j], c)
+		}
+		var carry uint64
+		t[Limbs-1], carry = bits.Add64(t[Limbs], c, 0)
+		t[Limbs] = t[Limbs+1] + carry
+		t[Limbs+1] = 0
+	}
+
+	var r Element
+	copy(r[:], t[:Limbs])
+	if t[Limbs] != 0 || !smallerThanModulus(&r) {
+		var b uint64
+		for i := 0; i < Limbs; i++ {
+			r[i], b = bits.Sub64(r[i], p[i], b)
+		}
+	}
+	*z = r
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Element) Square(x *Element) *Element { return z.Mul(x, x) }
+
+var pMinus2 *big.Int
+
+func init() {
+	pm, _ := new(big.Int).SetString(modulusHex, 16)
+	pMinus2 = pm.Sub(pm, big.NewInt(2))
+}
+
+// Exp sets z = x^e and returns z.
+func (z *Element) Exp(x *Element, e *big.Int) *Element {
+	if e.Sign() == 0 {
+		return z.SetOne()
+	}
+	base := *x
+	res := one
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		res.Square(&res)
+		if e.Bit(i) == 1 {
+			res.Mul(&res, &base)
+		}
+	}
+	*z = res
+	return z
+}
+
+// Inverse sets z = 1/x (0 for x = 0) and returns z.
+func (z *Element) Inverse(x *Element) *Element {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	return z.Exp(x, pMinus2)
+}
+
+// String returns the decimal representation.
+func (z *Element) String() string {
+	var v big.Int
+	z.BigInt(&v)
+	return v.String()
+}

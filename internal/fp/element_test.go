@@ -1,0 +1,155 @@
+package fp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBig(rng *rand.Rand) *big.Int {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(rng.Intn(256))
+	}
+	v := new(big.Int).SetBytes(buf)
+	return v.Mod(v, pBig)
+}
+
+func toBig(e *Element) *big.Int {
+	var v big.Int
+	e.BigInt(&v)
+	return &v
+}
+
+func TestModulusConstants(t *testing.T) {
+	if pBig.BitLen() != 381 {
+		t.Fatalf("modulus bit length = %d, want 381", pBig.BitLen())
+	}
+	if !pBig.ProbablyPrime(32) {
+		t.Fatal("modulus not prime")
+	}
+	if pInvNeg*p[0] != ^uint64(0) {
+		t.Fatal("pInvNeg incorrect")
+	}
+	if toBig(&one).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("Montgomery one decodes wrong")
+	}
+}
+
+func TestArithmeticAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		av, bv := randBig(rng), randBig(rng)
+		var a, b Element
+		a.SetBigInt(av)
+		b.SetBigInt(bv)
+
+		var sum, diff, prod, neg Element
+		sum.Add(&a, &b)
+		diff.Sub(&a, &b)
+		prod.Mul(&a, &b)
+		neg.Neg(&a)
+
+		check := func(name string, got *Element, want *big.Int) {
+			w := new(big.Int).Mod(want, pBig)
+			if toBig(got).Cmp(w) != 0 {
+				t.Fatalf("%s mismatch at %d", name, i)
+			}
+		}
+		check("add", &sum, new(big.Int).Add(av, bv))
+		check("sub", &diff, new(big.Int).Sub(av, bv))
+		check("mul", &prod, new(big.Int).Mul(av, bv))
+		check("neg", &neg, new(big.Int).Neg(av))
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		var a Element
+		a.SetBigInt(randBig(rng))
+		if a.IsZero() {
+			continue
+		}
+		var inv, prod Element
+		inv.Inverse(&a)
+		prod.Mul(&a, &inv)
+		if !prod.IsOne() {
+			t.Fatalf("inverse mismatch at %d", i)
+		}
+	}
+	var z Element
+	z.Inverse(&zero)
+	if !z.IsZero() {
+		t.Fatal("Inverse(0) != 0")
+	}
+}
+
+func TestQuickProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	gen := func() Element {
+		var e Element
+		e.SetBigInt(randBig(rng))
+		return e
+	}
+	assoc := func(_ int) bool {
+		a, b, c := gen(), gen(), gen()
+		var x, y Element
+		x.Mul(&a, &b)
+		x.Mul(&x, &c)
+		y.Mul(&b, &c)
+		y.Mul(&a, &y)
+		return x.Equal(&y)
+	}
+	distrib := func(_ int) bool {
+		a, b, c := gen(), gen(), gen()
+		var bc, l, ab, ac, r Element
+		bc.Add(&b, &c)
+		l.Mul(&a, &bc)
+		ab.Mul(&a, &b)
+		ac.Mul(&a, &c)
+		r.Add(&ab, &ac)
+		return l.Equal(&r)
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(distrib, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ {
+		var a Element
+		a.SetBigInt(randBig(rng))
+		b := a.Bytes()
+		var back Element
+		back.SetBytes(b[:])
+		if !back.Equal(&a) {
+			t.Fatal("bytes round trip mismatch")
+		}
+	}
+}
+
+func TestSetHex(t *testing.T) {
+	var a Element
+	a.SetHex("1a")
+	var want Element
+	want.SetUint64(26)
+	if !a.Equal(&want) {
+		t.Fatal("SetHex mismatch")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var x, y Element
+	x.SetUint64(0xdeadbeef)
+	y.SetHex(modulusHex[:90])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(&x, &y)
+	}
+}

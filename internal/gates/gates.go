@@ -1,0 +1,225 @@
+// Package gates provides circuit builders for the two HyperPlonk
+// arithmetizations the paper evaluates: Vanilla Plonk gates (3 wires, 5
+// selectors) and Jellyfish custom gates (5 wires, 13 selectors, power-5 hash
+// terms and a 4-way ECC product). Builders track copy constraints through
+// variables and emit the selector/wire MLEs plus the wiring permutation that
+// the HyperPlonk prover consumes.
+package gates
+
+import (
+	"fmt"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+	"zkphire/internal/perm"
+	"zkphire/internal/poly"
+)
+
+// Variable is a handle to a circuit value.
+type Variable int
+
+// Circuit is the compiled output of a builder.
+type Circuit struct {
+	NumVars   int
+	GateCount int // real (unpadded) gates
+	// Selectors maps selector name (matching poly registry variable names)
+	// to its MLE.
+	Selectors map[string]*mle.Table
+	// Wires holds the wire-column MLEs (3 for Vanilla, 5 for Jellyfish).
+	Wires []*mle.Table
+	// Perm is the copy-constraint permutation over len(Wires) columns.
+	Perm *perm.Permutation
+	// Gate is the composite constraint (without the ZeroCheck eq factor).
+	Gate *poly.Composite
+}
+
+// Satisfied reports whether every gate constraint holds for the embedded
+// witness (diagnostic; the prover proves this via ZeroCheck).
+func (c *Circuit) Satisfied() bool {
+	n := 1 << uint(c.NumVars)
+	assign := make([]ff.Element, c.Gate.NumVars())
+	for x := 0; x < n; x++ {
+		for i, name := range c.Gate.VarNames {
+			if t, ok := c.Selectors[name]; ok {
+				assign[i] = t.Evals[x]
+				continue
+			}
+			var w int
+			if _, err := fmt.Sscanf(name, "w%d", &w); err == nil && w >= 1 && w <= len(c.Wires) {
+				assign[i] = c.Wires[w-1].Evals[x]
+				continue
+			}
+			panic("gates: unbound constraint variable " + name)
+		}
+		if v := c.Gate.Evaluate(assign); !v.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// CopySatisfied reports whether wire values respect every copy constraint.
+func (c *Circuit) CopySatisfied() bool {
+	n := 1 << uint(c.NumVars)
+	for j, col := range c.Perm.Sigma {
+		for x, tgt := range col {
+			a := c.Wires[j].Evals[x]
+			b := c.Wires[tgt/n].Evals[tgt%n]
+			if !a.Equal(&b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// position is (column, row) of a wire slot.
+type position struct{ col, row int }
+
+// varUse tracks where a variable's value is wired.
+type varUse struct {
+	value ff.Element
+	slots []position
+}
+
+// VanillaBuilder assembles circuits from Vanilla Plonk gates.
+type VanillaBuilder struct {
+	vars []varUse
+	rows []vanillaRow
+}
+
+type vanillaRow struct {
+	qL, qR, qO, qM, qC ff.Element
+	in1, in2, out      Variable // -1 if the slot is unused
+}
+
+// NewVanillaBuilder returns an empty builder.
+func NewVanillaBuilder() *VanillaBuilder { return &VanillaBuilder{} }
+
+// NewVariable introduces a witness value.
+func (b *VanillaBuilder) NewVariable(v ff.Element) Variable {
+	b.vars = append(b.vars, varUse{value: v})
+	return Variable(len(b.vars) - 1)
+}
+
+// Value returns the assigned value of a variable.
+func (b *VanillaBuilder) Value(v Variable) ff.Element { return b.vars[v].value }
+
+// Add emits an addition gate: out = a + b.
+func (b *VanillaBuilder) Add(a, c Variable) Variable {
+	var sum ff.Element
+	av, cv := b.vars[a].value, b.vars[c].value
+	sum.Add(&av, &cv)
+	out := b.NewVariable(sum)
+	oneE := ff.One()
+	b.rows = append(b.rows, vanillaRow{qL: oneE, qR: oneE, qO: oneE, in1: a, in2: c, out: out})
+	return out
+}
+
+// Mul emits a multiplication gate: out = a · b.
+func (b *VanillaBuilder) Mul(a, c Variable) Variable {
+	var prod ff.Element
+	av, cv := b.vars[a].value, b.vars[c].value
+	prod.Mul(&av, &cv)
+	out := b.NewVariable(prod)
+	oneE := ff.One()
+	b.rows = append(b.rows, vanillaRow{qM: oneE, qO: oneE, in1: a, in2: c, out: out})
+	return out
+}
+
+// AddConst emits out = a + k.
+func (b *VanillaBuilder) AddConst(a Variable, k ff.Element) Variable {
+	var sum ff.Element
+	av := b.vars[a].value
+	sum.Add(&av, &k)
+	out := b.NewVariable(sum)
+	oneE := ff.One()
+	b.rows = append(b.rows, vanillaRow{qL: oneE, qO: oneE, qC: k, in1: a, in2: -1, out: out})
+	return out
+}
+
+// ScaleConst emits out = k·a (a single gate with qL = k).
+func (b *VanillaBuilder) ScaleConst(a Variable, k ff.Element) Variable {
+	var v ff.Element
+	av := b.vars[a].value
+	v.Mul(&k, &av)
+	out := b.NewVariable(v)
+	oneE := ff.One()
+	b.rows = append(b.rows, vanillaRow{qL: k, qO: oneE, in1: a, in2: -1, out: out})
+	return out
+}
+
+// AssertConst constrains a == k with a gate qL·a − k = 0.
+func (b *VanillaBuilder) AssertConst(a Variable, k ff.Element) {
+	oneE := ff.One()
+	var negK ff.Element
+	negK.Neg(&k)
+	b.rows = append(b.rows, vanillaRow{qL: oneE, qC: negK, in1: a, in2: -1, out: -1})
+}
+
+// AssertEqual constrains a == b via copy wiring on an addition-style gate.
+func (b *VanillaBuilder) AssertEqual(a, c Variable) {
+	oneE := ff.One()
+	var negOne ff.Element
+	negOne.Neg(&oneE)
+	// qL·a − qR·b = 0 encoded as qL=1, qR=-1.
+	b.rows = append(b.rows, vanillaRow{qL: oneE, qR: negOne, in1: a, in2: c, out: -1})
+}
+
+// GateCount returns the number of gates emitted so far.
+func (b *VanillaBuilder) GateCount() int { return len(b.rows) }
+
+// Build compiles the circuit, padding to 2^numVars rows with no-op gates.
+func (b *VanillaBuilder) Build(numVars int) (*Circuit, error) {
+	n := 1 << uint(numVars)
+	if len(b.rows) > n {
+		return nil, fmt.Errorf("gates: %d gates exceed capacity 2^%d", len(b.rows), numVars)
+	}
+	sel := map[string]*mle.Table{
+		"qL": mle.New(numVars), "qR": mle.New(numVars), "qO": mle.New(numVars),
+		"qM": mle.New(numVars), "qC": mle.New(numVars),
+	}
+	wires := []*mle.Table{mle.New(numVars), mle.New(numVars), mle.New(numVars)}
+	p := perm.Identity(3, n)
+
+	uses := make([][]position, len(b.vars))
+	for i, row := range b.rows {
+		sel["qL"].Evals[i] = row.qL
+		sel["qR"].Evals[i] = row.qR
+		sel["qO"].Evals[i] = row.qO
+		sel["qM"].Evals[i] = row.qM
+		sel["qC"].Evals[i] = row.qC
+		place := func(col int, v Variable) {
+			if v < 0 {
+				return
+			}
+			wires[col].Evals[i] = b.vars[v].value
+			uses[v] = append(uses[v], position{col, i})
+		}
+		place(0, row.in1)
+		place(1, row.in2)
+		place(2, row.out)
+	}
+	for _, slots := range uses {
+		if len(slots) < 2 {
+			continue
+		}
+		flat := make([]int, len(slots))
+		for i, s := range slots {
+			flat[i] = s.col*n + s.row
+		}
+		p.AddCycle(flat)
+	}
+	c := &Circuit{
+		NumVars:   numVars,
+		GateCount: len(b.rows),
+		Selectors: sel,
+		Wires:     wires,
+		Perm:      p,
+		Gate:      poly.VanillaGate(),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

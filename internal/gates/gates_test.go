@@ -1,0 +1,226 @@
+package gates
+
+import (
+	"testing"
+
+	"zkphire/internal/ff"
+)
+
+func TestVanillaArithmetic(t *testing.T) {
+	b := NewVanillaBuilder()
+	x := b.NewVariable(ff.NewElement(3))
+	// x³ + x + 5 = 35
+	x2 := b.Mul(x, x)
+	x3 := b.Mul(x2, x)
+	s := b.Add(x3, x)
+	out := b.AddConst(s, ff.NewElement(5))
+	b.AssertConst(out, ff.NewElement(35))
+
+	c, err := b.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Satisfied() {
+		t.Fatal("satisfied circuit reports unsatisfied")
+	}
+	if !c.CopySatisfied() {
+		t.Fatal("copy constraints should hold")
+	}
+	if c.GateCount != 5 {
+		t.Fatalf("gate count = %d, want 5", c.GateCount)
+	}
+}
+
+func TestVanillaUnsatisfied(t *testing.T) {
+	b := NewVanillaBuilder()
+	x := b.NewVariable(ff.NewElement(4)) // wrong witness
+	x2 := b.Mul(x, x)
+	x3 := b.Mul(x2, x)
+	s := b.Add(x3, x)
+	out := b.AddConst(s, ff.NewElement(5))
+	b.AssertConst(out, ff.NewElement(35))
+	c, err := b.Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Satisfied() {
+		t.Fatal("unsatisfied circuit reports satisfied")
+	}
+}
+
+func TestVanillaCopyViolationDetected(t *testing.T) {
+	b := NewVanillaBuilder()
+	x := b.NewVariable(ff.NewElement(7))
+	y := b.Mul(x, x)
+	_ = b.Add(y, x)
+	c, err := b.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.CopySatisfied() {
+		t.Fatal("honest wiring should satisfy copies")
+	}
+	// Corrupt one wired slot.
+	c.Wires[0].Evals[1] = ff.NewElement(999)
+	if c.CopySatisfied() {
+		t.Fatal("copy violation not detected")
+	}
+}
+
+func TestVanillaAssertEqual(t *testing.T) {
+	b := NewVanillaBuilder()
+	x := b.NewVariable(ff.NewElement(9))
+	y := b.NewVariable(ff.NewElement(9))
+	b.AssertEqual(x, y)
+	c, err := b.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Satisfied() {
+		t.Fatal("equal values should satisfy AssertEqual")
+	}
+}
+
+func TestVanillaCapacity(t *testing.T) {
+	b := NewVanillaBuilder()
+	x := b.NewVariable(ff.NewElement(1))
+	for i := 0; i < 5; i++ {
+		x = b.Add(x, x)
+	}
+	if _, err := b.Build(2); err == nil {
+		t.Fatal("overfull circuit accepted")
+	}
+}
+
+func TestJellyfishPower5(t *testing.T) {
+	b := NewJellyfishBuilder()
+	x := b.NewVariable(ff.NewElement(2))
+	y := b.Power5(x)
+	want := ff.NewElement(32)
+	got := b.Value(y)
+	if !got.Equal(&want) {
+		t.Fatal("Power5 value wrong")
+	}
+	b.AssertConst(y, want)
+	c, err := b.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Satisfied() {
+		t.Fatal("power-5 circuit unsatisfied")
+	}
+	if !c.CopySatisfied() {
+		t.Fatal("copies should hold")
+	}
+}
+
+func TestJellyfishDoubleMulAdd(t *testing.T) {
+	b := NewJellyfishBuilder()
+	a := b.NewVariable(ff.NewElement(2))
+	c := b.NewVariable(ff.NewElement(3))
+	d := b.NewVariable(ff.NewElement(5))
+	e := b.NewVariable(ff.NewElement(7))
+	out := b.DoubleMulAdd(a, c, d, e) // 6 + 35 = 41
+	want := ff.NewElement(41)
+	got := b.Value(out)
+	if !got.Equal(&want) {
+		t.Fatal("DoubleMulAdd value wrong")
+	}
+	circ, err := b.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !circ.Satisfied() {
+		t.Fatal("gate unsatisfied")
+	}
+}
+
+func TestJellyfishEccProduct(t *testing.T) {
+	b := NewJellyfishBuilder()
+	vs := make([]Variable, 4)
+	for i := range vs {
+		vs[i] = b.NewVariable(ff.NewElement(uint64(i + 2)))
+	}
+	out := b.EccProduct(vs[0], vs[1], vs[2], vs[3]) // 2·3·4·5 = 120
+	want := ff.NewElement(120)
+	got := b.Value(out)
+	if !got.Equal(&want) {
+		t.Fatal("EccProduct value wrong")
+	}
+	circ, err := b.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !circ.Satisfied() {
+		t.Fatal("ecc gate unsatisfied")
+	}
+}
+
+func TestJellyfishPower5Round(t *testing.T) {
+	b := NewJellyfishBuilder()
+	var ins [4]Variable
+	var coeffs [4]ff.Element
+	for i := 0; i < 4; i++ {
+		ins[i] = b.NewVariable(ff.NewElement(uint64(i + 1)))
+		coeffs[i] = ff.NewElement(uint64(2*i + 1))
+	}
+	k := ff.NewElement(11)
+	out := b.Power5Round(ins, coeffs, k)
+	// 1·1 + 3·32 + 5·243 + 7·1024 + 11 = 1 + 96 + 1215 + 7168 + 11 = 8491
+	want := ff.NewElement(8491)
+	got := b.Value(out)
+	if !got.Equal(&want) {
+		t.Fatalf("Power5Round = %s, want 8491", got.String())
+	}
+	circ, err := b.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !circ.Satisfied() {
+		t.Fatal("round gate unsatisfied")
+	}
+}
+
+func TestJellyfishLinearCombination(t *testing.T) {
+	b := NewJellyfishBuilder()
+	x := b.NewVariable(ff.NewElement(10))
+	y := b.NewVariable(ff.NewElement(20))
+	out := b.LinearCombination(
+		[]Variable{x, y},
+		[]ff.Element{ff.NewElement(3), ff.NewElement(4)},
+		ff.NewElement(5),
+	) // 30 + 80 + 5 = 115
+	want := ff.NewElement(115)
+	got := b.Value(out)
+	if !got.Equal(&want) {
+		t.Fatal("LinearCombination value wrong")
+	}
+	circ, err := b.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !circ.Satisfied() || !circ.CopySatisfied() {
+		t.Fatal("linear gate circuit unsatisfied")
+	}
+}
+
+func TestJellyfishSharedVariableWiring(t *testing.T) {
+	// The same variable used across gates must produce a multi-slot cycle.
+	b := NewJellyfishBuilder()
+	x := b.NewVariable(ff.NewElement(6))
+	y := b.Mul(x, x)
+	z := b.Add(y, x)
+	_ = b.Power5(z)
+	c, err := b.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Satisfied() || !c.CopySatisfied() {
+		t.Fatal("shared variable circuit broken")
+	}
+	// x appears in 3 slots; corrupting one must break copies.
+	c.Wires[0].Evals[0] = ff.NewElement(123456)
+	if c.CopySatisfied() {
+		t.Fatal("corruption of shared variable undetected")
+	}
+}

@@ -1,0 +1,127 @@
+// Package hw holds the shared hardware-modeling substrate for the zkPHIRE
+// accelerator models: technology constants, the area/power library, and the
+// off-chip memory/bandwidth model. The leaf numbers are the paper's
+// published synthesis results (Catapult HLS + Design Compiler, TSMC 22nm,
+// Synopsys memory compiler), composed analytically exactly as the paper
+// composes them; 22nm→7nm uses the paper's 3.6× area and 3.3× power scale
+// factors (Section V).
+package hw
+
+// Technology scaling (Section V).
+const (
+	AreaScale22To7  = 3.6
+	PowerScale22To7 = 3.3
+	ClockGHz        = 1.0
+)
+
+// PrimeKind selects arbitrary-prime or fixed-prime modular multipliers; the
+// paper reports fixed primes save ~50% area (Section V).
+type PrimeKind int
+
+const (
+	// ArbitraryPrime multipliers accept any modulus.
+	ArbitraryPrime PrimeKind = iota
+	// FixedPrime multipliers are specialized to BLS12-381.
+	FixedPrime
+)
+
+func (p PrimeKind) String() string {
+	if p == FixedPrime {
+		return "fixed"
+	}
+	return "arbitrary"
+}
+
+// Component areas in mm² at TSMC 22nm (paper Section V and IV-B5).
+const (
+	ModMul255Arbitrary = 0.478
+	ModMul255Fixed     = 0.264
+	ModMul381Arbitrary = 1.13
+	ModMul381Fixed     = 0.582
+	ModInv255          = 0.027
+	// ModAdd255 is a 255-bit modular adder/subtractor (extension engines are
+	// "a series of modular adders and subtractors"); adders are roughly two
+	// orders of magnitude smaller than multipliers.
+	ModAdd255 = 0.008
+	// SHA3Core is the OpenCores SHA3 block.
+	SHA3Core = 0.11
+	// PAddArbitrary/Fixed are fully pipelined elliptic-curve point-addition
+	// units (≈12 modular 381-bit multipliers plus adders).
+	PAddArbitrary = 14.0
+	PAddFixed     = 7.2
+)
+
+// SRAMmm2PerMB22 is the SRAM density at 22nm. Derived from Table V: the
+// exemplar design's 27.55 mm² (7nm) covers ≈67 MB of on-chip SRAM
+// (43 MSM + 6 SumCheck + 3×6 other), i.e. 0.411 mm²/MB at 7nm.
+const SRAMmm2PerMB22 = 0.411 * AreaScale22To7
+
+// HBM PHY areas in mm² at 7nm (paper Section VI-B1, JEDEC/Rambus refs).
+const (
+	HBM2PHYmm2   = 14.9
+	HBM3PHYmm2   = 29.6
+	HBM2PHYGBps  = 512.0  // one HBM2e PHY ≈ 460–512 GB/s
+	HBM3PHYGBps  = 1024.0 // one HBM3 PHY ≈ 1 TB/s
+	DDR5CtrlMM2  = 4.0    // DDR-class PHY/controller (≤256 GB/s tiers)
+	DDR5CtrlGBps = 64.0
+)
+
+// ModMul255 returns the 255-bit multiplier area for the prime kind (22nm).
+func ModMul255(p PrimeKind) float64 {
+	if p == FixedPrime {
+		return ModMul255Fixed
+	}
+	return ModMul255Arbitrary
+}
+
+// ModMul381 returns the 381-bit multiplier area for the prime kind (22nm).
+func ModMul381(p PrimeKind) float64 {
+	if p == FixedPrime {
+		return ModMul381Fixed
+	}
+	return ModMul381Arbitrary
+}
+
+// PAdd returns the point-adder area for the prime kind (22nm).
+func PAdd(p PrimeKind) float64 {
+	if p == FixedPrime {
+		return PAddFixed
+	}
+	return PAddArbitrary
+}
+
+// To7nm scales a 22nm area to 7nm.
+func To7nm(mm2 float64) float64 { return mm2 / AreaScale22To7 }
+
+// SRAMArea7 returns 7nm SRAM area for a capacity in MB.
+func SRAMArea7(mb float64) float64 { return mb * SRAMmm2PerMB22 / AreaScale22To7 }
+
+// PHYBudget returns the PHY area (7nm, mm²) and PHY count needed to supply
+// the given off-chip bandwidth, following the paper's accounting (HBM2 PHYs
+// up to 512 GB/s tiers, HBM3 PHYs above, DDR controllers at the low end).
+func PHYBudget(gbps float64) (mm2 float64, count int, kind string) {
+	switch {
+	case gbps <= 256:
+		n := int((gbps + DDR5CtrlGBps - 1) / DDR5CtrlGBps)
+		if n < 1 {
+			n = 1
+		}
+		return float64(n) * DDR5CtrlMM2, n, "DDR5"
+	case gbps <= 512:
+		return HBM2PHYmm2, 1, "HBM2"
+	case gbps <= 1024:
+		return HBM3PHYmm2, 1, "HBM3"
+	default:
+		n := int((gbps + HBM3PHYGBps - 1) / HBM3PHYGBps)
+		return float64(n) * HBM3PHYmm2, n, "HBM3"
+	}
+}
+
+// Power densities in W/mm² at 7nm, derived from Table V module pairs
+// (e.g. MSM 58.99 W / 105.69 mm²).
+const (
+	PowerDensityCompute = 0.60 // MSM/Forest/SumCheck compute logic
+	PowerDensitySRAM    = 0.13 // 3.56 W / 27.55 mm²
+	PowerDensityNoC     = 0.56 // 14.83 W / 26.42 mm²
+	PowerPerHBM3PHY     = 31.8 // 63.6 W / 2 PHYs
+)

@@ -1,0 +1,80 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"zkphire/internal/poly"
+)
+
+func TestPaperAnchors(t *testing.T) {
+	// Table II anchor: poly 22 at 2^24 gates on 4 threads ≈ 74.2 s.
+	m := PaperCPU(4)
+	got := m.SumcheckSeconds(poly.Registered(22), 24)
+	if got < 50 || got > 100 {
+		t.Fatalf("poly22@2^24 4T = %.1f s, paper 74.2 s", got)
+	}
+	// Poly 20 at 2^24 ≈ 13.4 s.
+	got = m.SumcheckSeconds(poly.Registered(20), 24)
+	if got < 8 || got > 25 {
+		t.Fatalf("poly20@2^24 4T = %.1f s, paper 13.4 s", got)
+	}
+	// Poly 21 ≈ 21.6 s.
+	got = m.SumcheckSeconds(poly.Registered(21), 24)
+	if got < 10 || got > 35 {
+		t.Fatalf("poly21@2^24 4T = %.1f s, paper 21.6 s", got)
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	p := poly.Registered(20)
+	t1 := PaperCPU(1).SumcheckSeconds(p, 20)
+	t4 := PaperCPU(4).SumcheckSeconds(p, 20)
+	t32 := PaperCPU(32).SumcheckSeconds(p, 20)
+	if t4 >= t1 || t32 >= t4 {
+		t.Fatal("more threads should be faster")
+	}
+	if t1/t32 > 32 {
+		t.Fatal("super-linear thread scaling")
+	}
+}
+
+func TestMSMModel(t *testing.T) {
+	m := PaperCPU(32)
+	small := m.MSMSeconds(1<<20, 0)
+	large := m.MSMSeconds(1<<24, 0)
+	if large < 10*small {
+		t.Fatal("MSM should scale ~linearly")
+	}
+	sparse := m.MSMSeconds(1<<24, 0.9)
+	if sparse >= large {
+		t.Fatal("sparse MSM should be cheaper")
+	}
+}
+
+func TestCalibrationRuns(t *testing.T) {
+	cal := Calibrate(10)
+	if cal.MeasuredNsPerMul <= 0 || cal.MeasuredNsPerMul > 10000 {
+		t.Fatalf("measured mul cost %.1f ns implausible", cal.MeasuredNsPerMul)
+	}
+	if cal.MeasuredSumcheckNs <= 0 {
+		t.Fatal("sumcheck measurement failed")
+	}
+	// The analytic op-count model should predict the measured Go runtime
+	// within a small factor (memory effects, bookkeeping).
+	ratio := cal.MeasuredSumcheckNs / cal.PredictedSumcheckNs
+	if ratio < 0.2 || ratio > 8 {
+		t.Fatalf("model/measurement ratio %.2f too far off", ratio)
+	}
+	t.Logf("measured %.1f ns/mul; sumcheck measured/predicted = %.2f", cal.MeasuredNsPerMul, ratio)
+}
+
+func TestGPUReferenceTable(t *testing.T) {
+	if len(GPUTable2MS) < 6 {
+		t.Fatal("missing GPU reference entries")
+	}
+	for k, v := range GPUTable2MS {
+		if v <= 0 {
+			t.Fatalf("GPU entry %s non-positive", k)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package dse implements the paper's design-space exploration: the Table III
+// parameter sweep with Pareto-frontier extraction for the full accelerator
+// (Fig. 10 / Table IV), and the constrained-objective search used to pick
+// SumCheck-unit design points (Fig. 6):
+//
+//	min (1−λ)·geomean(slowdown) + λ·(1−mean(utilization))
+package dse
+
+import (
+	"math"
+	"sort"
+
+	"zkphire/internal/core"
+	"zkphire/internal/hw"
+	"zkphire/internal/hw/system"
+	"zkphire/internal/hw/units"
+	"zkphire/internal/poly"
+	"zkphire/internal/workloads"
+)
+
+// TableIII is the published sweep grid.
+var TableIII = struct {
+	SumCheckPEs []int
+	EEs         []int
+	PLs         []int
+	BankSizes   []int
+	MSMPEs      []int
+	Windows     []int
+	PointsPerPE []int
+	FracPEs     []int
+	Bandwidths  []float64
+}{
+	SumCheckPEs: []int{1, 2, 4, 8, 16, 32},
+	EEs:         []int{2, 3, 4, 5, 6, 7},
+	PLs:         []int{3, 4, 5, 6, 7, 8},
+	BankSizes:   []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15},
+	MSMPEs:      []int{1, 2, 4, 8, 16, 32},
+	Windows:     []int{7, 8, 9, 10},
+	PointsPerPE: []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14},
+	FracPEs:     []int{1, 2, 3, 4},
+	Bandwidths:  []float64{64, 128, 256, 512, 1024, 2048, 4096},
+}
+
+// Point is one evaluated full-system design.
+type Point struct {
+	Cfg       system.Config
+	RuntimeMS float64
+	AreaMM2   float64
+}
+
+// SweepOptions controls sweep granularity (the full grid is ~4M designs;
+// Coarse skips alternating values for interactive use).
+type SweepOptions struct {
+	Coarse     bool
+	Bandwidths []float64 // nil = Table III tiers
+}
+
+func pick(vals []int, coarse bool) []int {
+	if !coarse {
+		return vals
+	}
+	out := []int{}
+	for i := 0; i < len(vals); i += 2 {
+		out = append(out, vals[i])
+	}
+	if last := vals[len(vals)-1]; out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return out
+}
+
+// SweepSystem evaluates the Table III grid for one workload, returning all
+// feasible points.
+func SweepSystem(kind workloads.GateKind, logGates int, opt SweepOptions) []Point {
+	bws := opt.Bandwidths
+	if bws == nil {
+		bws = TableIII.Bandwidths
+	}
+	var out []Point
+	for _, bw := range bws {
+		for _, scpe := range pick(TableIII.SumCheckPEs, opt.Coarse) {
+			for _, ee := range pick(TableIII.EEs, opt.Coarse) {
+				for _, pl := range pick(TableIII.PLs, opt.Coarse) {
+					for _, bank := range pick(TableIII.BankSizes, opt.Coarse) {
+						for _, mpe := range pick(TableIII.MSMPEs, opt.Coarse) {
+							for _, w := range pick(TableIII.Windows, opt.Coarse) {
+								for _, pts := range pick(TableIII.PointsPerPE, opt.Coarse) {
+									cfg := system.Config{
+										SumCheck:      core.Config{PEs: scpe, EEs: ee, PLs: pl, BankSizeWords: bank, Prime: hw.FixedPrime},
+										MSM:           units.MSMConfig{PEs: mpe, WindowBits: w, PointsPerPE: pts, Prime: hw.FixedPrime},
+										PermQ:         units.DefaultPermQ(hw.FixedPrime),
+										Combine:       units.DefaultMLECombine(hw.FixedPrime),
+										BandwidthGBps: bw,
+										Prime:         hw.FixedPrime,
+										MaskZeroCheck: true,
+									}
+									r, err := cfg.ProveTime(kind, logGates, hw.DefaultSparsity)
+									if err != nil {
+										continue
+									}
+									out = append(out, Point{
+										Cfg:       cfg,
+										RuntimeMS: r.Total() * 1e3,
+										AreaMM2:   cfg.Area().Total(),
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pareto extracts the (runtime, area) Pareto frontier, sorted by runtime.
+func Pareto(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].RuntimeMS != sorted[j].RuntimeMS {
+			return sorted[i].RuntimeMS < sorted[j].RuntimeMS
+		}
+		return sorted[i].AreaMM2 < sorted[j].AreaMM2
+	})
+	var front []Point
+	bestArea := math.Inf(1)
+	for _, p := range sorted {
+		if p.AreaMM2 < bestArea {
+			front = append(front, p)
+			bestArea = p.AreaMM2
+		}
+	}
+	return front
+}
+
+// --- Fig. 6: SumCheck-unit design search ---
+
+// UnitEval is one SumCheck-unit design's evaluation on the training set.
+type UnitEval struct {
+	Cfg core.Config
+	// SpeedupPerPoly[i] is the speedup over the 4-thread CPU for training
+	// polynomial i.
+	SpeedupPerPoly []float64
+	// RuntimePerPoly[i] is the unit's runtime in seconds.
+	RuntimePerPoly []float64
+	MeanUtil       float64
+	GeomeanSpeedup float64
+	AreaMM2        float64 // 7nm
+	Objective      float64
+}
+
+// UnitSearch finds the best SumCheck-unit design for the training
+// polynomials at one bandwidth under an area cap, with the paper's λ=0.8
+// objective. cpuSeconds[i] is the per-polynomial CPU baseline.
+func UnitSearch(polys []*poly.Composite, numVars int, bw, areaCapMM2, lambda float64, cpuSeconds []float64) (UnitEval, []UnitEval) {
+	mem := hw.NewMemory(bw)
+	var evals []UnitEval
+
+	for _, pe := range TableIII.SumCheckPEs {
+		for _, ee := range TableIII.EEs {
+			for _, pl := range TableIII.PLs {
+				for _, bank := range []int{1 << 11, 1 << 13, 1 << 15} {
+					cfg := core.Config{PEs: pe, EEs: ee, PLs: pl, BankSizeWords: bank, Prime: hw.FixedPrime}
+					if cfg.Area7() > areaCapMM2 {
+						continue
+					}
+					ev := UnitEval{Cfg: cfg, AreaMM2: cfg.Area7()}
+					ok := true
+					var utilSum float64
+					for _, p := range polys {
+						w := core.NewWorkload(p, numVars)
+						r, err := core.Simulate(cfg, w, mem)
+						if err != nil {
+							ok = false
+							break
+						}
+						ev.RuntimePerPoly = append(ev.RuntimePerPoly, r.Seconds)
+						utilSum += r.Utilization
+					}
+					if !ok {
+						continue
+					}
+					ev.MeanUtil = utilSum / float64(len(polys))
+					evals = append(evals, ev)
+				}
+			}
+		}
+	}
+	if len(evals) == 0 {
+		return UnitEval{}, nil
+	}
+
+	// Slowdown is relative to the fastest design in the constrained space.
+	best := make([]float64, len(polys))
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for _, ev := range evals {
+		for i, rt := range ev.RuntimePerPoly {
+			if rt < best[i] {
+				best[i] = rt
+			}
+		}
+	}
+	for k := range evals {
+		ev := &evals[k]
+		logSum := 0.0
+		for i, rt := range ev.RuntimePerPoly {
+			logSum += math.Log(rt / best[i])
+		}
+		slowdown := math.Exp(logSum / float64(len(polys)))
+		ev.Objective = (1-lambda)*slowdown + lambda*(1-ev.MeanUtil)
+
+		logSp := 0.0
+		ev.SpeedupPerPoly = make([]float64, len(polys))
+		for i, rt := range ev.RuntimePerPoly {
+			sp := cpuSeconds[i] / rt
+			ev.SpeedupPerPoly[i] = sp
+			logSp += math.Log(sp)
+		}
+		ev.GeomeanSpeedup = math.Exp(logSp / float64(len(polys)))
+	}
+
+	bestIdx := 0
+	for i := range evals {
+		if evals[i].Objective < evals[bestIdx].Objective {
+			bestIdx = i
+		}
+	}
+	return evals[bestIdx], evals
+}

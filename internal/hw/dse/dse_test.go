@@ -1,0 +1,95 @@
+package dse
+
+import (
+	"testing"
+
+	"zkphire/internal/hw/cpumodel"
+	"zkphire/internal/poly"
+	"zkphire/internal/workloads"
+)
+
+func TestParetoExtraction(t *testing.T) {
+	pts := []Point{
+		{RuntimeMS: 10, AreaMM2: 100},
+		{RuntimeMS: 20, AreaMM2: 50},
+		{RuntimeMS: 15, AreaMM2: 120}, // dominated by (10,100)
+		{RuntimeMS: 30, AreaMM2: 40},
+		{RuntimeMS: 25, AreaMM2: 60}, // dominated by (20,50)
+	}
+	front := Pareto(pts)
+	if len(front) != 3 {
+		t.Fatalf("front has %d points, want 3", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].RuntimeMS <= front[i-1].RuntimeMS || front[i].AreaMM2 >= front[i-1].AreaMM2 {
+			t.Fatal("front not strictly tradeoff-ordered")
+		}
+	}
+}
+
+func TestSweepCoarse(t *testing.T) {
+	pts := SweepSystem(workloads.Jellyfish, 20, SweepOptions{Coarse: true, Bandwidths: []float64{512, 2048}})
+	if len(pts) < 100 {
+		t.Fatalf("coarse sweep produced only %d points", len(pts))
+	}
+	front := Pareto(pts)
+	if len(front) < 3 {
+		t.Fatalf("frontier too small: %d", len(front))
+	}
+	// The frontier's fastest design should use the higher bandwidth.
+	if front[0].Cfg.BandwidthGBps != 2048 {
+		t.Error("fastest Pareto design should be at the top bandwidth tier")
+	}
+	// Frontier runtimes must span a meaningful range (area/perf tradeoff).
+	if front[len(front)-1].RuntimeMS < 1.5*front[0].RuntimeMS {
+		t.Error("frontier does not trade performance for area")
+	}
+}
+
+func TestUnitSearchObjective(t *testing.T) {
+	polys := []*poly.Composite{}
+	for id := 0; id <= 5; id++ {
+		polys = append(polys, poly.Registered(id))
+	}
+	cpu := cpumodel.PaperCPU(4)
+	cpuSec := make([]float64, len(polys))
+	for i, p := range polys {
+		cpuSec[i] = cpu.SumcheckSeconds(p, 20)
+	}
+	best, all := UnitSearch(polys, 20, 1024, 37, 0.8, cpuSec)
+	if len(all) == 0 {
+		t.Fatal("no designs evaluated")
+	}
+	if best.AreaMM2 > 37 {
+		t.Fatal("best design exceeds area cap")
+	}
+	if best.GeomeanSpeedup < 10 {
+		t.Fatalf("geomean speedup %.1fx implausibly low at 1 TB/s", best.GeomeanSpeedup)
+	}
+	if best.MeanUtil <= 0 || best.MeanUtil > 1 {
+		t.Fatal("utilization out of range")
+	}
+	// λ=0.8 favors utilization: the best design must not have the worst
+	// utilization in the space.
+	worst := 1.0
+	for _, ev := range all {
+		if ev.MeanUtil < worst {
+			worst = ev.MeanUtil
+		}
+	}
+	if best.MeanUtil <= worst {
+		t.Fatal("objective ignored utilization")
+	}
+}
+
+func TestUnitSearchBandwidthTrend(t *testing.T) {
+	// Fig. 6: higher bandwidth tiers reach higher speedups.
+	polys := []*poly.Composite{poly.Registered(20), poly.Registered(22)}
+	cpu := cpumodel.PaperCPU(4)
+	cpuSec := []float64{cpu.SumcheckSeconds(polys[0], 20), cpu.SumcheckSeconds(polys[1], 20)}
+	low, _ := UnitSearch(polys, 20, 64, 37, 0.8, cpuSec)
+	high, _ := UnitSearch(polys, 20, 4096, 37, 0.8, cpuSec)
+	if high.GeomeanSpeedup <= low.GeomeanSpeedup {
+		t.Fatalf("speedup should grow with bandwidth: %.0f vs %.0f", low.GeomeanSpeedup, high.GeomeanSpeedup)
+	}
+}

@@ -1,0 +1,79 @@
+package hw
+
+import (
+	"testing"
+
+	"zkphire/internal/poly"
+)
+
+func TestScaling(t *testing.T) {
+	if To7nm(3.6) != 1.0 {
+		t.Fatal("22→7nm scaling wrong")
+	}
+	if ModMul255(FixedPrime) >= ModMul255(ArbitraryPrime) {
+		t.Fatal("fixed prime should be smaller")
+	}
+	if ModMul381(FixedPrime) <= ModMul255(FixedPrime) {
+		t.Fatal("381-bit multiplier should be larger than 255-bit")
+	}
+}
+
+func TestPHYBudget(t *testing.T) {
+	mm2, n, kind := PHYBudget(2048)
+	if kind != "HBM3" || n != 2 || mm2 != 2*HBM3PHYmm2 {
+		t.Fatalf("2 TB/s should need 2 HBM3 PHYs, got %d %s %.1f", n, kind, mm2)
+	}
+	_, n, kind = PHYBudget(128)
+	if kind != "DDR5" || n != 2 {
+		t.Fatalf("128 GB/s tier: got %d %s", n, kind)
+	}
+	_, n, kind = PHYBudget(512)
+	if kind != "HBM2" || n != 1 {
+		t.Fatalf("512 GB/s tier: got %d %s", n, kind)
+	}
+}
+
+func TestMemoryTransfer(t *testing.T) {
+	m := NewMemory(1024) // 1 TB/s at 1 GHz → 1024 B/cycle
+	if m.BytesPerCycle() != 1024 {
+		t.Fatal("bytes per cycle wrong")
+	}
+	if m.TransferCycles(1<<20) != 1024 {
+		t.Fatal("transfer cycles wrong")
+	}
+	if m.TransferCycles(0) != 0 {
+		t.Fatal("zero bytes should cost zero")
+	}
+}
+
+func TestSparsityBytes(t *testing.T) {
+	s := DefaultSparsity
+	if s.BytesPerEntry(poly.RoleSelector) >= 1 {
+		t.Fatal("selectors should pack to ~1 bit")
+	}
+	w := s.BytesPerEntry(poly.RoleWitness)
+	if w < 3 || w > 5 {
+		t.Fatalf("witness compression %.2f B/entry outside expected band", w)
+	}
+	if s.BytesPerEntry(poly.RoleEq) != 0 {
+		t.Fatal("eq polynomials are built on chip")
+	}
+	if s.BytesPerEntry(poly.RoleDense) != ElementBytes {
+		t.Fatal("dense entries are full words")
+	}
+}
+
+func TestRound1Bytes(t *testing.T) {
+	s := DefaultSparsity
+	c := poly.VanillaZeroCheck()
+	b := s.Round1Bytes(c, 20)
+	// 5 selectors ≈ 0.125 B + 3 witnesses ≈ 3.5 B + qC? (selector) + eq 0.
+	n := float64(1 << 20)
+	if b < 3*n || b > 20*n {
+		t.Fatalf("round-1 traffic %.0f implausible", b)
+	}
+	dense := poly.ProductGate(3)
+	if s.Round1Bytes(dense, 20) != 3*n*ElementBytes {
+		t.Fatal("dense round-1 traffic wrong")
+	}
+}

@@ -1,0 +1,90 @@
+package hw
+
+import "zkphire/internal/poly"
+
+// ElementBytes is the storage size of one 255-bit MLE word.
+const ElementBytes = 32
+
+// AffinePointBytes is the storage size of one G1 affine point (2×381 bits,
+// padded to bytes).
+const AffinePointBytes = 96
+
+// Memory models one off-chip memory channel group: a peak bandwidth and the
+// per-tile fill/drain penalty the paper charges for streaming through small
+// scratchpads (Section IV-B1).
+type Memory struct {
+	BandwidthGBps float64
+	// TileOverheadCycles is charged once per tile fetched (fill/drain).
+	TileOverheadCycles float64
+}
+
+// NewMemory returns a memory model at the given bandwidth.
+func NewMemory(gbps float64) Memory {
+	return Memory{BandwidthGBps: gbps, TileOverheadCycles: 64}
+}
+
+// BytesPerCycle converts the bandwidth to bytes per 1 GHz clock cycle.
+func (m Memory) BytesPerCycle() float64 {
+	return m.BandwidthGBps / ClockGHz
+}
+
+// TransferCycles returns the cycles needed to move the given bytes.
+func (m Memory) TransferCycles(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / m.BytesPerCycle()
+}
+
+// SparsityProfile captures the storage statistics of the constituent MLE
+// classes (Section IV-B1): selectors are binary, witnesses ~90% sparse with
+// per-tile offset buffers, constants mostly zero.
+type SparsityProfile struct {
+	// WitnessDenseFraction is the fraction of witness entries that are full
+	// 255-bit values (paper: ~10%).
+	WitnessDenseFraction float64
+	// OffsetBytesPerDense is the per-dense-element offset-buffer cost of the
+	// compressed bitstream encoding.
+	OffsetBytesPerDense float64
+}
+
+// DefaultSparsity is the paper's workload statistic: 90% sparse witnesses.
+var DefaultSparsity = SparsityProfile{
+	WitnessDenseFraction: 0.10,
+	OffsetBytesPerDense:  2.0,
+}
+
+// BytesPerEntry returns the average compressed storage per MLE entry for a
+// constituent of the given role during round 1 (before any fold densifies
+// the table). Eq polynomials are built on the fly and cost no bandwidth.
+func (s SparsityProfile) BytesPerEntry(role poly.Role) float64 {
+	switch role {
+	case poly.RoleSelector:
+		return 1.0 / 8 // one bit per entry, stored as-is
+	case poly.RoleWitness:
+		bitPart := 1.0 / 8
+		densePart := s.WitnessDenseFraction * (ElementBytes + s.OffsetBytesPerDense)
+		return bitPart + densePart
+	case poly.RoleEq:
+		return 0
+	default:
+		return ElementBytes
+	}
+}
+
+// ScalarBytesPerEntry is the compressed scalar footprint for sparse MSMs:
+// a two-bit tag stream plus full words for the dense fraction.
+func (s SparsityProfile) ScalarBytesPerEntry() float64 {
+	return 2.0/8 + s.WitnessDenseFraction*ElementBytes
+}
+
+// Round1Bytes returns the total off-chip traffic to stream every constituent
+// of the composite once at 2^numVars entries each.
+func (s SparsityProfile) Round1Bytes(c *poly.Composite, numVars int) float64 {
+	n := float64(uint64(1) << uint(numVars))
+	var total float64
+	for _, role := range c.Roles {
+		total += n * s.BytesPerEntry(role)
+	}
+	return total
+}

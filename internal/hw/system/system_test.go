@@ -1,0 +1,197 @@
+package system
+
+import (
+	"math"
+	"testing"
+
+	"zkphire/internal/hw"
+	"zkphire/internal/hw/cpumodel"
+	"zkphire/internal/workloads"
+)
+
+// TestTableVArea reproduces the paper's Table V area breakdown within
+// tolerance: the model composes the same published leaf areas.
+func TestTableVArea(t *testing.T) {
+	a := TableV().Area()
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol*want {
+			t.Errorf("%s area = %.2f mm², paper %.2f (tol %.0f%%)", name, got, want, tol*100)
+		}
+	}
+	check("MSM", a.MSM, 105.69, 0.10)
+	check("Forest", a.Forest, 48.18, 0.10)
+	check("SumCheck", a.SumCheck, 16.65, 0.15)
+	check("Other", a.Other, 10.64, 0.25)
+	check("SRAM", a.SRAM, 27.55, 0.25)
+	check("Interconnect", a.Interconnect, 26.42, 0.25)
+	check("HBM PHY", a.HBMPHY, 59.20, 0.01)
+	check("Total", a.Total(), 294.32, 0.10)
+}
+
+func TestTableVPower(t *testing.T) {
+	p := TableV().Power()
+	if p.Total() < 150 || p.Total() > 260 {
+		t.Fatalf("power %.1f W far from Table V's 202 W", p.Total())
+	}
+}
+
+// TestHeadlineSpeedup checks the paper's headline: ~1486× geomean over the
+// 32-thread CPU at iso-area; the 2^24 Jellyfish point must land in the same
+// regime (three-digit to low-four-digit speedup).
+func TestHeadlineSpeedup(t *testing.T) {
+	cfg := TableV()
+	r, err := cfg.ProveTime(workloads.Jellyfish, 24, hw.DefaultSparsity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := CPUProveTime(cpumodel.PaperCPU(32), workloads.Jellyfish, 24)
+	speedup := cpu.Total() / r.Total()
+	if speedup < 700 || speedup > 3000 {
+		t.Fatalf("speedup %.0fx outside the paper's regime (~1400x)", speedup)
+	}
+	// CPU total must be near the paper's measured 182.9 s.
+	if cpu.Total() < 120 || cpu.Total() > 260 {
+		t.Fatalf("CPU model %.1f s far from the paper's 182.9 s", cpu.Total())
+	}
+}
+
+func TestMaskingSavesTime(t *testing.T) {
+	cfg := TableV()
+	masked, err := cfg.ProveTime(workloads.Jellyfish, 24, hw.DefaultSparsity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaskZeroCheck = false
+	plain, err := cfg.ProveTime(workloads.Jellyfish, 24, hw.DefaultSparsity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.Total() >= plain.Total() {
+		t.Fatal("masking did not reduce total time")
+	}
+	// Fig. 13: masking adds roughly 25–27% on top of Jellyfish for most
+	// workloads; accept a generous band.
+	gain := plain.Total() / masked.Total()
+	if gain < 1.05 || gain > 1.6 {
+		t.Fatalf("masking gain %.2fx outside plausible band", gain)
+	}
+}
+
+func TestJellyfishBeatsVanillaAtIsoApplication(t *testing.T) {
+	// Table VIII: the same application needs 32x fewer Jellyfish gates
+	// (e.g. Zexe 2^22 → 2^17) and must prove much faster.
+	cfg := TableV()
+	van, err := cfg.ProveTime(workloads.Vanilla, 22, hw.DefaultSparsity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := cfg.ProveTime(workloads.Jellyfish, 17, hw.DefaultSparsity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.Total() >= van.Total() {
+		t.Fatal("Jellyfish at 32x fewer gates should be faster")
+	}
+	ratio := van.Total() / jf.Total()
+	if ratio < 4 {
+		t.Fatalf("iso-application speedup %.1fx too small for a 32x gate reduction", ratio)
+	}
+}
+
+func TestRuntimeScalesWithGates(t *testing.T) {
+	cfg := TableV()
+	var prev float64
+	for _, lg := range []int{17, 20, 24, 28, 30} {
+		r, err := cfg.ProveTime(workloads.Jellyfish, lg, hw.DefaultSparsity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Total() <= prev {
+			t.Fatalf("runtime not increasing at 2^%d", lg)
+		}
+		prev = r.Total()
+	}
+	// O(N) protocol: 2^30 should be ~64x the 2^24 runtime, not worse.
+	r24, _ := cfg.ProveTime(workloads.Jellyfish, 24, hw.DefaultSparsity)
+	r30, _ := cfg.ProveTime(workloads.Jellyfish, 30, hw.DefaultSparsity)
+	ratio := r30.Total() / r24.Total()
+	if ratio > 90 {
+		t.Fatalf("scaling 2^24→2^30 is %.0fx, protocol should be ~linear", ratio)
+	}
+}
+
+func TestBandwidthTiers(t *testing.T) {
+	// Figure 10 trend: more bandwidth, faster designs.
+	var prev float64
+	for i, bw := range []float64{64, 256, 1024, 4096} {
+		cfg := TableV()
+		cfg.BandwidthGBps = bw
+		r, err := cfg.ProveTime(workloads.Jellyfish, 24, hw.DefaultSparsity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && r.Total() > prev {
+			t.Fatalf("runtime increased with bandwidth at %.0f GB/s", bw)
+		}
+		prev = r.Total()
+	}
+}
+
+func TestCrossoverHighDegree(t *testing.T) {
+	// Figure 14: as gate degree rises (fixed witness count), SumCheck time
+	// grows while MSM time stays constant, so SumCheck eventually dominates.
+	cfg := TableV()
+	frac := func(d int) float64 {
+		r, err := cfg.HighDegreeProtocol(d, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := r.ZeroCheck + r.PermCheck + r.OpenCheck
+		return sum / r.Total()
+	}
+	lo := frac(4)
+	hi := frac(28)
+	if hi <= lo {
+		t.Fatal("SumCheck share should grow with gate degree")
+	}
+	if hi < 0.5 {
+		t.Fatalf("at degree 28 SumCheck share %.2f should dominate", hi)
+	}
+}
+
+func TestValidateRejectsBadDesigns(t *testing.T) {
+	cfg := TableV()
+	cfg.BandwidthGBps = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	cfg = TableV()
+	cfg.MSM.WindowBits = 99
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("absurd window accepted")
+	}
+	cfg = TableV()
+	cfg.SumCheck.EEs = 0
+	if _, err := cfg.ProveTime(workloads.Vanilla, 20, hw.DefaultSparsity); err == nil {
+		t.Fatal("invalid sumcheck config accepted")
+	}
+}
+
+func TestCPUBreakdownShape(t *testing.T) {
+	// Fig. 12a shape: MSM-family steps dominate the CPU (>40%), and every
+	// component is positive.
+	cpu := CPUProveTime(cpumodel.PaperCPU(32), workloads.Jellyfish, 24)
+	msmShare := (cpu.WitnessMSM + cpu.WiringMSM + cpu.OpenMSM) / cpu.Total()
+	if msmShare < 0.4 || msmShare > 0.8 {
+		t.Fatalf("CPU MSM share %.2f outside Fig. 12a regime", msmShare)
+	}
+	for name, v := range map[string]float64{
+		"witness": cpu.WitnessMSM, "zc": cpu.ZeroCheck, "permgen": cpu.PermGen,
+		"wiring": cpu.WiringMSM, "pc": cpu.PermCheck, "batch": cpu.BatchEval,
+		"oc": cpu.OpenCheck, "om": cpu.OpenMSM,
+	} {
+		if v <= 0 {
+			t.Fatalf("CPU component %s non-positive", name)
+		}
+	}
+}

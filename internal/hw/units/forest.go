@@ -1,0 +1,51 @@
+package units
+
+import "zkphire/internal/hw"
+
+// ForestConfig models the Multifunction Forest (Section IV-B2): a pool of
+// binary-tree multiplier units (8 multipliers each, the MTU base design)
+// shared between SumCheck product lanes, MLE evaluation, product-MLE (π)
+// construction, and Build-MLE. In the Table V exemplar the forest has
+// 80 trees — exactly SumCheck PEs × Product Lanes, since each tree doubles
+// as one product lane.
+type ForestConfig struct {
+	Trees       int
+	MulsPerTree int
+	Prime       hw.PrimeKind
+}
+
+// DefaultForest pairs a forest with a SumCheck unit of pes×pls lanes.
+func DefaultForest(pes, pls int, prime hw.PrimeKind) ForestConfig {
+	return ForestConfig{Trees: pes * pls, MulsPerTree: 8, Prime: prime}
+}
+
+// Area22 returns the forest's compute area at 22nm.
+func (c ForestConfig) Area22() float64 {
+	perTree := float64(c.MulsPerTree)*hw.ModMul255(c.Prime) + float64(c.MulsPerTree)*hw.ModAdd255
+	return float64(c.Trees) * perTree
+}
+
+// Throughput returns sustained multiplications per cycle.
+func (c ForestConfig) Throughput() float64 {
+	return float64(c.Trees * c.MulsPerTree)
+}
+
+// EvalCycles models evaluating k committed MLEs of size n at a point: each
+// evaluation is a full fold cascade (≈n multiplications), streamed from
+// off-chip once.
+func (c ForestConfig) EvalCycles(k, n float64) MSMResult {
+	muls := k * n
+	return MSMResult{
+		Cycles:       muls / c.Throughput(),
+		OffchipBytes: k * n * hw.ElementBytes,
+	}
+}
+
+// ProductMLECycles models building the product tree π from ϕ (n leaf
+// multiplications, tree-structured — the traversal-dependent MTU workload).
+func (c ForestConfig) ProductMLECycles(n float64) MSMResult {
+	return MSMResult{
+		Cycles:       n / c.Throughput() * 1.3, // upper levels underfill the trees
+		OffchipBytes: 2 * n * hw.ElementBytes,  // read ϕ, write the tree
+	}
+}

@@ -1,0 +1,81 @@
+// Package units models the non-SumCheck zkPHIRE modules of Fig. 4: the MSM
+// unit, the Multifunction Forest, the Permutation Quotient Generator (with
+// its batched modular-inverse array), the MLE Combine unit, and the SHA3
+// block. Each model exposes cycle counts, off-chip traffic, and 22nm area,
+// composed from the paper's published component numbers.
+package units
+
+import (
+	"math"
+
+	"zkphire/internal/hw"
+)
+
+// MSMConfig mirrors the Table III MSM design knobs.
+type MSMConfig struct {
+	PEs         int
+	WindowBits  int
+	PointsPerPE int
+	Prime       hw.PrimeKind
+}
+
+// DefaultMSM is the Table V exemplar: 32 PEs.
+func DefaultMSM(prime hw.PrimeKind) MSMConfig {
+	return MSMConfig{PEs: 32, WindowBits: 9, PointsPerPE: 4096, Prime: prime}
+}
+
+// msmPEOverhead covers the bucket-aggregation adder, window sequencing and
+// control around each fully pipelined PADD, calibrated to Table V
+// (32 PEs ↔ 105.69 mm² at 7nm).
+const msmPEOverhead = 1.65
+
+// Area22 returns the unit's compute area at 22nm (SRAM accounted by the
+// system model).
+func (c MSMConfig) Area22() float64 {
+	return float64(c.PEs) * hw.PAdd(c.Prime) * msmPEOverhead
+}
+
+// SRAMBytes returns the unit's point/bucket storage: the per-PE point buffer
+// plus Jacobian bucket memories for one window.
+func (c MSMConfig) SRAMBytes() float64 {
+	pointBuf := float64(c.PEs*c.PointsPerPE) * hw.AffinePointBytes
+	buckets := float64(c.PEs) * float64(uint64(1)<<uint(c.WindowBits)) * 144 // Jacobian
+	return pointBuf + buckets
+}
+
+// MSMResult reports one MSM invocation.
+type MSMResult struct {
+	Cycles       float64
+	OffchipBytes float64
+}
+
+// DenseCycles models a Pippenger MSM over n full-width scalars: every PADD
+// is pipelined at II=1, points stream through all ceil(255/w) windows, each
+// window pays a 2·2^w running-sum reduction, and windows combine with w
+// doublings each.
+func (c MSMConfig) DenseCycles(n float64) MSMResult {
+	w := float64(c.WindowBits)
+	windows := math.Ceil(255 / w)
+	bucketOps := 2 * math.Pow(2, w)
+	ops := windows*(n+bucketOps) + 255
+	return MSMResult{
+		Cycles:       ops / float64(c.PEs),
+		OffchipBytes: n * (hw.AffinePointBytes + hw.ElementBytes),
+	}
+}
+
+// SparseCycles models the witness-commitment MSM over scalars that are
+// mostly 0/1 (Section IV-B3): zeros are skipped, ones are plain point
+// additions, and only the dense fraction runs the full Pippenger path.
+func (c MSMConfig) SparseCycles(n float64, s hw.SparsityProfile) MSMResult {
+	zeroFrac := (1 - s.WitnessDenseFraction) / 2
+	oneFrac := (1 - s.WitnessDenseFraction) / 2
+	denseFrac := s.WitnessDenseFraction
+
+	oneOps := n * oneFrac
+	dense := c.DenseCycles(n * denseFrac)
+	cycles := oneOps/float64(c.PEs) + dense.Cycles
+	// Points for nonzero scalars plus the compressed scalar stream.
+	bytes := n*(1-zeroFrac)*hw.AffinePointBytes + n*s.ScalarBytesPerEntry()
+	return MSMResult{Cycles: cycles, OffchipBytes: bytes}
+}

@@ -1,0 +1,144 @@
+package units
+
+import (
+	"testing"
+
+	"zkphire/internal/hw"
+)
+
+func TestMSMDenseScaling(t *testing.T) {
+	c := DefaultMSM(hw.FixedPrime)
+	r1 := c.DenseCycles(1 << 20)
+	r2 := c.DenseCycles(1 << 22)
+	if r2.Cycles < 3.5*r1.Cycles {
+		t.Fatal("dense MSM should scale ~linearly in points")
+	}
+	// More PEs, fewer cycles.
+	c2 := c
+	c2.PEs = 64
+	if r := c2.DenseCycles(1 << 20); r.Cycles >= r1.Cycles {
+		t.Fatal("more PEs should reduce cycles")
+	}
+}
+
+func TestMSMSparseCheaper(t *testing.T) {
+	c := DefaultMSM(hw.FixedPrime)
+	n := float64(1 << 22)
+	dense := c.DenseCycles(n)
+	sparse := c.SparseCycles(n, hw.DefaultSparsity)
+	if sparse.Cycles >= dense.Cycles {
+		t.Fatal("sparse MSM should be cheaper than dense")
+	}
+	if sparse.OffchipBytes >= dense.OffchipBytes {
+		t.Fatal("sparse MSM should move fewer bytes")
+	}
+}
+
+func TestMSMWindowTradeoff(t *testing.T) {
+	// Larger windows → fewer windows → fewer point passes (for large n).
+	small := MSMConfig{PEs: 16, WindowBits: 7, PointsPerPE: 4096, Prime: hw.FixedPrime}
+	large := MSMConfig{PEs: 16, WindowBits: 10, PointsPerPE: 4096, Prime: hw.FixedPrime}
+	n := float64(1 << 24)
+	if large.DenseCycles(n).Cycles >= small.DenseCycles(n).Cycles {
+		t.Fatal("wider windows should win at large n")
+	}
+}
+
+func TestForestConsistency(t *testing.T) {
+	f := DefaultForest(16, 5, hw.FixedPrime)
+	if f.Trees != 80 {
+		t.Fatalf("Table V forest should have 80 trees, got %d", f.Trees)
+	}
+	if f.Throughput() != 640 {
+		t.Fatalf("throughput = %f", f.Throughput())
+	}
+	ev := f.EvalCycles(13, 1<<24)
+	if ev.Cycles <= 0 || ev.OffchipBytes <= 0 {
+		t.Fatal("eval model degenerate")
+	}
+	tree := f.ProductMLECycles(1 << 24)
+	if tree.Cycles <= 0 {
+		t.Fatal("tree model degenerate")
+	}
+}
+
+func TestPermQPipelined(t *testing.T) {
+	p := DefaultPermQ(hw.FixedPrime)
+	n := float64(1 << 24)
+	r := p.GenerateCycles(5, n)
+	// Fully pipelined: ~one element per cycle after warmup.
+	if r.Cycles < n || r.Cycles > n+2*InverseLatency {
+		t.Fatalf("permq cycles %.0f not pipelined around n=%.0f", r.Cycles, n)
+	}
+}
+
+func TestPermQAreaReduction(t *testing.T) {
+	// The paper's claim: this organization is ~4.2x smaller than zkSpeed's
+	// batch-64 scheme with dedicated multipliers (batch 64 needs ~64
+	// multipliers at 17.7x the inverse-unit area).
+	p := DefaultPermQ(hw.ArbitraryPrime)
+	ours := p.Area22()
+	zkSpeedScheme := 64*hw.ModMul255Arbitrary + 8*hw.ModInv255
+	ratio := zkSpeedScheme / ours
+	if ratio < 1.5 {
+		t.Fatalf("inverse-array scheme should be substantially smaller (ratio %.1f)", ratio)
+	}
+}
+
+func TestMLECombine(t *testing.T) {
+	c := DefaultMLECombine(hw.FixedPrime)
+	r6 := c.CombineCycles(6, 1<<20)
+	r12 := c.CombineCycles(12, 1<<20)
+	if r12.Cycles <= r6.Cycles {
+		t.Fatal("more tables than buffers should need extra passes")
+	}
+}
+
+func TestAreasPositiveAndOrdered(t *testing.T) {
+	if DefaultMSM(hw.FixedPrime).Area22() >= DefaultMSM(hw.ArbitraryPrime).Area22() {
+		t.Fatal("fixed-prime MSM should be smaller")
+	}
+	for _, a := range []float64{
+		DefaultMSM(hw.FixedPrime).Area22(),
+		DefaultForest(4, 4, hw.FixedPrime).Area22(),
+		DefaultPermQ(hw.FixedPrime).Area22(),
+		DefaultMLECombine(hw.FixedPrime).Area22(),
+		(SHA3Config{}).Area22(),
+	} {
+		if a <= 0 {
+			t.Fatal("non-positive area")
+		}
+	}
+}
+
+func TestVectorEngineReductionOverhead(t *testing.T) {
+	// Section VII: vector-style reductions must cost more than fused
+	// tree-structured pipelines at equal lane counts, and the gap must grow
+	// with the number of extension points (higher-degree gates).
+	v := DefaultVectorEngine()
+	const mulsPerPair = 60 // Jellyfish-class product work
+	lowK := 3.0
+	highK := 8.0
+
+	vecLow := v.SumCheckCycles(20, lowK, mulsPerPair)
+	fusedLow := FusedReductionCycles(20, lowK, mulsPerPair, v.Lanes)
+	if vecLow <= fusedLow {
+		t.Fatal("vector engine should pay a reduction penalty")
+	}
+	vecHigh := v.SumCheckCycles(20, highK, mulsPerPair)
+	fusedHigh := FusedReductionCycles(20, highK, mulsPerPair, v.Lanes)
+	gapLow := vecLow / fusedLow
+	gapHigh := vecHigh / fusedHigh
+	if gapHigh <= gapLow {
+		t.Fatalf("reduction penalty should grow with extension count: %.2f vs %.2f", gapLow, gapHigh)
+	}
+}
+
+func TestVectorEngineScalesWithRounds(t *testing.T) {
+	v := DefaultVectorEngine()
+	small := v.SumCheckCycles(16, 5, 40)
+	large := v.SumCheckCycles(20, 5, 40)
+	if large < 10*small {
+		t.Fatal("vector sumcheck should scale ~linearly in gates")
+	}
+}

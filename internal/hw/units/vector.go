@@ -1,0 +1,62 @@
+package units
+
+import "math"
+
+// VectorEngine models a NoCap-style vector processor running SumCheck
+// (Section VII, "Limitations of prior work"): products are computed
+// element-wise across V lanes, but the per-round accumulation is a
+// reduction over length-V vectors that costs log2(V) *serialized* folding
+// steps with register-file round trips, repeated for every extension point.
+// zkPHIRE's fused tree-structured product/accumulation pipelines avoid
+// exactly this overhead; the model quantifies it.
+type VectorEngine struct {
+	Lanes int
+	// RFAccessCycles is the register-file round-trip charged per folding
+	// step (read two operands, write one partial).
+	RFAccessCycles float64
+}
+
+// DefaultVectorEngine sizes a NoCap-like machine.
+func DefaultVectorEngine() VectorEngine {
+	return VectorEngine{Lanes: 256, RFAccessCycles: 2}
+}
+
+// RoundCycles models one SumCheck round over `pairs` evaluation pairs with
+// `k` extension points and `mulsPerPair` product work.
+func (v VectorEngine) RoundCycles(pairs, k, mulsPerPair float64) float64 {
+	// Element-wise product work spreads across lanes.
+	product := pairs * mulsPerPair / float64(v.Lanes)
+	// Each vector batch of results needs a log2(V)-step serialized fold per
+	// extension point, each step paying a register-file access.
+	batches := math.Ceil(pairs / float64(v.Lanes))
+	foldSteps := math.Log2(float64(v.Lanes))
+	reduction := batches * k * foldSteps * (1 + v.RFAccessCycles)
+	return product + reduction
+}
+
+// SumCheckCycles sums the rounds of a full SumCheck (table halves each
+// round).
+func (v VectorEngine) SumCheckCycles(logGates int, k, mulsPerPair float64) float64 {
+	total := 0.0
+	pairs := math.Exp2(float64(logGates - 1))
+	for round := 0; round < logGates; round++ {
+		total += v.RoundCycles(pairs, k, mulsPerPair)
+		pairs /= 2
+	}
+	return total
+}
+
+// FusedReductionCycles is the corresponding zkPHIRE cost: the tree-structured
+// pipelines absorb accumulation into the product dataflow, so reduction adds
+// only pipeline drain, not per-batch serialized folds.
+func FusedReductionCycles(logGates int, k, mulsPerPair float64, lanes int) float64 {
+	total := 0.0
+	pairs := math.Exp2(float64(logGates - 1))
+	for round := 0; round < logGates; round++ {
+		total += pairs * mulsPerPair / float64(lanes)
+		pairs /= 2
+	}
+	// One drain per round of the pipelined adder tree.
+	total += float64(logGates) * (math.Log2(float64(lanes)) + k)
+	return total
+}

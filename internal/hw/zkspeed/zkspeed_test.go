@@ -1,0 +1,52 @@
+package zkspeed
+
+import "testing"
+
+func TestPublishedRuntimes(t *testing.T) {
+	ms, err := PlusRuntimeMS("Rollup-25")
+	if err != nil || ms != 151.973 {
+		t.Fatalf("Rollup-25 = %.3f, %v", ms, err)
+	}
+	base, err := BaseRuntimeMS("ZCash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= 1.825 {
+		t.Fatal("zkSpeed must be slower than zkSpeed+")
+	}
+	if _, err := PlusRuntimeMS("Rollup-50"); err == nil {
+		t.Fatal("zkSpeed should not scale past 2^24")
+	}
+}
+
+func TestChecks(t *testing.T) {
+	v := SumcheckChecks{ZeroCheckMS: 10, PermCheckMS: 10, OpenCheckMS: 10}
+	p := PlusChecksFrom(v)
+	b := BaseChecksFrom(v)
+	if b.Total() <= p.Total() {
+		t.Fatal("zkSpeed+ should beat zkSpeed")
+	}
+	// Published ratios are all < 1: the fixed-function design wins per check.
+	if p.ZeroCheckMS >= v.ZeroCheckMS || p.PermCheckMS >= v.PermCheckMS || p.OpenCheckMS >= v.OpenCheckMS {
+		t.Fatal("zkSpeed+ should be faster than zkPHIRE Vanilla per check")
+	}
+}
+
+func TestTableIXRows(t *testing.T) {
+	rows := TableIX()
+	if len(rows) != 3 {
+		t.Fatal("expected NoCap, SZKP+, zkSpeed+")
+	}
+	for _, r := range rows {
+		if r.HWProverMS <= 0 || r.AreaMM2 <= 0 {
+			t.Fatalf("%s: malformed row", r.Name)
+		}
+	}
+}
+
+func TestIsoAreaScale(t *testing.T) {
+	// A 294 mm² zkPHIRE runtime scaled to zkSpeed's 366 mm² should shrink.
+	if IsoAreaScale(100, 294.32) >= 100 {
+		t.Fatal("iso-area scaling should credit the smaller design")
+	}
+}

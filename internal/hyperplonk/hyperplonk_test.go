@@ -1,0 +1,260 @@
+package hyperplonk
+
+import (
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+	"zkphire/internal/pcs"
+)
+
+var testSRS = pcs.SetupDeterministic(9, 777)
+
+// buildVanillaCircuit proves knowledge of x with x³ + x + 5 = 35.
+func buildVanillaCircuit(t testing.TB, x uint64, numVars int) *gates.Circuit {
+	t.Helper()
+	b := gates.NewVanillaBuilder()
+	xv := b.NewVariable(ff.NewElement(x))
+	x2 := b.Mul(xv, xv)
+	x3 := b.Mul(x2, xv)
+	s := b.Add(x3, xv)
+	out := b.AddConst(s, ff.NewElement(5))
+	b.AssertConst(out, ff.NewElement(35))
+	c, err := b.Build(numVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func buildJellyfishCircuit(t testing.TB, numVars int) *gates.Circuit {
+	t.Helper()
+	b := gates.NewJellyfishBuilder()
+	x := b.NewVariable(ff.NewElement(3))
+	y := b.Power5(x) // 243
+	z := b.Mul(y, x) // 729
+	w := b.Add(z, y) // 972
+	b.AssertConst(w, ff.NewElement(972))
+	c, err := b.Build(numVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Satisfied() {
+		t.Fatal("jellyfish test circuit unsatisfied")
+	}
+	return c
+}
+
+func TestVanillaEndToEnd(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 4)
+	idx, err := Preprocess(testSRS, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(testSRS, idx, proof); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+}
+
+func TestJellyfishEndToEnd(t *testing.T) {
+	c := buildJellyfishCircuit(t, 4)
+	idx, err := Preprocess(testSRS, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(testSRS, idx, proof); err != nil {
+		t.Fatalf("honest jellyfish proof rejected: %v", err)
+	}
+}
+
+func TestLargerCircuit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	b := gates.NewVanillaBuilder()
+	x := b.NewVariable(ff.NewElement(2))
+	acc := x
+	for i := 0; i < 100; i++ {
+		acc = b.Mul(acc, x)
+		acc = b.Add(acc, x)
+	}
+	c, err := b.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Preprocess(testSRS, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(testSRS, idx, proof); err != nil {
+		t.Fatalf("larger circuit proof rejected: %v", err)
+	}
+}
+
+func TestWrongWitnessRejected(t *testing.T) {
+	// x = 4 does not satisfy x³ + x + 5 = 35; the prover still runs (it is
+	// honest-process, dishonest-witness) and the verifier must reject.
+	c := buildVanillaCircuit(t, 4, 4)
+	if c.Satisfied() {
+		t.Fatal("setup broken: circuit should be unsatisfied")
+	}
+	idx, err := Preprocess(testSRS, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(testSRS, idx, proof); err == nil {
+		t.Fatal("proof for wrong witness accepted")
+	}
+}
+
+func TestTamperedWireCommitmentRejected(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 4)
+	idx, _ := Preprocess(testSRS, c)
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.WireComms[0], proof.WireComms[1] = proof.WireComms[1], proof.WireComms[0]
+	if err := Verify(testSRS, idx, proof); err == nil {
+		t.Fatal("tampered wire commitments accepted")
+	}
+}
+
+func TestTamperedEvalsRejected(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 4)
+	idx, _ := Preprocess(testSRS, c)
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneE := ff.One()
+	proof.WirePermEvals[0].Add(&proof.WirePermEvals[0], &oneE)
+	if err := Verify(testSRS, idx, proof); err == nil {
+		t.Fatal("tampered perm evaluation accepted")
+	}
+}
+
+func TestTamperedVEvalsRejected(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 4)
+	idx, _ := Preprocess(testSRS, c)
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneE := ff.One()
+	proof.VEvals[0].Add(&proof.VEvals[0], &oneE)
+	if err := Verify(testSRS, idx, proof); err == nil {
+		t.Fatal("tampered product-tree evaluation accepted")
+	}
+}
+
+func TestTamperedOpeningRejected(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 4)
+	idx, _ := Preprocess(testSRS, c)
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneE := ff.One()
+	proof.OpenMain.PolyEvals[2].Add(&proof.OpenMain.PolyEvals[2], &oneE)
+	if err := Verify(testSRS, idx, proof); err == nil {
+		t.Fatal("tampered opening evaluation accepted")
+	}
+}
+
+func TestCopyConstraintViolationRejected(t *testing.T) {
+	// Build an honest circuit, then corrupt one wired slot so gates hold
+	// locally but copies do not.
+	c := buildVanillaCircuit(t, 3, 4)
+	// Slot (col 0, row 1) carries x² into the second Mul; replace both the
+	// gate-local values consistently so the gate still holds but the copy
+	// to the producing gate's output is broken.
+	bad := ff.NewElement(49)
+	c.Wires[0].Evals[1] = bad // in1 of gate 1 (x2)
+	var prod ff.Element
+	x := c.Wires[1].Evals[1]
+	prod.Mul(&bad, &x)
+	c.Wires[2].Evals[1] = prod // out of gate 1 adjusted so the gate holds
+	// Gate 2 (Add) consumes x3: keep its inputs as produced.
+	c.Wires[0].Evals[2] = prod
+	var sum ff.Element
+	sum.Add(&prod, &c.Wires[1].Evals[2])
+	c.Wires[2].Evals[2] = sum
+	// Remaining gates now violate AssertConst... ensure at least copies fail:
+	if c.CopySatisfied() {
+		t.Skip("corruption did not break a copy constraint")
+	}
+	idx, _ := Preprocess(testSRS, c)
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(testSRS, idx, proof); err == nil {
+		t.Fatal("copy-violating witness accepted")
+	}
+}
+
+func TestProofSize(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 4)
+	idx, _ := Preprocess(testSRS, c)
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := proof.SizeBytes()
+	// Succinct: a handful of KB, never linear in circuit size.
+	if size < 500 || size > 64*1024 {
+		t.Fatalf("proof size %d bytes out of expected range", size)
+	}
+	t.Logf("proof size: %d bytes", size)
+}
+
+func TestIndexMismatchRejected(t *testing.T) {
+	c1 := buildVanillaCircuit(t, 3, 4)
+	c2 := buildJellyfishCircuit(t, 4)
+	idx2, _ := Preprocess(testSRS, c2)
+	if _, err := Prove(testSRS, idx2, c1, Config{}); err == nil {
+		// Prove may succeed structurally only if tables bind; if it does,
+		// verification must fail.
+		t.Log("prove with mismatched index unexpectedly succeeded")
+	}
+}
+
+func BenchmarkProveVanilla2_8(b *testing.B) {
+	bld := gates.NewVanillaBuilder()
+	x := bld.NewVariable(ff.NewElement(2))
+	acc := x
+	for i := 0; i < 100; i++ {
+		acc = bld.Mul(acc, x)
+	}
+	c, err := bld.Build(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := Preprocess(testSRS, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prove(testSRS, idx, c, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

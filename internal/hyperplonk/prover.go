@@ -1,0 +1,334 @@
+package hyperplonk
+
+import (
+	"fmt"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+	"zkphire/internal/mle"
+	"zkphire/internal/pcs"
+	"zkphire/internal/perm"
+	"zkphire/internal/poly"
+	"zkphire/internal/sumcheck"
+	"zkphire/internal/transcript"
+)
+
+// Config controls the prover.
+type Config struct {
+	// Workers for SumCheck scans; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// Prove generates a HyperPlonk proof that the circuit is satisfied by its
+// embedded witness.
+func Prove(srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, error) {
+	if c.NumVars != idx.NumVars {
+		return nil, fmt.Errorf("hyperplonk: circuit/index size mismatch")
+	}
+	tr := newTranscript(idx)
+	proof := &Proof{}
+	scCfg := sumcheck.Config{Workers: cfg.Workers}
+
+	// ---- Step 1: Witness commitments (Sparse MSMs in hardware). ----
+	for j, w := range c.Wires {
+		comm, err := srs.Commit(w)
+		if err != nil {
+			return nil, fmt.Errorf("hyperplonk: wire %d commit: %w", j, err)
+		}
+		proof.WireComms = append(proof.WireComms, comm)
+		appendComm(tr, "wire", comm)
+	}
+
+	// ---- Step 2: Gate Identity (ZeroCheck). ----
+	gate := idx.Gate
+	gateTabs, err := bindGateTables(gate, idx, c.Wires)
+	if err != nil {
+		return nil, err
+	}
+	gateAssign, err := sumcheck.NewAssignment(gate, gateTabs)
+	if err != nil {
+		return nil, err
+	}
+	gateZC, rGate, err := sumcheck.ProveZero(tr, gateAssign, scCfg)
+	if err != nil {
+		return nil, fmt.Errorf("hyperplonk: gate zerocheck: %w", err)
+	}
+	proof.GateZC = gateZC
+	// Batch evaluation claims at the gate point: every gate constituent
+	// except the trailing eq (which the verifier computes itself).
+	proof.GateEvals = append([]ff.Element(nil), gateZC.Inner.FinalEvals[:gate.NumVars()]...)
+	tr.AppendScalars("gate/evals", proof.GateEvals)
+
+	// ---- Step 3: Wire Identity (PermCheck). ----
+	beta := tr.ChallengeScalar("perm/beta")
+	gamma := tr.ChallengeScalar("perm/gamma")
+	arg := perm.Build(c.Wires, idx.SigmaTabs, beta, gamma)
+	vComm, err := srs.Commit(arg.V)
+	if err != nil {
+		return nil, fmt.Errorf("hyperplonk: product-tree commit: %w", err)
+	}
+	proof.VComm = vComm
+	appendComm(tr, "perm/v", vComm)
+	alpha := tr.ChallengeScalar("perm/alpha")
+
+	permComp, permTabs := buildPermCheck(idx.Wires, alpha, arg)
+	permAssign, err := sumcheck.NewAssignment(permComp, permTabs)
+	if err != nil {
+		return nil, err
+	}
+	permZC, rPerm, err := sumcheck.ProveZero(tr, permAssign, scCfg)
+	if err != nil {
+		return nil, fmt.Errorf("hyperplonk: perm zerocheck: %w", err)
+	}
+	proof.PermZC = permZC
+
+	// ---- Step 4: Batch Evaluations (Multifunction Forest in hardware). ----
+	piPt, p1Pt, p2Pt, phiPt := perm.ViewPoints(rPerm)
+	proof.VEvals[0] = arg.V.Evaluate(piPt)
+	proof.VEvals[1] = arg.V.Evaluate(p1Pt)
+	proof.VEvals[2] = arg.V.Evaluate(p2Pt)
+	proof.VEvals[3] = arg.V.Evaluate(phiPt)
+	tr.AppendScalars("perm/vevals", proof.VEvals[:])
+
+	proof.WirePermEvals = make([]ff.Element, idx.Wires)
+	proof.SigmaPermEvals = make([]ff.Element, idx.Wires)
+	for j := 0; j < idx.Wires; j++ {
+		proof.WirePermEvals[j] = c.Wires[j].Evaluate(rPerm)
+		proof.SigmaPermEvals[j] = idx.SigmaTabs[j].Evaluate(rPerm)
+	}
+	tr.AppendScalars("perm/wevals", proof.WirePermEvals)
+	tr.AppendScalars("perm/sevals", proof.SigmaPermEvals)
+
+	// ---- Step 5: Polynomial Opening (OpenCheck + batched PCS opening). ----
+	mainPolys, mainComms := openingSet(idx, c.Wires, proof)
+	mainClaims := mainClaimList(idx, proof, rGate, rPerm)
+	proof.OpenMain, err = proveOpenCheck(tr, srs, "open/main", mainPolys, mainComms.tables, mainClaims, []openPoint{{name: "gate", coords: rGate}, {name: "perm", coords: rPerm}}, scCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	vPolys := []*mle.Table{arg.V}
+	vClaims := []evalClaim{
+		{Poly: 0, Point: 0, Value: proof.VEvals[0]},
+		{Poly: 0, Point: 1, Value: proof.VEvals[1]},
+		{Poly: 0, Point: 2, Value: proof.VEvals[2]},
+		{Poly: 0, Point: 3, Value: proof.VEvals[3]},
+	}
+	vPoints := []openPoint{
+		{name: "pi", coords: piPt},
+		{name: "p1", coords: p1Pt},
+		{name: "p2", coords: p2Pt},
+		{name: "phi", coords: phiPt},
+	}
+	proof.OpenV, err = proveOpenCheck(tr, srs, "open/v", vPolys, nil, vClaims, vPoints, scCfg)
+	if err != nil {
+		return nil, err
+	}
+	return proof, nil
+}
+
+// --- shared helpers (used by both prover and verifier) ---
+
+func newTranscript(idx *Index) *transcript.Transcript {
+	tr := transcript.New("hyperplonk")
+	tr.AppendUint64("numvars", uint64(idx.NumVars))
+	tr.AppendUint64("wires", uint64(idx.Wires))
+	for i, cm := range idx.SelectorComms {
+		tr.AppendBytes("selector/"+idx.SelectorNames[i], commBytes(cm))
+	}
+	for _, cm := range idx.SigmaComms {
+		tr.AppendBytes("sigma", commBytes(cm))
+	}
+	return tr
+}
+
+func commBytes(c pcs.Commitment) []byte {
+	if c.Point.Infinity {
+		return []byte{0}
+	}
+	xb := c.Point.X.Bytes()
+	yb := c.Point.Y.Bytes()
+	return append(xb[:], yb[:]...)
+}
+
+func appendComm(tr *transcript.Transcript, label string, c pcs.Commitment) {
+	tr.AppendBytes(label, commBytes(c))
+}
+
+// bindGateTables maps the gate composite's variable names to circuit tables.
+func bindGateTables(gate *poly.Composite, idx *Index, wires []*mle.Table) ([]*mle.Table, error) {
+	tabs := make([]*mle.Table, gate.NumVars())
+	for i, name := range gate.VarNames {
+		if si := indexOf(idx.SelectorNames, name); si >= 0 {
+			tabs[i] = idx.SelectorTabs[si]
+			continue
+		}
+		var w int
+		if _, err := fmt.Sscanf(name, "w%d", &w); err == nil && w >= 1 && w <= len(wires) {
+			tabs[i] = wires[w-1]
+			continue
+		}
+		return nil, fmt.Errorf("hyperplonk: gate variable %q has no bound table", name)
+	}
+	return tabs, nil
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildPermCheck returns the PermCheck composite (without eq wrapping; the
+// ZeroCheck adds it) and its bound tables, in the composite's variable order.
+func buildPermCheck(k int, alpha ff.Element, arg *perm.Argument) (*poly.Composite, []*mle.Table) {
+	var comp *poly.Composite
+	if k == 3 {
+		comp = permCheckCore(3, alpha)
+	} else {
+		comp = permCheckCore(k, alpha)
+	}
+	tabs := make([]*mle.Table, comp.NumVars())
+	for i, name := range comp.VarNames {
+		switch name {
+		case "pi":
+			tabs[i] = arg.Pi
+		case "p1":
+			tabs[i] = arg.P1
+		case "p2":
+			tabs[i] = arg.P2
+		case "phi":
+			tabs[i] = arg.Phi
+		default:
+			var j int
+			if _, err := fmt.Sscanf(name, "D%d", &j); err == nil {
+				tabs[i] = arg.DTabs[j-1]
+				continue
+			}
+			if _, err := fmt.Sscanf(name, "N%d", &j); err == nil {
+				tabs[i] = arg.NTabs[j-1]
+				continue
+			}
+			panic("hyperplonk: unexpected permcheck variable " + name)
+		}
+	}
+	return comp, tabs
+}
+
+// permCheckCore is Table I poly 21/23 WITHOUT the trailing eq factor
+// (ProveZero wraps it).
+func permCheckCore(k int, alpha ff.Element) *poly.Composite {
+	full := poly.VanillaPermCheck(alpha)
+	if k == 5 {
+		full = poly.JellyfishPermCheck(alpha)
+	} else if k != 3 {
+		full = genericPermCheck(k, alpha)
+	}
+	return stripEq(full)
+}
+
+func genericPermCheck(k int, alpha ff.Element) *poly.Composite {
+	// Reuse the registry construction path for arbitrary wire counts.
+	return poly.PermCheckK(k, alpha)
+}
+
+// stripEq removes the trailing fr factor from a registry PermCheck
+// composite, returning the bare constraint.
+func stripEq(c *poly.Composite) *poly.Composite {
+	eqIdx := c.VarIndex("fr")
+	if eqIdx < 0 {
+		return c
+	}
+	out := &poly.Composite{Name: c.Name + "/core", ID: -1}
+	// Keep all variables except fr; remap indices.
+	remap := make([]int, len(c.VarNames))
+	for i, n := range c.VarNames {
+		if i == eqIdx {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(out.VarNames)
+		out.VarNames = append(out.VarNames, n)
+		out.Roles = append(out.Roles, c.Roles[i])
+	}
+	for _, t := range c.Terms {
+		nt := poly.Term{Coeff: t.Coeff}
+		for _, f := range t.Factors {
+			if f.Var == eqIdx {
+				continue
+			}
+			nt.Factors = append(nt.Factors, poly.Factor{Var: remap[f.Var], Power: f.Power})
+		}
+		out.Terms = append(out.Terms, nt)
+	}
+	return out
+}
+
+// openingSet lists the distinct µ-variable committed polynomials in a fixed
+// order: selectors, wires, sigmas.
+type commSet struct {
+	tables []*mle.Table
+	comms  []pcs.Commitment
+}
+
+func openingSet(idx *Index, wires []*mle.Table, proof *Proof) ([]*mle.Table, commSet) {
+	var tabs []*mle.Table
+	var comms []pcs.Commitment
+	tabs = append(tabs, idx.SelectorTabs...)
+	comms = append(comms, idx.SelectorComms...)
+	tabs = append(tabs, wires...)
+	comms = append(comms, proof.WireComms...)
+	tabs = append(tabs, idx.SigmaTabs...)
+	comms = append(comms, idx.SigmaComms...)
+	return tabs, commSet{tables: tabs, comms: comms}
+}
+
+func openingComms(idx *Index, proof *Proof) []pcs.Commitment {
+	var comms []pcs.Commitment
+	comms = append(comms, idx.SelectorComms...)
+	comms = append(comms, proof.WireComms...)
+	comms = append(comms, idx.SigmaComms...)
+	return comms
+}
+
+// evalClaim says: distinct polynomial Poly evaluates to Value at point
+// index Point.
+type evalClaim struct {
+	Poly  int
+	Point int
+	Value ff.Element
+}
+
+type openPoint struct {
+	name   string
+	coords []ff.Element
+}
+
+// mainClaimList orders the OpenCheck claims deterministically: selectors at
+// the gate point, wires at both points, sigmas at the perm point.
+func mainClaimList(idx *Index, proof *Proof, rGate, rPerm []ff.Element) []evalClaim {
+	gate := idx.Gate
+	numSel := len(idx.SelectorNames)
+	var claims []evalClaim
+	// Gate-point claims come from GateEvals, which follow the gate
+	// composite's variable order; map them onto the opening set order.
+	for gi, name := range gate.VarNames {
+		if si := indexOf(idx.SelectorNames, name); si >= 0 {
+			claims = append(claims, evalClaim{Poly: si, Point: 0, Value: proof.GateEvals[gi]})
+			continue
+		}
+		var w int
+		if _, err := fmt.Sscanf(name, "w%d", &w); err == nil && w >= 1 && w <= idx.Wires {
+			claims = append(claims, evalClaim{Poly: numSel + w - 1, Point: 0, Value: proof.GateEvals[gi]})
+		}
+	}
+	// Perm-point claims.
+	for j := 0; j < idx.Wires; j++ {
+		claims = append(claims, evalClaim{Poly: numSel + j, Point: 1, Value: proof.WirePermEvals[j]})
+		claims = append(claims, evalClaim{Poly: numSel + idx.Wires + j, Point: 1, Value: proof.SigmaPermEvals[j]})
+	}
+	return claims
+}

@@ -1,0 +1,182 @@
+package hyperplonk
+
+import (
+	"bytes"
+	"testing"
+
+	"zkphire/internal/ff"
+)
+
+func makeProof(t *testing.T) (*Proof, *Index) {
+	t.Helper()
+	c := buildVanillaCircuit(t, 3, 4)
+	idx, err := Preprocess(testSRS, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(testSRS, idx, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proof, idx
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	proof, idx := makeProof(t)
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Proof
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	// The decoded proof must verify.
+	if err := Verify(testSRS, idx, &back); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+	// Re-serialization must be byte-identical (canonical encoding).
+	data2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("serialization is not canonical")
+	}
+}
+
+func TestProofWireSizeMatchesEstimate(t *testing.T) {
+	proof, _ := makeProof(t)
+	data, _ := proof.MarshalBinary()
+	est := proof.SizeBytes()
+	// The estimate uses compressed points (48 B) while the wire format is
+	// uncompressed (97 B); allow that spread.
+	if len(data) < est/2 || len(data) > est*3 {
+		t.Fatalf("wire size %d vs estimate %d", len(data), est)
+	}
+	t.Logf("wire %d bytes, estimate %d bytes", len(data), est)
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	proof, _ := makeProof(t)
+	data, _ := proof.MarshalBinary()
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if err := new(Proof).UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Truncation at many offsets.
+	for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 1} {
+		if err := new(Proof).UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncated proof (%d bytes) accepted", cut)
+		}
+	}
+
+	// Trailing garbage.
+	if err := new(Proof).UnmarshalBinary(append(append([]byte(nil), data...), 0xde, 0xad)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalRejectsOffCurvePoint(t *testing.T) {
+	proof, _ := makeProof(t)
+	data, _ := proof.MarshalBinary()
+	// The first wire commitment's point starts after magic + uvarint(count)
+	// + uvarint(numVars) + flag byte. Corrupt a coordinate byte there.
+	ofs := len(proofMagic) + 1 + 1 + 1 + 10
+	bad := append([]byte(nil), data...)
+	bad[ofs] ^= 0x55
+	if err := new(Proof).UnmarshalBinary(bad); err == nil {
+		t.Fatal("off-curve point accepted")
+	}
+}
+
+func TestUnmarshalRejectsNonCanonicalScalar(t *testing.T) {
+	proof, _ := makeProof(t)
+	// Force a non-canonical scalar (>= modulus) into the gate evals and
+	// check the decoder rejects it.
+	data, _ := proof.MarshalBinary()
+	// Find the gate claim scalar: simpler to corrupt systematically — set 32
+	// bytes to 0xff somewhere inside the scalar region; all-0xff is above q.
+	// Locate by scanning for a position where rejection mentions encoding;
+	// corrupting any scalar to 0xff.. must fail decode.
+	for ofs := len(data) / 3; ofs < len(data)/3+1; ofs++ {
+		bad := append([]byte(nil), data...)
+		for i := 0; i < 32 && ofs+i < len(bad); i++ {
+			bad[ofs+i] = 0xff
+		}
+		if err := new(Proof).UnmarshalBinary(bad); err == nil {
+			t.Fatal("corrupted proof decoded and would need to fail verification instead")
+		}
+	}
+}
+
+func TestTamperedDecodedProofStillRejected(t *testing.T) {
+	// Corruption that survives decoding (valid encodings, wrong values) must
+	// be caught by Verify.
+	proof, idx := makeProof(t)
+	data, _ := proof.MarshalBinary()
+	var back Proof
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	oneE := ff.One()
+	back.GateEvals[0].Add(&back.GateEvals[0], &oneE)
+	if err := Verify(testSRS, idx, &back); err == nil {
+		t.Fatal("tampered decoded proof accepted")
+	}
+}
+
+// TestRandomMutationsNeverPanicOrVerify flips random bytes/bits all over the
+// serialized proof: every mutation must either fail to decode or fail to
+// verify — and never panic.
+func TestRandomMutationsNeverPanicOrVerify(t *testing.T) {
+	proof, idx := makeProof(t)
+	data, _ := proof.MarshalBinary()
+	rng := ff.NewRand(2026)
+
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic while handling mutated proof: %v", r)
+		}
+	}()
+	for trial := 0; trial < 200; trial++ {
+		bad := append([]byte(nil), data...)
+		// 1-3 byte mutations at random offsets.
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			ofs := rng.Intn(len(bad))
+			bad[ofs] ^= byte(1 + rng.Intn(255))
+		}
+		var back Proof
+		if err := back.UnmarshalBinary(bad); err != nil {
+			continue // rejected at decode: fine
+		}
+		if err := Verify(testSRS, idx, &back); err == nil {
+			t.Fatalf("trial %d: mutated proof verified", trial)
+		}
+	}
+}
+
+// TestRandomTruncationsNeverPanic feeds truncated and garbage inputs.
+func TestRandomTruncationsNeverPanic(t *testing.T) {
+	proof, _ := makeProof(t)
+	data, _ := proof.MarshalBinary()
+	rng := ff.NewRand(7)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on malformed input: %v", r)
+		}
+	}()
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(len(data))
+		_ = new(Proof).UnmarshalBinary(data[:n])
+		garbage := make([]byte, 1+rng.Intn(200))
+		for i := range garbage {
+			garbage[i] = byte(rng.Intn(256))
+		}
+		_ = new(Proof).UnmarshalBinary(garbage)
+	}
+}

@@ -1,0 +1,126 @@
+// Package hyperplonk implements the HyperPlonk protocol end-to-end over the
+// substrates in this repository: witness commitments (MSM), Gate Identity
+// (ZeroCheck), Wire Identity (permutation argument + PermCheck), Batch
+// Evaluations, and Polynomial Opening (OpenCheck + batched PCS opening) —
+// the five protocol steps of Section IV-A of the paper.
+//
+// The verifier's pairing checks are replaced by the PCS trapdoor check (see
+// internal/pcs); everything the prover computes — and therefore everything
+// zkPHIRE accelerates — is the genuine protocol workload.
+package hyperplonk
+
+import (
+	"fmt"
+	"sort"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+	"zkphire/internal/mle"
+	"zkphire/internal/pcs"
+	"zkphire/internal/perm"
+	"zkphire/internal/poly"
+	"zkphire/internal/sumcheck"
+)
+
+// Index is the preprocessed ("universal setup + indexing") circuit data.
+type Index struct {
+	NumVars       int
+	Wires         int
+	SelectorNames []string
+	SelectorTabs  []*mle.Table
+	SelectorComms []pcs.Commitment
+	SigmaTabs     []*mle.Table
+	SigmaComms    []pcs.Commitment
+	// Gate is the circuit's constraint composite (without the eq factor).
+	Gate *poly.Composite
+}
+
+// Proof is a complete HyperPlonk proof.
+type Proof struct {
+	WireComms []pcs.Commitment
+	VComm     pcs.Commitment
+
+	GateZC *sumcheck.ZeroCheckProof
+	// GateEvals are the gate-constituent evaluations at the gate point
+	// (selectors and wires in the gate composite's variable order).
+	GateEvals []ff.Element
+
+	PermZC *sumcheck.ZeroCheckProof
+	// VEvals are ṽ at the four view points (π, p₁, p₂, ϕ order).
+	VEvals [4]ff.Element
+	// WirePermEvals and SigmaPermEvals are w_j and σ_j at the perm point.
+	WirePermEvals  []ff.Element
+	SigmaPermEvals []ff.Element
+
+	OpenMain *OpenProof
+	OpenV    *OpenProof
+}
+
+// OpenProof is one OpenCheck instance: a SumCheck combining several
+// evaluation claims into one point, the claimed constituent values there,
+// and a single batched PCS opening.
+type OpenProof struct {
+	Sumcheck *sumcheck.Proof
+	// PolyEvals[i] is the claimed value of distinct polynomial i at the
+	// OpenCheck's final point.
+	PolyEvals []ff.Element
+	// Opened is the value of the β-combined polynomial at the final point.
+	Opened ff.Element
+	// PCS is the single batched opening proof.
+	PCS *pcs.OpeningProof
+}
+
+// SizeBytes estimates the wire-format proof size: 48 bytes per G1 point
+// (compressed) and 32 per scalar — the quantity Table IX reports (4–5 KB).
+func (p *Proof) SizeBytes() int {
+	const ptSize, scSize = 48, 32
+	size := ptSize * (len(p.WireComms) + 1)
+	count := func(sc *sumcheck.Proof) int {
+		n := 1 // claim
+		for _, r := range sc.RoundEvals {
+			n += len(r)
+		}
+		return n
+	}
+	size += scSize * (count(p.GateZC.Inner) + count(p.PermZC.Inner))
+	size += scSize * (len(p.GateEvals) + 4 + len(p.WirePermEvals) + len(p.SigmaPermEvals))
+	for _, op := range []*OpenProof{p.OpenMain, p.OpenV} {
+		size += scSize * (count(op.Sumcheck) + len(op.PolyEvals) + 1)
+		size += ptSize * len(op.PCS.Qs)
+	}
+	return size
+}
+
+// Preprocess commits the circuit's selectors and wiring permutation.
+func Preprocess(srs *pcs.SRS, c *gates.Circuit) (*Index, error) {
+	if c.NumVars+1 > srs.MaxVars {
+		return nil, fmt.Errorf("hyperplonk: SRS supports %d vars, circuit needs %d (+1 for the product tree)", srs.MaxVars, c.NumVars)
+	}
+	idx := &Index{NumVars: c.NumVars, Wires: len(c.Wires), Gate: c.Gate}
+
+	names := make([]string, 0, len(c.Selectors))
+	for n := range c.Selectors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	idx.SelectorNames = names
+	for _, n := range names {
+		t := c.Selectors[n]
+		comm, err := srs.Commit(t)
+		if err != nil {
+			return nil, err
+		}
+		idx.SelectorTabs = append(idx.SelectorTabs, t)
+		idx.SelectorComms = append(idx.SelectorComms, comm)
+	}
+
+	idx.SigmaTabs = perm.SigmaTables(c.Perm, c.NumVars)
+	for _, t := range idx.SigmaTabs {
+		comm, err := srs.Commit(t)
+		if err != nil {
+			return nil, err
+		}
+		idx.SigmaComms = append(idx.SigmaComms, comm)
+	}
+	return idx, nil
+}

@@ -1,0 +1,152 @@
+// Package keccak implements the Keccak-f[1600] permutation and the sponge
+// constructions SHA3-256 and Keccak-256. zkPHIRE uses a SHA3 IP block to
+// generate Fiat–Shamir challenges between SumCheck rounds; this package is
+// the software equivalent used by the transcript and modeled by the SHA3
+// hardware unit.
+package keccak
+
+import "math/bits"
+
+const (
+	laneCount = 25
+	rate256   = 136 // rate in bytes for 256-bit digests (capacity 512)
+)
+
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotation offsets for the rho step, indexed [x][y] flattened as x + 5y.
+var rotc = [laneCount]int{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+// permute applies Keccak-f[1600] in place.
+func permute(a *[laneCount]uint64) {
+	var c [5]uint64
+	var d [5]uint64
+	var b [laneCount]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// rho + pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], rotc[x+5*y])
+			}
+		}
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// Hasher is a streaming Keccak sponge with a 256-bit output.
+type Hasher struct {
+	state   [laneCount]uint64
+	buf     [rate256]byte
+	bufLen  int
+	dsbyte  byte // domain separation + first padding bit
+	sponged bool
+}
+
+// NewSHA3256 returns a SHA3-256 hasher (FIPS 202 padding 0x06).
+func NewSHA3256() *Hasher { return &Hasher{dsbyte: 0x06} }
+
+// NewKeccak256 returns a legacy Keccak-256 hasher (padding 0x01), the variant
+// used by Ethereum and by many ZKP transcript implementations.
+func NewKeccak256() *Hasher { return &Hasher{dsbyte: 0x01} }
+
+// Write absorbs p into the sponge. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	if h.sponged {
+		panic("keccak: write after Sum")
+	}
+	n := len(p)
+	for len(p) > 0 {
+		space := rate256 - h.bufLen
+		take := len(p)
+		if take > space {
+			take = space
+		}
+		copy(h.buf[h.bufLen:], p[:take])
+		h.bufLen += take
+		p = p[take:]
+		if h.bufLen == rate256 {
+			h.absorbBlock()
+		}
+	}
+	return n, nil
+}
+
+func (h *Hasher) absorbBlock() {
+	for i := 0; i < rate256/8; i++ {
+		var lane uint64
+		for j := 0; j < 8; j++ {
+			lane |= uint64(h.buf[8*i+j]) << (8 * j)
+		}
+		h.state[i] ^= lane
+	}
+	permute(&h.state)
+	h.bufLen = 0
+}
+
+// Sum returns the 32-byte digest of everything written so far. The hasher is
+// consumed: further writes panic.
+func (h *Hasher) Sum() [32]byte {
+	// pad: dsbyte ... 0x80 within the rate block
+	h.buf[h.bufLen] = h.dsbyte
+	for i := h.bufLen + 1; i < rate256; i++ {
+		h.buf[i] = 0
+	}
+	h.buf[rate256-1] |= 0x80
+	h.bufLen = rate256
+	h.absorbBlock()
+	h.sponged = true
+
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			out[8*i+j] = byte(h.state[i] >> (8 * j))
+		}
+	}
+	return out
+}
+
+// SHA3256 returns the SHA3-256 digest of data.
+func SHA3256(data []byte) [32]byte {
+	h := NewSHA3256()
+	h.Write(data)
+	return h.Sum()
+}
+
+// Keccak256 returns the legacy Keccak-256 digest of data.
+func Keccak256(data []byte) [32]byte {
+	h := NewKeccak256()
+	h.Write(data)
+	return h.Sum()
+}

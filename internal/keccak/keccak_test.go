@@ -1,0 +1,104 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestKeccak256Empty(t *testing.T) {
+	// The well-known Ethereum empty-string hash.
+	want := fromHex(t, "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470")
+	got := Keccak256(nil)
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("Keccak256(\"\") = %x, want %x", got, want)
+	}
+}
+
+func TestSHA3256Empty(t *testing.T) {
+	// FIPS 202 SHA3-256 empty-message digest.
+	want := fromHex(t, "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a")
+	got := SHA3256(nil)
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("SHA3-256(\"\") = %x, want %x", got, want)
+	}
+	// SHA3 and Keccak must differ (padding differs).
+	k := Keccak256(nil)
+	if bytes.Equal(got[:], k[:]) {
+		t.Fatal("SHA3-256 and Keccak-256 should differ on empty input")
+	}
+}
+
+func TestStreamingMatchesOneShot(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	want := Keccak256(data)
+
+	h := NewKeccak256()
+	// Write in awkward chunk sizes straddling the 136-byte rate.
+	for i := 0; i < len(data); {
+		n := 1 + (i*13)%135
+		if i+n > len(data) {
+			n = len(data) - i
+		}
+		h.Write(data[i : i+n])
+		i += n
+	}
+	got := h.Sum()
+	if got != want {
+		t.Fatal("streaming digest != one-shot digest")
+	}
+}
+
+func TestRateBoundary(t *testing.T) {
+	// Inputs of size rate-1, rate, rate+1 must all hash without panicking and
+	// produce distinct digests.
+	seen := map[[32]byte]bool{}
+	for _, n := range []int{135, 136, 137, 271, 272, 273} {
+		data := bytes.Repeat([]byte{0xab}, n)
+		d := SHA3256(data)
+		if seen[d] {
+			t.Fatalf("duplicate digest for n=%d", n)
+		}
+		seen[d] = true
+	}
+}
+
+func TestDifferentInputsDiffer(t *testing.T) {
+	a := Keccak256([]byte("hello"))
+	b := Keccak256([]byte("hellp"))
+	if a == b {
+		t.Fatal("collision on near-identical inputs")
+	}
+}
+
+func TestWriteAfterSumPanics(t *testing.T) {
+	h := NewSHA3256()
+	h.Write([]byte("x"))
+	h.Sum()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on write after Sum")
+		}
+	}()
+	h.Write([]byte("y"))
+}
+
+func BenchmarkKeccak256_1KiB(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Keccak256(data)
+	}
+}

@@ -1,0 +1,216 @@
+// Package mle implements dense multilinear-extension tables — the
+// fundamental data structure of SumCheck-based ZKPs. A Table stores the 2^µ
+// evaluations of a multilinear polynomial over the boolean hypercube,
+// indexed x = Σ X_i·2^{i-1} (X₁ is the least-significant bit).
+//
+// With this convention, one SumCheck round folds X₁, so the evaluation pair
+// {f(0,rest), f(1,rest)} occupies *adjacent* entries (f[2j], f[2j+1]) — the
+// exact streaming layout of the paper's Fig. 1 and of the hardware's MLE
+// Update units.
+package mle
+
+import (
+	"fmt"
+
+	"zkphire/internal/ff"
+)
+
+// Table is a dense MLE evaluation table of size 2^NumVars.
+type Table struct {
+	Evals   []ff.Element
+	NumVars int
+}
+
+// New returns a zeroed table over numVars variables.
+func New(numVars int) *Table {
+	if numVars < 0 || numVars > 40 {
+		panic(fmt.Sprintf("mle: unreasonable variable count %d", numVars))
+	}
+	return &Table{Evals: make([]ff.Element, 1<<uint(numVars)), NumVars: numVars}
+}
+
+// FromEvals wraps an evaluation slice (length must be a power of two).
+func FromEvals(evals []ff.Element) *Table {
+	n := len(evals)
+	if n == 0 || n&(n-1) != 0 {
+		panic("mle: evaluation count must be a nonzero power of two")
+	}
+	nv := 0
+	for 1<<uint(nv) < n {
+		nv++
+	}
+	return &Table{Evals: evals, NumVars: nv}
+}
+
+// Size returns the number of hypercube evaluations (2^NumVars).
+func (t *Table) Size() int { return len(t.Evals) }
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	out := &Table{Evals: make([]ff.Element, len(t.Evals)), NumVars: t.NumVars}
+	copy(out.Evals, t.Evals)
+	return out
+}
+
+// Fold fixes X₁ = r, halving the table in place:
+//
+//	f'(x₂..x_µ) = f(0,x₂..) + r·(f(1,x₂..) − f(0,x₂..))
+//
+// This is the MLE Update of the paper. It panics on an empty table.
+func (t *Table) Fold(r *ff.Element) {
+	if t.NumVars == 0 {
+		panic("mle: cannot fold a 0-variable table")
+	}
+	half := len(t.Evals) / 2
+	var diff ff.Element
+	for j := 0; j < half; j++ {
+		a0 := t.Evals[2*j]
+		diff.Sub(&t.Evals[2*j+1], &a0)
+		diff.Mul(&diff, r)
+		t.Evals[j].Add(&a0, &diff)
+	}
+	t.Evals = t.Evals[:half]
+	t.NumVars--
+}
+
+// Evaluate returns the multilinear extension evaluated at an arbitrary field
+// point (len(point) must equal NumVars). The table is not modified.
+func (t *Table) Evaluate(point []ff.Element) ff.Element {
+	if len(point) != t.NumVars {
+		panic(fmt.Sprintf("mle: evaluate with %d coordinates on %d-var table", len(point), t.NumVars))
+	}
+	cur := t.Clone()
+	for i := range point {
+		cur.Fold(&point[i])
+		_ = i
+	}
+	return cur.Evals[0]
+}
+
+// Sum returns Σ_x f(x) over the hypercube.
+func (t *Table) Sum() ff.Element {
+	return ff.Vector(t.Evals).Sum()
+}
+
+// Eq builds the eq(X, r) table in O(2^len(r)):
+//
+//	eq(x, r) = Π_i (x_i·r_i + (1-x_i)(1-r_i))
+//
+// This is the auxiliary polynomial f_r(X) of ZeroCheck, which the hardware
+// builds on the fly with a dedicated product lane during round 1 (the Build
+// MLE kernel).
+func Eq(r []ff.Element) *Table {
+	nv := len(r)
+	t := New(nv)
+	t.Evals[0] = ff.One()
+	size := 1
+	// Extend one variable at a time. Variable i has index weight 2^i, so the
+	// i-th expansion writes the "X_i = 1" branch into the upper half of the
+	// currently populated prefix.
+	for i := 0; i < nv; i++ {
+		ri := r[i]
+		var oneMinus ff.Element
+		oneE := ff.One()
+		oneMinus.Sub(&oneE, &ri)
+		for j := size - 1; j >= 0; j-- {
+			v := t.Evals[j]
+			t.Evals[j+size].Mul(&v, &ri)
+			t.Evals[j].Mul(&v, &oneMinus)
+		}
+		size *= 2
+	}
+	return t
+}
+
+// EqEval computes eq(a, b) = Π (a_i b_i + (1-a_i)(1-b_i)) for two field
+// points of equal length without building a table.
+func EqEval(a, b []ff.Element) ff.Element {
+	if len(a) != len(b) {
+		panic("mle: EqEval length mismatch")
+	}
+	res := ff.One()
+	oneE := ff.One()
+	var ab, oneA, oneB, term ff.Element
+	for i := range a {
+		ab.Mul(&a[i], &b[i])
+		oneA.Sub(&oneE, &a[i])
+		oneB.Sub(&oneE, &b[i])
+		term.Mul(&oneA, &oneB)
+		term.Add(&term, &ab)
+		res.Mul(&res, &term)
+	}
+	return res
+}
+
+// AddInPlace sets t += o entry-wise.
+func (t *Table) AddInPlace(o *Table) {
+	if t.Size() != o.Size() {
+		panic("mle: size mismatch")
+	}
+	ff.Vector(t.Evals).AddInPlace(ff.Vector(o.Evals))
+}
+
+// MulInPlace sets t *= o entry-wise.
+func (t *Table) MulInPlace(o *Table) {
+	if t.Size() != o.Size() {
+		panic("mle: size mismatch")
+	}
+	ff.Vector(t.Evals).MulInPlace(ff.Vector(o.Evals))
+}
+
+// ScaleInPlace multiplies every entry by c.
+func (t *Table) ScaleInPlace(c *ff.Element) {
+	ff.Vector(t.Evals).ScaleInPlace(c)
+}
+
+// FixLastVariable fixes X_µ (the most-significant index bit) to r, halving
+// the table. Used by protocol steps that restrict from the high end.
+func (t *Table) FixLastVariable(r *ff.Element) {
+	if t.NumVars == 0 {
+		panic("mle: cannot fix a 0-variable table")
+	}
+	half := len(t.Evals) / 2
+	var diff ff.Element
+	for j := 0; j < half; j++ {
+		lo := t.Evals[j]
+		diff.Sub(&t.Evals[j+half], &lo)
+		diff.Mul(&diff, r)
+		t.Evals[j].Add(&lo, &diff)
+	}
+	t.Evals = t.Evals[:half]
+	t.NumVars--
+}
+
+// Sparsity statistics of a table, used to drive the hardware memory model's
+// per-tile offset-buffer compression (Section IV-B1).
+type Sparsity struct {
+	Zeros int
+	Ones  int
+	Dense int
+	Total int
+}
+
+// AnalyzeSparsity counts zero / one / dense entries.
+func (t *Table) AnalyzeSparsity() Sparsity {
+	s := Sparsity{Total: len(t.Evals)}
+	oneE := ff.One()
+	for i := range t.Evals {
+		switch {
+		case t.Evals[i].IsZero():
+			s.Zeros++
+		case t.Evals[i].Equal(&oneE):
+			s.Ones++
+		default:
+			s.Dense++
+		}
+	}
+	return s
+}
+
+// DenseFraction returns the fraction of entries that are neither 0 nor 1.
+func (s Sparsity) DenseFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Dense) / float64(s.Total)
+}

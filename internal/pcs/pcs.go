@@ -1,0 +1,210 @@
+// Package pcs implements a multilinear polynomial commitment scheme in the
+// style of PST13/multilinear-KZG — the commitment scheme HyperPlonk pairs
+// with its SumCheck IOP.
+//
+// Committing to a µ-variable MLE is an MSM of its 2^µ evaluations against a
+// Lagrange-basis SRS; opening at a point z produces µ witness commitments
+// (one per variable) via the telescoping identity
+//
+//	f(X) − f(z) = Σ_i (X_i − z_i)·q_i(X_{i+1..µ}).
+//
+// SUBSTITUTION (documented in DESIGN.md): the paper's testbed verifies
+// openings with a BLS12-381 pairing. This reproduction keeps the trapdoor τ
+// from its *simulated* trusted setup and checks the algebraically identical
+// group equation
+//
+//	C − y·G = Σ_i (τ_i − z_i)·Π_i
+//
+// in G1 directly. The prover side — every MSM the zkPHIRE hardware
+// accelerates — is bit-identical to the pairing-based scheme.
+package pcs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"zkphire/internal/curve"
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+)
+
+// SRS is the structured reference string for up to MaxVars variables.
+type SRS struct {
+	MaxVars int
+	// Levels[k] is the Lagrange commitment basis for k-variable MLEs:
+	// Levels[k][x] = eq(x, τ[MaxVars-k:])·G for x ∈ {0,1}^k.
+	Levels [][]curve.G1Affine
+	// Tau is the simulation trapdoor, retained for trapdoor verification in
+	// place of the pairing check.
+	Tau []ff.Element
+	// G is the group generator.
+	G curve.G1Affine
+}
+
+// Commitment is a hiding-free binding commitment to an MLE.
+type Commitment struct {
+	Point   curve.G1Affine
+	NumVars int
+}
+
+// OpeningProof holds the µ witness commitments for one point opening.
+type OpeningProof struct {
+	Qs []curve.G1Affine
+}
+
+// Setup generates an SRS for MLEs of up to maxVars variables. Randomness is
+// read from rng (crypto/rand in production, a seeded reader in tests).
+func Setup(maxVars int, rng io.Reader) (*SRS, error) {
+	if maxVars < 1 || maxVars > 26 {
+		return nil, fmt.Errorf("pcs: unsupported variable count %d", maxVars)
+	}
+	tau := make([]ff.Element, maxVars)
+	for i := range tau {
+		if _, err := tau[i].SetRandom(rng); err != nil {
+			return nil, err
+		}
+	}
+	return setupWithTau(maxVars, tau), nil
+}
+
+// SetupDeterministic builds an SRS from a seed; for tests and benchmarks.
+func SetupDeterministic(maxVars int, seed int64) *SRS {
+	rng := ff.NewRand(seed)
+	tau := rng.Elements(maxVars)
+	return setupWithTau(maxVars, tau)
+}
+
+func setupWithTau(maxVars int, tau []ff.Element) *SRS {
+	g := curve.Generator()
+	fb := curve.NewFixedBaseTable(g, 8)
+	srs := &SRS{MaxVars: maxVars, Tau: tau, G: g, Levels: make([][]curve.G1Affine, maxVars+1)}
+	for k := 0; k <= maxVars; k++ {
+		suffix := tau[maxVars-k:]
+		eq := mle.Eq(suffix)
+		srs.Levels[k] = fb.MulMany(eq.Evals)
+	}
+	return srs
+}
+
+// tauSuffix returns the trapdoor coordinates used by a k-variable MLE.
+func (s *SRS) tauSuffix(k int) []ff.Element { return s.Tau[s.MaxVars-k:] }
+
+// Commit commits to an MLE. Sparse tables automatically take the Sparse MSM
+// path (the hardware's witness-commitment mode).
+func (s *SRS) Commit(t *mle.Table) (Commitment, error) {
+	k := t.NumVars
+	if k > s.MaxVars {
+		return Commitment{}, fmt.Errorf("pcs: table has %d vars, SRS supports %d", k, s.MaxVars)
+	}
+	basis := s.Levels[k]
+	sp := t.AnalyzeSparsity()
+	var acc curve.G1Jac
+	if sp.DenseFraction() < 0.5 {
+		acc = curve.SparseMSM(basis, t.Evals)
+	} else {
+		acc = curve.MSM(basis, t.Evals)
+	}
+	var aff curve.G1Affine
+	aff.FromJacobian(&acc)
+	return Commitment{Point: aff, NumVars: k}, nil
+}
+
+// Open produces an evaluation proof for t at point z, returning the value
+// f(z) and the witness commitments.
+func (s *SRS) Open(t *mle.Table, z []ff.Element) (ff.Element, *OpeningProof, error) {
+	k := t.NumVars
+	if len(z) != k {
+		return ff.Element{}, nil, fmt.Errorf("pcs: point arity %d for %d-var table", len(z), k)
+	}
+	if k > s.MaxVars {
+		return ff.Element{}, nil, fmt.Errorf("pcs: table too large for SRS")
+	}
+	cur := t.Clone()
+	proof := &OpeningProof{Qs: make([]curve.G1Affine, k)}
+	for i := 0; i < k; i++ {
+		half := cur.Size() / 2
+		q := make([]ff.Element, half)
+		for j := 0; j < half; j++ {
+			q[j].Sub(&cur.Evals[2*j+1], &cur.Evals[2*j])
+		}
+		acc := curve.MSM(s.Levels[k-i-1], q)
+		proof.Qs[i].FromJacobian(&acc)
+		cur.Fold(&z[i])
+	}
+	return cur.Evals[0], proof, nil
+}
+
+// ErrVerify reports an invalid opening.
+var ErrVerify = errors.New("pcs: opening verification failed")
+
+// Verify checks that commitment c opens to value y at point z.
+//
+// Trapdoor-mode check of the pairing identity: C − y·G = Σ (τ_i − z_i)·Π_i.
+func (s *SRS) Verify(c Commitment, z []ff.Element, y ff.Element, proof *OpeningProof) error {
+	k := c.NumVars
+	if len(z) != k || len(proof.Qs) != k {
+		return fmt.Errorf("pcs: arity mismatch in verification")
+	}
+	suffix := s.tauSuffix(k)
+
+	var lhs curve.G1Jac
+	lhs.FromAffine(&c.Point)
+	var yNeg ff.Element
+	yNeg.Neg(&y)
+	var gJ, yG curve.G1Jac
+	gJ.FromAffine(&s.G)
+	yG.ScalarMul(&gJ, &yNeg)
+	lhs.AddAssign(&yG)
+
+	// RHS = Σ (τ_i − z_i)·Q_i via one MSM.
+	scalars := make([]ff.Element, k)
+	for i := 0; i < k; i++ {
+		scalars[i].Sub(&suffix[i], &z[i])
+	}
+	rhs := curve.MSM(proof.Qs, scalars)
+
+	if !lhs.Equal(&rhs) {
+		return ErrVerify
+	}
+	return nil
+}
+
+// CombineCommitments returns Σ coeffs[i]·cs[i]; all commitments must share
+// the same arity. Used for batched single-point openings.
+func CombineCommitments(cs []Commitment, coeffs []ff.Element) (Commitment, error) {
+	if len(cs) == 0 || len(cs) != len(coeffs) {
+		return Commitment{}, fmt.Errorf("pcs: bad combination arity")
+	}
+	k := cs[0].NumVars
+	points := make([]curve.G1Affine, len(cs))
+	for i := range cs {
+		if cs[i].NumVars != k {
+			return Commitment{}, fmt.Errorf("pcs: mixed arity in combination")
+		}
+		points[i] = cs[i].Point
+	}
+	acc := curve.MSM(points, coeffs)
+	var aff curve.G1Affine
+	aff.FromJacobian(&acc)
+	return Commitment{Point: aff, NumVars: k}, nil
+}
+
+// CombineTables returns Σ coeffs[i]·tables[i] as a new table.
+func CombineTables(tables []*mle.Table, coeffs []ff.Element) (*mle.Table, error) {
+	if len(tables) == 0 || len(tables) != len(coeffs) {
+		return nil, fmt.Errorf("pcs: bad combination arity")
+	}
+	out := mle.New(tables[0].NumVars)
+	var tmp ff.Element
+	for i, t := range tables {
+		if t.NumVars != out.NumVars {
+			return nil, fmt.Errorf("pcs: mixed arity in table combination")
+		}
+		for j := range t.Evals {
+			tmp.Mul(&t.Evals[j], &coeffs[i])
+			out.Evals[j].Add(&out.Evals[j], &tmp)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+// Package perm implements HyperPlonk's wire-identity (permutation) argument.
+//
+// Wire values live in k columns of N = 2^µ rows. A global permutation σ over
+// the k·N positions encodes the circuit's copy constraints. With challenges
+// β, γ the prover forms, per column j,
+//
+//	N_j(x) = w_j(x) + β·id_j(x) + γ      (numerator)
+//	D_j(x) = w_j(x) + β·σ_j(x) + γ      (denominator)
+//
+// and the fraction ϕ(x) = Π_j N_j(x) / Π_j D_j(x). The permutation holds iff
+// Π_x ϕ(x) = 1, which is proven with the Quarks-style product tree
+//
+//	T[0..N)   = ϕ (leaves)
+//	T[N + j]  = T[2j]·T[2j+1]   for j < N−1
+//	T[2N−1]   = 1
+//
+// committed as the (µ+1)-variable MLE v. The index-mapped views
+// p₁(x) = T[2x], p₂(x) = T[2x+1], π(x) = T[N+x] satisfy
+// π − p₁·p₂ ≡ 0 on the hypercube, and the x = N−1 instance doubles as the
+// root check Π ϕ = 1 (because T[2N−1] = 1 forces π[N−1] = 1 = root·1).
+// Combined with α·(ϕ·ΠD − ΠN) ≡ 0 this is exactly Table I's poly 21/23.
+package perm
+
+import (
+	"fmt"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+)
+
+// Permutation represents σ over k columns × N rows: Sigma[j][x] is the
+// flattened position (column·N + row) that position (j, x) maps to.
+type Permutation struct {
+	Columns int
+	Rows    int
+	Sigma   [][]int
+}
+
+// Identity returns the identity permutation for k columns of n rows.
+func Identity(k, n int) *Permutation {
+	p := &Permutation{Columns: k, Rows: n, Sigma: make([][]int, k)}
+	for j := 0; j < k; j++ {
+		p.Sigma[j] = make([]int, n)
+		for x := 0; x < n; x++ {
+			p.Sigma[j][x] = j*n + x
+		}
+	}
+	return p
+}
+
+// Validate checks that σ is a bijection over k·N positions.
+func (p *Permutation) Validate() error {
+	total := p.Columns * p.Rows
+	seen := make([]bool, total)
+	for j := range p.Sigma {
+		if len(p.Sigma[j]) != p.Rows {
+			return fmt.Errorf("perm: column %d has %d rows, want %d", j, len(p.Sigma[j]), p.Rows)
+		}
+		for _, t := range p.Sigma[j] {
+			if t < 0 || t >= total {
+				return fmt.Errorf("perm: target %d out of range", t)
+			}
+			if seen[t] {
+				return fmt.Errorf("perm: target %d repeated — not a bijection", t)
+			}
+			seen[t] = true
+		}
+	}
+	return nil
+}
+
+// AddCycle links the given flattened positions into a copy-constraint cycle
+// (rotating their σ targets).
+func (p *Permutation) AddCycle(positions []int) {
+	if len(positions) < 2 {
+		return
+	}
+	n := p.Rows
+	for i, pos := range positions {
+		next := positions[(i+1)%len(positions)]
+		p.Sigma[pos/n][pos%n] = next
+	}
+}
+
+// IDTable returns id_j as an MLE: id_j[x] = j·N + x encoded as a field
+// element. It is multilinear in x by construction.
+func IDTable(j, numVars int) *mle.Table {
+	n := 1 << uint(numVars)
+	t := mle.New(numVars)
+	for x := 0; x < n; x++ {
+		t.Evals[x].SetUint64(uint64(j*n + x))
+	}
+	return t
+}
+
+// IDEval evaluates ĩd_j at an arbitrary point r without building the table:
+// j·N + Σ r_i·2^{i-1}.
+func IDEval(j int, r []ff.Element) ff.Element {
+	n := uint64(1) << uint(len(r))
+	var out ff.Element
+	out.SetUint64(uint64(j) * n)
+	for i := range r {
+		var w ff.Element
+		w.SetUint64(uint64(1) << uint(i))
+		w.Mul(&w, &r[i])
+		out.Add(&out, &w)
+	}
+	return out
+}
+
+// SigmaTables materializes σ_j as MLE tables with the same encoding as
+// IDTable. These are preprocessed (committed in the index).
+func SigmaTables(p *Permutation, numVars int) []*mle.Table {
+	if p.Rows != 1<<uint(numVars) {
+		panic("perm: row count does not match numVars")
+	}
+	out := make([]*mle.Table, p.Columns)
+	for j := 0; j < p.Columns; j++ {
+		t := mle.New(numVars)
+		for x := 0; x < p.Rows; x++ {
+			t.Evals[x].SetUint64(uint64(p.Sigma[j][x]))
+		}
+		out[j] = t
+	}
+	return out
+}
+
+// Argument holds everything the PermCheck SumCheck consumes.
+type Argument struct {
+	Beta, Gamma ff.Element
+	// NTabs and DTabs are the per-column numerators and denominators (the
+	// intermediate N_1..k / D_1..k MLEs of the paper, produced in hardware by
+	// the Permutation Quotient Generator).
+	NTabs, DTabs []*mle.Table
+	// Phi = ΠN / ΠD, computed with batched modular inversion.
+	Phi *mle.Table
+	// V is the (µ+1)-variable product-tree MLE (committed).
+	V *mle.Table
+	// Pi, P1, P2 are the µ-variable index views of V.
+	Pi, P1, P2 *mle.Table
+}
+
+// Build constructs the argument for the given wires, σ tables, and
+// challenges. wires and sigmaTabs must have one table per column.
+func Build(wires, sigmaTabs []*mle.Table, beta, gamma ff.Element) *Argument {
+	k := len(wires)
+	if k == 0 || len(sigmaTabs) != k {
+		panic("perm: column count mismatch")
+	}
+	nv := wires[0].NumVars
+	n := 1 << uint(nv)
+
+	a := &Argument{Beta: beta, Gamma: gamma}
+	a.NTabs = make([]*mle.Table, k)
+	a.DTabs = make([]*mle.Table, k)
+	var tmp ff.Element
+	for j := 0; j < k; j++ {
+		id := IDTable(j, nv)
+		nt := mle.New(nv)
+		dt := mle.New(nv)
+		for x := 0; x < n; x++ {
+			tmp.Mul(&beta, &id.Evals[x])
+			nt.Evals[x].Add(&wires[j].Evals[x], &tmp)
+			nt.Evals[x].Add(&nt.Evals[x], &gamma)
+
+			tmp.Mul(&beta, &sigmaTabs[j].Evals[x])
+			dt.Evals[x].Add(&wires[j].Evals[x], &tmp)
+			dt.Evals[x].Add(&dt.Evals[x], &gamma)
+		}
+		a.NTabs[j] = nt
+		a.DTabs[j] = dt
+	}
+
+	// ϕ = ΠN / ΠD with one batched inversion.
+	num := make([]ff.Element, n)
+	den := make([]ff.Element, n)
+	for x := 0; x < n; x++ {
+		num[x] = a.NTabs[0].Evals[x]
+		den[x] = a.DTabs[0].Evals[x]
+		for j := 1; j < k; j++ {
+			num[x].Mul(&num[x], &a.NTabs[j].Evals[x])
+			den[x].Mul(&den[x], &a.DTabs[j].Evals[x])
+		}
+	}
+	ff.BatchInvert(den)
+	phi := mle.New(nv)
+	for x := 0; x < n; x++ {
+		phi.Evals[x].Mul(&num[x], &den[x])
+	}
+	a.Phi = phi
+
+	// Product tree T of size 2N.
+	tEvals := make([]ff.Element, 2*n)
+	copy(tEvals, phi.Evals)
+	for j := 0; j < n-1; j++ {
+		tEvals[n+j].Mul(&tEvals[2*j], &tEvals[2*j+1])
+	}
+	tEvals[2*n-1] = ff.One()
+	a.V = mle.FromEvals(tEvals)
+
+	// Views.
+	a.Pi = mle.FromEvals(append([]ff.Element(nil), tEvals[n:]...))
+	p1 := make([]ff.Element, n)
+	p2 := make([]ff.Element, n)
+	for x := 0; x < n; x++ {
+		p1[x] = tEvals[2*x]
+		p2[x] = tEvals[2*x+1]
+	}
+	a.P1 = mle.FromEvals(p1)
+	a.P2 = mle.FromEvals(p2)
+	return a
+}
+
+// Root returns the grand product Π_x ϕ(x) (T[2N−2]).
+func (a *Argument) Root() ff.Element {
+	return a.V.Evals[len(a.V.Evals)-2]
+}
+
+// ViewPoints returns the four points of the committed (µ+1)-var MLE v whose
+// evaluations reconstruct π(r), p₁(r), p₂(r), ϕ(r):
+//
+//	π(r)  = ṽ(r, 1)    p₁(r) = ṽ(0, r)    p₂(r) = ṽ(1, r)    ϕ(r) = ṽ(r, 0)
+func ViewPoints(r []ff.Element) (piPt, p1Pt, p2Pt, phiPt []ff.Element) {
+	oneE := ff.One()
+	zeroE := ff.Zero()
+	piPt = append(append([]ff.Element(nil), r...), oneE)
+	phiPt = append(append([]ff.Element(nil), r...), zeroE)
+	p1Pt = append([]ff.Element{zeroE}, r...)
+	p2Pt = append([]ff.Element{oneE}, r...)
+	return
+}

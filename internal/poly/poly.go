@@ -1,0 +1,272 @@
+// Package poly defines the composite-polynomial intermediate representation
+// shared by the software SumCheck prover and the hardware scheduler: a sum of
+// terms, each term a coefficient times a product of constituent multilinear
+// polynomials (with powers). It also carries the per-constituent sparsity
+// roles the memory model needs, and registers every constraint from Table I
+// of the paper.
+package poly
+
+import (
+	"fmt"
+	"sort"
+
+	"zkphire/internal/expr"
+	"zkphire/internal/ff"
+)
+
+// Role classifies a constituent MLE for the sparsity-aware memory model
+// (Section IV-B1): selectors are almost entirely 0/1, witnesses are ~90%
+// sparse, permutation/product MLEs are dense, and Eq MLEs are built on the
+// fly in round 1.
+type Role int
+
+const (
+	// RoleSelector marks enable polynomials (q_i): binary entries.
+	RoleSelector Role = iota
+	// RoleWitness marks witness polynomials (w_i): ~90% sparse.
+	RoleWitness
+	// RoleDense marks dense 255-bit MLEs (permutation, products, quotients).
+	RoleDense
+	// RoleEq marks eq(X, r) polynomials built on the fly during round 1.
+	RoleEq
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSelector:
+		return "selector"
+	case RoleWitness:
+		return "witness"
+	case RoleDense:
+		return "dense"
+	case RoleEq:
+		return "eq"
+	default:
+		return "unknown"
+	}
+}
+
+// Factor is one constituent MLE raised to a power within a term.
+type Factor struct {
+	Var   int // index into Composite.VarNames
+	Power int
+}
+
+// Term is Coeff · Π factors.
+type Term struct {
+	Coeff   ff.Element
+	Factors []Factor
+}
+
+// Degree returns the total degree of the term (sum of powers).
+func (t Term) Degree() int {
+	d := 0
+	for _, f := range t.Factors {
+		d += f.Power
+	}
+	return d
+}
+
+// DistinctVars returns the number of distinct constituent MLEs in the term —
+// the quantity that occupies Extension Engine slots in the hardware.
+func (t Term) DistinctVars() int { return len(t.Factors) }
+
+// Composite is a sum-of-products polynomial over named constituent MLEs.
+type Composite struct {
+	Name     string
+	ID       int // Table I identifier, or -1
+	VarNames []string
+	Roles    []Role
+	Terms    []Term
+}
+
+// NumVars returns the number of constituent MLEs.
+func (c *Composite) NumVars() int { return len(c.VarNames) }
+
+// Degree returns the composite degree: the maximum term degree. A SumCheck
+// round polynomial for this composite needs Degree()+1 evaluations.
+func (c *Composite) Degree() int {
+	d := 0
+	for _, t := range c.Terms {
+		if td := t.Degree(); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// NumTerms returns the number of product terms.
+func (c *Composite) NumTerms() int { return len(c.Terms) }
+
+// MaxDistinctVars returns the largest number of distinct MLEs in any term.
+func (c *Composite) MaxDistinctVars() int {
+	m := 0
+	for _, t := range c.Terms {
+		if v := t.DistinctVars(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// VarIndex returns the index for a constituent name, or -1.
+func (c *Composite) VarIndex(name string) int {
+	for i, n := range c.VarNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Evaluate computes the composite value for a pointwise assignment of each
+// constituent MLE (assign[i] is the value of VarNames[i]).
+func (c *Composite) Evaluate(assign []ff.Element) ff.Element {
+	if len(assign) != len(c.VarNames) {
+		panic(fmt.Sprintf("poly: %s: %d assignments for %d vars", c.Name, len(assign), len(c.VarNames)))
+	}
+	var out ff.Element
+	for _, t := range c.Terms {
+		term := t.Coeff
+		for _, f := range t.Factors {
+			var p ff.Element
+			p.ExpUint64(&assign[f.Var], uint64(f.Power))
+			term.Mul(&term, &p)
+		}
+		out.Add(&out, &term)
+	}
+	return out
+}
+
+// Validate checks internal consistency (indices in range, positive powers).
+func (c *Composite) Validate() error {
+	if len(c.Roles) != len(c.VarNames) {
+		return fmt.Errorf("poly %s: %d roles for %d vars", c.Name, len(c.Roles), len(c.VarNames))
+	}
+	for ti, t := range c.Terms {
+		if len(t.Factors) == 0 && t.Coeff.IsZero() {
+			return fmt.Errorf("poly %s: term %d is empty", c.Name, ti)
+		}
+		seen := map[int]bool{}
+		for _, f := range t.Factors {
+			if f.Var < 0 || f.Var >= len(c.VarNames) {
+				return fmt.Errorf("poly %s: term %d references var %d out of range", c.Name, ti, f.Var)
+			}
+			if f.Power <= 0 {
+				return fmt.Errorf("poly %s: term %d has non-positive power", c.Name, ti)
+			}
+			if seen[f.Var] {
+				return fmt.Errorf("poly %s: term %d repeats var %d (merge powers)", c.Name, ti, f.Var)
+			}
+			seen[f.Var] = true
+		}
+	}
+	return nil
+}
+
+// FromExpr expands a gate expression into a Composite. Roles default by
+// naming convention (q* → selector, fr*/eq* → eq, w*/x*/y*/a/b/c… → witness)
+// and can be overridden per name.
+func FromExpr(name string, id int, e expr.Expr, roleOverride map[string]Role) *Composite {
+	monos := expr.Expand(e)
+	nameSet := map[string]bool{}
+	for _, m := range monos {
+		for _, v := range m.Vars {
+			nameSet[v] = true
+		}
+	}
+	varNames := make([]string, 0, len(nameSet))
+	for v := range nameSet {
+		varNames = append(varNames, v)
+	}
+	sort.Strings(varNames)
+	idx := map[string]int{}
+	for i, v := range varNames {
+		idx[v] = i
+	}
+
+	c := &Composite{Name: name, ID: id, VarNames: varNames}
+	c.Roles = make([]Role, len(varNames))
+	for i, v := range varNames {
+		c.Roles[i] = defaultRole(v)
+		if r, ok := roleOverride[v]; ok {
+			c.Roles[i] = r
+		}
+	}
+
+	for _, m := range monos {
+		t := Term{Coeff: m.Coeff}
+		// m.Vars is sorted; compress runs into powers.
+		for i := 0; i < len(m.Vars); {
+			j := i
+			for j < len(m.Vars) && m.Vars[j] == m.Vars[i] {
+				j++
+			}
+			t.Factors = append(t.Factors, Factor{Var: idx[m.Vars[i]], Power: j - i})
+			i = j
+		}
+		c.Terms = append(c.Terms, t)
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func defaultRole(name string) Role {
+	if name == "" {
+		return RoleDense
+	}
+	switch {
+	case len(name) >= 2 && name[:2] == "fr", len(name) >= 2 && name[:2] == "eq", name == "ftau":
+		return RoleEq
+	case name[0] == 'q':
+		return RoleSelector
+	case name[0] == 'w', name[0] == 'a', name[0] == 'b', name[0] == 'c',
+		name[0] == 'x', name[0] == 'y', name == "lambda", name == "alpha",
+		name == "beta", name == "gamma", name == "delta":
+		return RoleWitness
+	default:
+		return RoleDense
+	}
+}
+
+// MulByEq returns a copy of c with every term multiplied by a fresh eq
+// constituent (the ZeroCheck f_r polynomial).
+func (c *Composite) MulByEq(eqName string) *Composite {
+	out := &Composite{
+		Name:     c.Name + "*" + eqName,
+		ID:       c.ID,
+		VarNames: append(append([]string(nil), c.VarNames...), eqName),
+		Roles:    append(append([]Role(nil), c.Roles...), RoleEq),
+	}
+	eqVar := len(c.VarNames)
+	for _, t := range c.Terms {
+		nt := Term{Coeff: t.Coeff, Factors: append(append([]Factor(nil), t.Factors...), Factor{Var: eqVar, Power: 1})}
+		out.Terms = append(out.Terms, nt)
+	}
+	return out
+}
+
+// String renders the composite for diagnostics.
+func (c *Composite) String() string {
+	s := c.Name + " = "
+	for i, t := range c.Terms {
+		if i > 0 {
+			s += " + "
+		}
+		if !t.Coeff.IsOne() {
+			s += t.Coeff.String() + "·"
+		}
+		for fi, f := range t.Factors {
+			if fi > 0 {
+				s += "·"
+			}
+			s += c.VarNames[f.Var]
+			if f.Power > 1 {
+				s += fmt.Sprintf("^%d", f.Power)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package spartan
+
+import (
+	"fmt"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+)
+
+// ToVanillaCircuit lowers an R1CS instance (with witness) onto Vanilla Plonk
+// gates, the mapping Table IX assumes when comparing R1CS-based accelerators
+// (SZKP, NoCap) with Plonk-based ones. Each row (Σaᵢzᵢ)·(Σbᵢzᵢ) = (Σcᵢzᵢ)
+// lowers to adder chains for the three linear combinations plus one
+// multiply-and-assert gate; rows whose combinations are single variables
+// lower 1:1, matching the paper's modeling assumption for sparse systems.
+func ToVanillaCircuit(r *R1CS, z []ff.Element, logGates int) (*gates.Circuit, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if len(z) != r.NumCols {
+		return nil, fmt.Errorf("spartan: witness arity mismatch")
+	}
+	if !r.Satisfied(z) {
+		return nil, fmt.Errorf("spartan: witness does not satisfy the R1CS")
+	}
+
+	b := gates.NewVanillaBuilder()
+	vars := make([]gates.Variable, r.NumCols)
+	for i := range vars {
+		vars[i] = b.NewVariable(z[i])
+	}
+
+	// Group entries by row.
+	rowsA := groupByRow(r.A, r.NumRows)
+	rowsB := groupByRow(r.B, r.NumRows)
+	rowsC := groupByRow(r.C, r.NumRows)
+
+	lc := func(entries []Entry) gates.Variable {
+		// Build Σ v·z_col with scaled adds. A scale is one gate (qL = v).
+		var acc gates.Variable = -1
+		for _, e := range entries {
+			term := vars[e.Col]
+			if !e.Val.IsOne() {
+				term = b.ScaleConst(term, e.Val)
+			}
+			if acc < 0 {
+				acc = term
+			} else {
+				acc = b.Add(acc, term)
+			}
+		}
+		if acc < 0 {
+			acc = b.NewVariable(ff.Zero())
+		}
+		return acc
+	}
+
+	for row := 0; row < r.NumRows; row++ {
+		if len(rowsA[row]) == 0 && len(rowsB[row]) == 0 && len(rowsC[row]) == 0 {
+			continue
+		}
+		a := lc(rowsA[row])
+		bb := lc(rowsB[row])
+		c := lc(rowsC[row])
+		prod := b.Mul(a, bb)
+		b.AssertEqual(prod, c)
+	}
+	return b.Build(logGates)
+}
+
+func groupByRow(entries []Entry, rows int) [][]Entry {
+	out := make([][]Entry, rows)
+	for _, e := range entries {
+		out[e.Row] = append(out[e.Row], e)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package spartan
+
+import (
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+	"zkphire/internal/sumcheck"
+	"zkphire/internal/transcript"
+)
+
+// cubicR1CS encodes x³ + x + 5 = 35 as R1CS:
+//
+//	z = [1, x, t1=x², t2=x³]
+//	row 0: x·x = t1
+//	row 1: t1·x = t2
+//	row 2: (t2 + x + 5)·1 = 35
+func cubicR1CS(x uint64) (*R1CS, []ff.Element) {
+	r := NewR1CS(3, 4)
+	one := ff.One()
+	r.AddConstraint(0,
+		map[int]ff.Element{1: one},
+		map[int]ff.Element{1: one},
+		map[int]ff.Element{2: one})
+	r.AddConstraint(1,
+		map[int]ff.Element{2: one},
+		map[int]ff.Element{1: one},
+		map[int]ff.Element{3: one})
+	r.AddConstraint(2,
+		map[int]ff.Element{0: ff.NewElement(5), 1: one, 3: one},
+		map[int]ff.Element{0: one},
+		map[int]ff.Element{0: ff.NewElement(35)})
+
+	xe := ff.NewElement(x)
+	var x2, x3 ff.Element
+	x2.Mul(&xe, &xe)
+	x3.Mul(&x2, &xe)
+	z := []ff.Element{ff.One(), xe, x2, x3}
+	return r, z
+}
+
+func TestSatisfied(t *testing.T) {
+	r, z := cubicR1CS(3)
+	if !r.Satisfied(z) {
+		t.Fatal("x=3 should satisfy the cubic R1CS")
+	}
+	rBad, zBad := cubicR1CS(4)
+	if rBad.Satisfied(zBad) {
+		t.Fatal("x=4 should not satisfy")
+	}
+}
+
+func TestProveVerifyHonest(t *testing.T) {
+	r, z := cubicR1CS(3)
+	trP := transcript.New("spartan")
+	proof, err := Prove(trP, r, z, sumcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trV := transcript.New("spartan")
+	if err := Verify(trV, r, proof); err != nil {
+		t.Fatalf("honest Spartan proof rejected: %v", err)
+	}
+}
+
+func TestUnsatisfiedRejected(t *testing.T) {
+	r, z := cubicR1CS(4) // wrong witness
+	trP := transcript.New("spartan")
+	proof, err := Prove(trP, r, z, sumcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trV := transcript.New("spartan")
+	if err := Verify(trV, r, proof); err == nil {
+		t.Fatal("unsatisfied R1CS proof accepted")
+	}
+}
+
+func TestTamperedABCRejected(t *testing.T) {
+	r, z := cubicR1CS(3)
+	trP := transcript.New("spartan")
+	proof, err := Prove(trP, r, z, sumcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneE := ff.One()
+	proof.ABCEvals[1].Add(&proof.ABCEvals[1], &oneE)
+	trV := transcript.New("spartan")
+	if err := Verify(trV, r, proof); err == nil {
+		t.Fatal("tampered matrix-vector claim accepted")
+	}
+}
+
+func TestTamperedInnerFinalRejected(t *testing.T) {
+	r, z := cubicR1CS(3)
+	trP := transcript.New("spartan")
+	proof, err := Prove(trP, r, z, sumcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneE := ff.One()
+	proof.Inner.FinalEvals[0].Add(&proof.Inner.FinalEvals[0], &oneE)
+	trV := transcript.New("spartan")
+	if err := Verify(trV, r, proof); err == nil {
+		t.Fatal("tampered inner final evaluation accepted")
+	}
+}
+
+func TestMatrixEvalAgainstDense(t *testing.T) {
+	r, _ := cubicR1CS(3)
+	rng := ff.NewRand(4)
+	rows, muX := pad2(r.NumRows)
+	cols, muY := pad2(r.NumCols)
+	rx := rng.Elements(muX)
+	ry := rng.Elements(muY)
+
+	// Dense reference: materialize Ã as a (rows × cols) MLE and evaluate.
+	dense := mle.New(muX + muY)
+	for _, e := range r.A {
+		dense.Evals[e.Col*rows+e.Row] = e.Val
+	}
+	// Index layout: row bits are the low bits, col bits the high bits.
+	pt := append(append([]ff.Element(nil), rx...), ry...)
+	want := dense.Evaluate(pt)
+	got := MatrixEval(r.A, rx, ry)
+	if !got.Equal(&want) {
+		t.Fatal("sparse matrix evaluation disagrees with dense MLE")
+	}
+	_ = cols
+}
+
+func TestLargerSystem(t *testing.T) {
+	// A chain of squarings: z_{i+1} = z_i², 30 constraints.
+	n := 30
+	r := NewR1CS(n, n+2)
+	one := ff.One()
+	z := make([]ff.Element, n+2)
+	z[0] = ff.One()
+	z[1] = ff.NewElement(7)
+	for i := 0; i < n; i++ {
+		r.AddConstraint(i,
+			map[int]ff.Element{i + 1: one},
+			map[int]ff.Element{i + 1: one},
+			map[int]ff.Element{i + 2: one})
+		z[i+2].Mul(&z[i+1], &z[i+1])
+	}
+	if !r.Satisfied(z) {
+		t.Fatal("squaring chain unsatisfied")
+	}
+	trP := transcript.New("spartan-big")
+	proof, err := Prove(trP, r, z, sumcheck.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trV := transcript.New("spartan-big")
+	if err := Verify(trV, r, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	r := NewR1CS(2, 2)
+	r.A = append(r.A, Entry{Row: 5, Col: 0, Val: ff.One()})
+	if err := r.Validate(); err == nil {
+		t.Fatal("out-of-bounds entry accepted")
+	}
+}

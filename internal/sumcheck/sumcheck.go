@@ -1,0 +1,305 @@
+// Package sumcheck implements the SumCheck protocol over composite
+// multilinear polynomials: the prover convinces a verifier that
+// Σ_{x∈{0,1}^µ} f(x) = C, where f is a sum of products of multilinear
+// polynomials (poly.Composite).
+//
+// The prover here is the paper's "CPU baseline": a multi-threaded
+// implementation whose inner loop is exactly the hardware dataflow of
+// Fig. 1 — per evaluation pair, extend each constituent MLE to the d+1
+// points 0..d, multiply extensions across each term, accumulate down the
+// table, hash the round evaluations for a challenge, and fold every table.
+package sumcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+	"zkphire/internal/poly"
+	"zkphire/internal/transcript"
+)
+
+// Assignment binds a composite polynomial to concrete MLE tables: Tables[i]
+// holds the evaluations of Composite.VarNames[i].
+type Assignment struct {
+	Composite *poly.Composite
+	Tables    []*mle.Table
+}
+
+// NewAssignment validates table arity and sizes.
+func NewAssignment(c *poly.Composite, tables []*mle.Table) (*Assignment, error) {
+	if len(tables) != c.NumVars() {
+		return nil, fmt.Errorf("sumcheck: %d tables for %d constituents", len(tables), c.NumVars())
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("sumcheck: composite has no constituents")
+	}
+	nv := tables[0].NumVars
+	for i, t := range tables {
+		if t.NumVars != nv {
+			return nil, fmt.Errorf("sumcheck: table %d has %d vars, want %d", i, t.NumVars, nv)
+		}
+	}
+	return &Assignment{Composite: c, Tables: tables}, nil
+}
+
+// NumVars returns µ, the number of SumCheck rounds.
+func (a *Assignment) NumVars() int { return a.Tables[0].NumVars }
+
+// SumAll computes the true hypercube sum Σ_x f(x) directly (O(N·terms)).
+func (a *Assignment) SumAll() ff.Element {
+	n := a.Tables[0].Size()
+	var sum ff.Element
+	assign := make([]ff.Element, len(a.Tables))
+	for x := 0; x < n; x++ {
+		for i, t := range a.Tables {
+			assign[i] = t.Evals[x]
+		}
+		v := a.Composite.Evaluate(assign)
+		sum.Add(&sum, &v)
+	}
+	return sum
+}
+
+// Clone deep-copies the assignment (the prover folds tables in place).
+func (a *Assignment) Clone() *Assignment {
+	tabs := make([]*mle.Table, len(a.Tables))
+	for i, t := range a.Tables {
+		tabs[i] = t.Clone()
+	}
+	return &Assignment{Composite: a.Composite, Tables: tabs}
+}
+
+// Proof is a transcript of the SumCheck interaction.
+//
+// Round polynomials are stored COMPRESSED: round i's degree-d polynomial is
+// represented by the d evaluations s_i(0), s_i(2), ..., s_i(d). The verifier
+// reconstructs s_i(1) from the running claim (s_i(0)+s_i(1) must equal it),
+// which both shrinks the proof by one scalar per round and makes the
+// consistency check implicit — the standard SumCheck wire optimization the
+// paper's 4–5 KB proof sizes assume.
+type Proof struct {
+	Claim ff.Element
+	// RoundEvals[i] holds [s_i(0), s_i(2), ..., s_i(d)] (d entries).
+	RoundEvals [][]ff.Element
+	// FinalEvals holds each constituent MLE's value at the final challenge
+	// point (to be verified externally, e.g. by PCS openings).
+	FinalEvals []ff.Element
+}
+
+// Config controls the prover.
+type Config struct {
+	// Workers is the number of goroutines for the per-round scan.
+	// Zero means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Prove runs the SumCheck prover, consuming a (cloned) assignment and
+// appending all messages to the transcript. The returned challenges are the
+// verifier's random point r₁..r_µ.
+func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Config) (*Proof, []ff.Element, error) {
+	work := a.Clone()
+	mu := work.NumVars()
+	d := work.Composite.Degree()
+	k := d + 1
+
+	proof := &Proof{Claim: claim, RoundEvals: make([][]ff.Element, 0, mu)}
+	challenges := make([]ff.Element, 0, mu)
+
+	tr.AppendUint64("sumcheck/numvars", uint64(mu))
+	tr.AppendUint64("sumcheck/degree", uint64(d))
+	tr.AppendScalar("sumcheck/claim", &claim)
+
+	for round := 0; round < mu; round++ {
+		evals := roundPolynomial(work, k, cfg.workers())
+		compressed := CompressRound(evals)
+		tr.AppendScalars("sumcheck/round", compressed)
+		r := tr.ChallengeScalar("sumcheck/challenge")
+		challenges = append(challenges, r)
+		for _, t := range work.Tables {
+			t.Fold(&r)
+		}
+		proof.RoundEvals = append(proof.RoundEvals, compressed)
+	}
+
+	proof.FinalEvals = make([]ff.Element, len(work.Tables))
+	for i, t := range work.Tables {
+		proof.FinalEvals[i] = t.Evals[0]
+	}
+	return proof, challenges, nil
+}
+
+// roundPolynomial computes s(t) for t = 0..k-1 over the current tables.
+func roundPolynomial(a *Assignment, k, workers int) []ff.Element {
+	half := a.Tables[0].Size() / 2
+	comp := a.Composite
+	nv := len(a.Tables)
+
+	if workers > half {
+		workers = half
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	accs := make([][]ff.Element, workers)
+	var wg sync.WaitGroup
+	chunk := (half + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > half {
+			hi = half
+		}
+		if lo >= hi {
+			accs[w] = make([]ff.Element, k)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := make([]ff.Element, k)
+			// ext[v][t] is the extension of constituent v at point t for
+			// the current pair.
+			ext := make([][]ff.Element, nv)
+			for v := range ext {
+				ext[v] = make([]ff.Element, k)
+			}
+			var diff, term, pw ff.Element
+			for j := lo; j < hi; j++ {
+				for v := 0; v < nv; v++ {
+					evals := a.Tables[v].Evals
+					a0 := evals[2*j]
+					diff.Sub(&evals[2*j+1], &a0)
+					ext[v][0] = a0
+					for t := 1; t < k; t++ {
+						ext[v][t].Add(&ext[v][t-1], &diff)
+					}
+				}
+				for _, tm := range comp.Terms {
+					for t := 0; t < k; t++ {
+						term = tm.Coeff
+						for _, f := range tm.Factors {
+							pw = ext[f.Var][t]
+							for p := 1; p < f.Power; p++ {
+								pw.Mul(&pw, &ext[f.Var][t])
+							}
+							term.Mul(&term, &pw)
+						}
+						acc[t].Add(&acc[t], &term)
+					}
+				}
+			}
+			accs[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	out := make([]ff.Element, k)
+	for w := range accs {
+		for t := 0; t < k; t++ {
+			out[t].Add(&out[t], &accs[w][t])
+		}
+	}
+	return out
+}
+
+// Verify replays the verifier side of the transcript. It checks each round's
+// consistency s_i(0)+s_i(1) = previous claim and returns the challenge point
+// and the value the composite must take there. The caller must still confirm
+// that value against trusted constituent evaluations (FinalCheck or PCS
+// openings).
+func Verify(tr *transcript.Transcript, c *poly.Composite, numVars int, proof *Proof) ([]ff.Element, ff.Element, error) {
+	d := c.Degree()
+	k := d + 1
+	if len(proof.RoundEvals) != numVars {
+		return nil, ff.Element{}, fmt.Errorf("sumcheck: %d rounds, want %d", len(proof.RoundEvals), numVars)
+	}
+
+	tr.AppendUint64("sumcheck/numvars", uint64(numVars))
+	tr.AppendUint64("sumcheck/degree", uint64(d))
+	tr.AppendScalar("sumcheck/claim", &proof.Claim)
+
+	claim := proof.Claim
+	challenges := make([]ff.Element, 0, numVars)
+	for round := 0; round < numVars; round++ {
+		compressed := proof.RoundEvals[round]
+		if len(compressed) != k-1 {
+			return nil, ff.Element{}, fmt.Errorf("sumcheck: round %d has %d evals, want %d", round, len(compressed), k-1)
+		}
+		// Reconstruct s(1) from the running claim: the round identity
+		// s(0) + s(1) = claim is enforced by construction.
+		evals := DecompressRound(compressed, &claim)
+		tr.AppendScalars("sumcheck/round", compressed)
+		r := tr.ChallengeScalar("sumcheck/challenge")
+		challenges = append(challenges, r)
+		claim = ff.EvalFromPoints(evals, &r)
+	}
+	return challenges, claim, nil
+}
+
+// FinalCheck confirms that claimed constituent evaluations reproduce the
+// verifier's final claim. In a full protocol the evaluations come from PCS
+// openings; standalone tests use the prover's FinalEvals.
+func FinalCheck(c *poly.Composite, finalEvals []ff.Element, want *ff.Element) error {
+	if len(finalEvals) != c.NumVars() {
+		return fmt.Errorf("sumcheck: %d final evals for %d constituents", len(finalEvals), c.NumVars())
+	}
+	got := c.Evaluate(finalEvals)
+	if !got.Equal(want) {
+		return fmt.Errorf("sumcheck: final evaluation mismatch")
+	}
+	return nil
+}
+
+// CompressRound drops s(1) from a round polynomial's evaluations
+// [s(0), s(1), ..., s(d)], returning [s(0), s(2), ..., s(d)].
+func CompressRound(evals []ff.Element) []ff.Element {
+	out := make([]ff.Element, 0, len(evals)-1)
+	out = append(out, evals[0])
+	out = append(out, evals[2:]...)
+	return out
+}
+
+// DecompressRound reconstructs the full evaluation vector from a compressed
+// round and the running claim: s(1) = claim − s(0).
+func DecompressRound(compressed []ff.Element, claim *ff.Element) []ff.Element {
+	out := make([]ff.Element, len(compressed)+1)
+	out[0] = compressed[0]
+	out[1].Sub(claim, &compressed[0])
+	copy(out[2:], compressed[1:])
+	return out
+}
+
+// CountMuls returns the number of modular multiplications one full SumCheck
+// over 2^numVars gates performs with this composite — the analytic workload
+// measure shared with the hardware and CPU models.
+func CountMuls(c *poly.Composite, numVars int) uint64 {
+	k := uint64(c.Degree() + 1)
+	var mulsPerEntry uint64
+	for _, t := range c.Terms {
+		perPoint := uint64(0)
+		for _, f := range t.Factors {
+			perPoint += uint64(f.Power) // power chain + product merge
+		}
+		mulsPerEntry += k * perPoint
+	}
+	// Folding: one multiplication per surviving entry per constituent.
+	foldPerPair := uint64(c.NumVars())
+	var total uint64
+	pairs := uint64(1) << uint(numVars-1)
+	for round := 0; round < numVars; round++ {
+		total += pairs * (mulsPerEntry + foldPerPair)
+		pairs /= 2
+	}
+	return total
+}

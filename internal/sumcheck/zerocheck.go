@@ -1,0 +1,81 @@
+package sumcheck
+
+import (
+	"fmt"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+	"zkphire/internal/poly"
+	"zkphire/internal/transcript"
+)
+
+// ZeroCheck proves that a composite polynomial evaluates to zero at every
+// point of the hypercube. Summing alone is insufficient (nonzero gate errors
+// could cancel), so the composite is multiplied by the random polynomial
+// f_r(X) = eq(X, τ) with τ drawn from the transcript, and the sum of the
+// product is proven to be zero (Section III-F).
+//
+// The returned proof is an ordinary SumCheck proof over the wrapped
+// composite; the eq constituent is appended as the LAST table, which the
+// hardware builds on the fly during round 1 with a dedicated product lane.
+
+// ZeroCheckProof bundles the inner SumCheck proof with the τ vector the
+// verifier re-derives.
+type ZeroCheckProof struct {
+	Inner *Proof
+}
+
+// BuildZeroCheckAssignment wraps the composite with an eq factor bound to
+// eq(X, tau).
+func BuildZeroCheckAssignment(a *Assignment, tau []ff.Element) (*Assignment, *poly.Composite) {
+	wrapped := a.Composite.MulByEq("fr")
+	tables := make([]*mle.Table, 0, len(a.Tables)+1)
+	tables = append(tables, a.Tables...)
+	tables = append(tables, mle.Eq(tau))
+	return &Assignment{Composite: wrapped, Tables: tables}, wrapped
+}
+
+// ProveZero runs a ZeroCheck on the assignment (claiming f ≡ 0 on the
+// hypercube).
+func ProveZero(tr *transcript.Transcript, a *Assignment, cfg Config) (*ZeroCheckProof, []ff.Element, error) {
+	mu := a.NumVars()
+	tau := tr.ChallengeScalars("zerocheck/tau", mu)
+	wrappedAssign, _ := BuildZeroCheckAssignment(a, tau)
+	inner, challenges, err := Prove(tr, wrappedAssign, ff.Zero(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ZeroCheckProof{Inner: inner}, challenges, nil
+}
+
+// VerifyZero replays the ZeroCheck. It returns the challenge point and the
+// value the *wrapped* composite (f·f_r) must take there. The final eq value
+// eq(r, τ) is computed directly by the verifier, so callers need only verify
+// the original constituents' evaluations.
+func VerifyZero(tr *transcript.Transcript, c *poly.Composite, numVars int, proof *ZeroCheckProof) (point []ff.Element, want ff.Element, eqVal ff.Element, err error) {
+	if !proof.Inner.Claim.IsZero() {
+		return nil, ff.Element{}, ff.Element{}, fmt.Errorf("zerocheck: claim must be zero")
+	}
+	tau := tr.ChallengeScalars("zerocheck/tau", numVars)
+	wrapped := c.MulByEq("fr")
+	point, want, err = Verify(tr, wrapped, numVars, proof.Inner)
+	if err != nil {
+		return nil, ff.Element{}, ff.Element{}, err
+	}
+	eqVal = mle.EqEval(point, tau)
+	return point, want, eqVal, nil
+}
+
+// FinalCheckZero confirms claimed constituent evaluations against the
+// ZeroCheck's final claim: f(finalEvals)·eq(r,τ) must equal want.
+func FinalCheckZero(c *poly.Composite, finalEvals []ff.Element, eqVal, want *ff.Element) error {
+	if len(finalEvals) != c.NumVars() {
+		return fmt.Errorf("zerocheck: %d final evals for %d constituents", len(finalEvals), c.NumVars())
+	}
+	got := c.Evaluate(finalEvals)
+	got.Mul(&got, eqVal)
+	if !got.Equal(want) {
+		return fmt.Errorf("zerocheck: final evaluation mismatch")
+	}
+	return nil
+}

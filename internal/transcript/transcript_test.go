@@ -1,0 +1,83 @@
+package transcript
+
+import (
+	"testing"
+
+	"zkphire/internal/ff"
+)
+
+func TestDeterminism(t *testing.T) {
+	mk := func() ff.Element {
+		tr := New("test")
+		tr.AppendUint64("n", 42)
+		e := ff.NewElement(7)
+		tr.AppendScalar("x", &e)
+		return tr.ChallengeScalar("c")
+	}
+	a, b := mk(), mk()
+	if !a.Equal(&b) {
+		t.Fatal("transcript not deterministic")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	t1 := New("a")
+	t2 := New("b")
+	c1 := t1.ChallengeScalar("c")
+	c2 := t2.ChallengeScalar("c")
+	if c1.Equal(&c2) {
+		t.Fatal("different domains produced equal challenges")
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	x, y := ff.NewElement(1), ff.NewElement(2)
+
+	t1 := New("t")
+	t1.AppendScalar("a", &x)
+	t1.AppendScalar("b", &y)
+	c1 := t1.ChallengeScalar("c")
+
+	t2 := New("t")
+	t2.AppendScalar("a", &y)
+	t2.AppendScalar("b", &x)
+	c2 := t2.ChallengeScalar("c")
+
+	if c1.Equal(&c2) {
+		t.Fatal("transcript insensitive to message order/content")
+	}
+}
+
+func TestChallengeChaining(t *testing.T) {
+	tr := New("t")
+	c1 := tr.ChallengeScalar("c")
+	c2 := tr.ChallengeScalar("c")
+	if c1.Equal(&c2) {
+		t.Fatal("successive challenges must differ")
+	}
+	cs := tr.ChallengeScalars("batch", 10)
+	seen := map[string]bool{}
+	for i := range cs {
+		s := cs[i].Hex()
+		if seen[s] {
+			t.Fatal("duplicate challenge in batch")
+		}
+		seen[s] = true
+	}
+}
+
+func TestAppendScalarsBindsAll(t *testing.T) {
+	rng := ff.NewRand(1)
+	es := rng.Elements(8)
+	t1 := New("t")
+	t1.AppendScalars("v", es)
+	c1 := t1.ChallengeScalar("c")
+
+	es[7].Add(&es[7], &es[0])
+	t2 := New("t")
+	t2.AppendScalars("v", es)
+	c2 := t2.ChallengeScalar("c")
+	if c1.Equal(&c2) {
+		t.Fatal("AppendScalars did not bind the last element")
+	}
+}

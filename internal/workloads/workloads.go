@@ -1,0 +1,119 @@
+// Package workloads registers the paper's evaluation workloads (Tables VI,
+// VII, VIII and Fig. 13) with their published Vanilla and Jellyfish gate
+// counts, plus the sparsity statistics shared with prior work. The circuits
+// themselves are proprietary/production artifacts; the models only depend on
+// gate counts, wire counts, and sparsity — all published — so the registry
+// carries exactly those (see DESIGN.md substitutions).
+package workloads
+
+import (
+	"fmt"
+
+	"zkphire/internal/hw"
+)
+
+// GateKind selects the arithmetization.
+type GateKind int
+
+const (
+	// Vanilla is the 3-wire Plonk gate.
+	Vanilla GateKind = iota
+	// Jellyfish is the 5-wire high-degree custom gate.
+	Jellyfish
+)
+
+func (g GateKind) String() string {
+	if g == Jellyfish {
+		return "jellyfish"
+	}
+	return "vanilla"
+}
+
+// Wires returns the witness-column count for a gate kind.
+func (g GateKind) Wires() int {
+	if g == Jellyfish {
+		return 5
+	}
+	return 3
+}
+
+// Workload is one evaluation circuit.
+type Workload struct {
+	Name string
+	// LogVanilla is log2 of the Vanilla gate count ("nominal constraints").
+	LogVanilla int
+	// LogJellyfish is log2 of the Jellyfish gate count (0 if unavailable).
+	LogJellyfish int
+	// CPUVanillaMS / CPUJellyfishMS are the paper's measured 32-thread CPU
+	// prover times (milliseconds); carried for paper-vs-model comparison.
+	CPUVanillaMS   float64
+	CPUJellyfishMS float64
+	Sparsity       hw.SparsityProfile
+}
+
+// Gates returns the gate count for a kind.
+func (w Workload) Gates(kind GateKind) int {
+	lg := w.LogVanilla
+	if kind == Jellyfish {
+		lg = w.LogJellyfish
+	}
+	if lg <= 0 {
+		return 0
+	}
+	return 1 << uint(lg)
+}
+
+// Reduction returns the Vanilla/Jellyfish gate-count ratio.
+func (w Workload) Reduction() float64 {
+	if w.LogJellyfish <= 0 {
+		return 1
+	}
+	return float64(uint64(1) << uint(w.LogVanilla-w.LogJellyfish))
+}
+
+// Registry lists the paper's workloads (Tables VI and VII).
+func Registry() []Workload {
+	s := hw.DefaultSparsity
+	return []Workload{
+		{Name: "ZCash", LogVanilla: 17, LogJellyfish: 15, CPUVanillaMS: 1429, CPUJellyfishMS: 701, Sparsity: s},
+		{Name: "Auction", LogVanilla: 20, LogJellyfish: 0, CPUVanillaMS: 8619, Sparsity: s},
+		{Name: "Rescue-4096", LogVanilla: 21, LogJellyfish: 20, CPUVanillaMS: 18637, CPUJellyfishMS: 11532, Sparsity: s},
+		{Name: "Zexe", LogVanilla: 22, LogJellyfish: 17, CPUVanillaMS: 37469, CPUJellyfishMS: 1951, Sparsity: s},
+		{Name: "Rollup-10", LogVanilla: 23, LogJellyfish: 18, CPUVanillaMS: 74052, CPUJellyfishMS: 3339, Sparsity: s},
+		{Name: "Rollup-25", LogVanilla: 24, LogJellyfish: 19, CPUVanillaMS: 145500, CPUJellyfishMS: 6161, Sparsity: s},
+		{Name: "Rollup-50", LogVanilla: 25, LogJellyfish: 20, CPUVanillaMS: 325048, CPUJellyfishMS: 11533, Sparsity: s},
+		{Name: "Rollup-100", LogVanilla: 26, LogJellyfish: 21, CPUVanillaMS: 640987, CPUJellyfishMS: 24071, Sparsity: s},
+		{Name: "Rollup-1600", LogVanilla: 30, LogJellyfish: 25, CPUVanillaMS: 0, CPUJellyfishMS: 355406, Sparsity: s},
+		{Name: "zkEVM", LogVanilla: 30, LogJellyfish: 27, CPUVanillaMS: 0, CPUJellyfishMS: 25 * 60 * 1000, Sparsity: s},
+	}
+}
+
+// ByName returns a workload by name.
+func ByName(name string) (Workload, error) {
+	for _, w := range Registry() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Fig13Set returns the Figure 13 workload order (including the scaled ZCash
+// and Zexe variants from prior work).
+func Fig13Set() []Workload {
+	s := hw.DefaultSparsity
+	base := Registry()
+	byName := map[string]Workload{}
+	for _, w := range base {
+		byName[w.Name] = w
+	}
+	return []Workload{
+		byName["ZCash"],
+		byName["Rescue-4096"],
+		byName["Zexe"],
+		{Name: "ZCash-scaled", LogVanilla: 24, LogJellyfish: 22, Sparsity: s},
+		{Name: "Zexe-scaled", LogVanilla: 25, LogJellyfish: 20, Sparsity: s},
+		byName["Rollup-1600"],
+		byName["zkEVM"],
+	}
+}

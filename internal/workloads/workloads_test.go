@@ -1,0 +1,67 @@
+package workloads
+
+import "testing"
+
+func TestRegistryConsistency(t *testing.T) {
+	for _, w := range Registry() {
+		if w.LogVanilla < 15 || w.LogVanilla > 30 {
+			t.Errorf("%s: implausible Vanilla size 2^%d", w.Name, w.LogVanilla)
+		}
+		if w.LogJellyfish > 0 && w.LogJellyfish >= w.LogVanilla {
+			t.Errorf("%s: Jellyfish should reduce gate count", w.Name)
+		}
+		if w.LogJellyfish > 0 {
+			r := w.Reduction()
+			if r < 2 || r > 64 {
+				t.Errorf("%s: reduction %.0fx outside the paper's 2-32x band", w.Name, r)
+			}
+		}
+	}
+}
+
+func TestTableVIIGateCounts(t *testing.T) {
+	// Spot-check the published pairs.
+	want := map[string][2]int{
+		"ZCash":       {17, 15},
+		"Zexe":        {22, 17},
+		"Rollup-25":   {24, 19},
+		"Rollup-1600": {30, 25},
+	}
+	for name, pair := range want {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.LogVanilla != pair[0] || w.LogJellyfish != pair[1] {
+			t.Errorf("%s: (%d,%d), want (%d,%d)", name, w.LogVanilla, w.LogJellyfish, pair[0], pair[1])
+		}
+	}
+}
+
+func TestGateKind(t *testing.T) {
+	if Vanilla.Wires() != 3 || Jellyfish.Wires() != 5 {
+		t.Fatal("wire counts wrong")
+	}
+	w, _ := ByName("ZCash")
+	if w.Gates(Vanilla) != 1<<17 || w.Gates(Jellyfish) != 1<<15 {
+		t.Fatal("gate counts wrong")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFig13Set(t *testing.T) {
+	set := Fig13Set()
+	if len(set) != 7 {
+		t.Fatalf("Fig. 13 has 7 workloads, got %d", len(set))
+	}
+	for _, w := range set {
+		if w.Name == "" || w.LogVanilla == 0 {
+			t.Fatal("malformed Fig. 13 entry")
+		}
+	}
+}

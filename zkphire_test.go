@@ -1,0 +1,95 @@
+package zkphire
+
+import "testing"
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	srs := SetupDeterministic(8, 1)
+	b := NewCircuitBuilder()
+	x := b.Secret(3)
+	x2 := b.Mul(x, x)
+	x3 := b.Mul(x2, x)
+	s := b.Add(x3, x)
+	out := b.AddConst(s, 5)
+	b.AssertEqualConst(out, 35)
+
+	proof, vk, err := ProveCircuit(srs, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCircuit(srs, vk, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRejectsBadWitness(t *testing.T) {
+	srs := SetupDeterministic(8, 1)
+	b := NewCircuitBuilder()
+	x := b.Secret(4) // wrong witness
+	x3 := b.Mul(b.Mul(x, x), x)
+	b.AssertEqualConst(b.Add(x3, x), 30)
+	if _, _, err := ProveCircuit(srs, b, 4); err == nil {
+		t.Fatal("proving an unsatisfied circuit should fail fast")
+	}
+}
+
+func TestAcceleratorEstimates(t *testing.T) {
+	acc := DefaultAccelerator()
+	est, err := acc.EstimateSumCheck(JellyfishZeroCheckID, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Seconds <= 0 || est.Utilization <= 0 {
+		t.Fatal("degenerate sumcheck estimate")
+	}
+	full, err := acc.EstimateProver(true, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Seconds <= est.Seconds {
+		t.Fatal("full protocol must cost more than one sumcheck")
+	}
+	if full.AreaMM2 < 200 || full.AreaMM2 > 400 {
+		t.Fatalf("Table V design area %.1f mm² out of range", full.AreaMM2)
+	}
+	if _, err := acc.EstimateSumCheck(99, 20); err == nil {
+		t.Fatal("unknown constraint accepted")
+	}
+}
+
+func TestJellyfishPublicAPI(t *testing.T) {
+	srs := SetupDeterministic(8, 2)
+	b := NewJellyfishBuilder()
+	x := b.Secret(2)
+	y := b.Power5(x)                // 32
+	z := b.DoubleMulAdd(y, x, x, x) // 64 + 4 = 68
+	b.AssertEqualConst(z, 68)
+	proof, vk, err := ProveJellyfish(srs, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCircuit(srs, vk, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofSerializationViaPublicAPI(t *testing.T) {
+	srs := SetupDeterministic(8, 3)
+	b := NewCircuitBuilder()
+	x := b.Secret(5)
+	b.AssertEqualConst(b.Mul(x, x), 25)
+	proof, vk, err := ProveCircuit(srs, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Proof
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCircuit(srs, vk, &back); err != nil {
+		t.Fatal(err)
+	}
+}
