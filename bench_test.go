@@ -6,6 +6,7 @@
 package zkphire
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -324,7 +325,8 @@ func BenchmarkTable8IsoApplication(b *testing.B) {
 }
 
 // BenchmarkTable9CrossAccelerator assembles the cross-accelerator row,
-// including a real (small) proof for the proof-size column.
+// including a real (small) proof for the proof-size column, through the
+// session API.
 func BenchmarkTable9CrossAccelerator(b *testing.B) {
 	cfg := system.TableV()
 	w, _ := workloads.ByName("Rollup-25")
@@ -336,14 +338,75 @@ func BenchmarkTable9CrossAccelerator(b *testing.B) {
 		cb := NewCircuitBuilder()
 		x := cb.Secret(3)
 		cb.AssertEqualConst(cb.Mul(x, x), 9)
-		proof, vk, err := ProveCircuit(srs, cb, 4)
+		compiled, err := Compile(cb, WithLogGates(4))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := VerifyCircuit(srs, vk, proof); err != nil {
+		prover, err := NewProver(srs, compiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proof, err := prover.Prove(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Verify(srs, prover.VerifyingKey(), proof); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSessionAmortization quantifies what the session API buys a
+// proving service: per-proof cost with preprocessing re-paid every time
+// (the old ProveCircuit shape) vs amortized through one Prover.
+func BenchmarkSessionAmortization(b *testing.B) {
+	srs := SetupDeterministic(8, 11)
+	build := func() *CircuitBuilder {
+		cb := NewCircuitBuilder()
+		x := cb.Secret(3)
+		x3 := cb.Mul(cb.Mul(x, x), x)
+		cb.AssertEqualConst(cb.Add(x3, x), 30)
+		return cb
+	}
+	b.Run("preprocess-every-proof", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ProveCircuit(srs, build(), 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-amortized", func(b *testing.B) {
+		compiled, err := Compile(build(), WithLogGates(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prover, err := NewProver(srs, compiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prover.Prove(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session-batch-4workers", func(b *testing.B) {
+		compiled, err := Compile(build(), WithLogGates(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prover, err := NewProver(srs, compiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prover.BatchProve(context.Background(), 8, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Design-choice ablation benchmarks (DESIGN.md index) ---

@@ -1,0 +1,199 @@
+package zkphire
+
+import (
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+	"zkphire/internal/workloads"
+)
+
+// Arithmetization selects the gate system a circuit is expressed in.
+type Arithmetization int
+
+const (
+	// Vanilla is the 3-wire, 5-selector Plonk gate.
+	Vanilla Arithmetization = iota
+	// Jellyfish is the 5-wire, 13-selector high-degree custom gate (power-5
+	// S-boxes, double-mul, 4-way ECC products) — the arithmetization behind
+	// the paper's headline gate-count reductions.
+	Jellyfish
+)
+
+func (a Arithmetization) String() string {
+	if a == Jellyfish {
+		return "jellyfish"
+	}
+	return "vanilla"
+}
+
+// gateKind maps the public constant onto the workload-model enum.
+func (a Arithmetization) gateKind() workloads.GateKind {
+	if a == Jellyfish {
+		return workloads.Jellyfish
+	}
+	return workloads.Vanilla
+}
+
+// Wire is a circuit variable handle.
+type Wire = gates.Variable
+
+// Builder is the common surface of both gate-system builders. Obtain one
+// with NewBuilder (or the concrete constructors when gate-system-specific
+// methods such as Power5 are needed) and pass it to Compile. Values attached
+// to wires form the witness.
+type Builder interface {
+	// Arithmetization reports which gate system the builder emits.
+	Arithmetization() Arithmetization
+	// Secret introduces a secret witness value.
+	Secret(v uint64) Wire
+	// Add emits out = a + b.
+	Add(a, b Wire) Wire
+	// Mul emits out = a · b.
+	Mul(a, b Wire) Wire
+	// AddConst emits out = a + k.
+	AddConst(a Wire, k uint64) Wire
+	// AssertEqualConst constrains a == k.
+	AssertEqualConst(a Wire, k uint64)
+	// GateCount returns the number of gates emitted so far.
+	GateCount() int
+
+	// compile pads the circuit to 2^logGates rows and emits the selector,
+	// wire and permutation tables. Unexported: the set of gate systems is
+	// closed (the prover's constraint registry knows exactly two).
+	compile(logGates int) (*gates.Circuit, error)
+}
+
+// NewBuilder returns an empty builder for the requested arithmetization.
+// Both implementations flow through the same Compile/NewProver/Prove path.
+func NewBuilder(kind Arithmetization) Builder {
+	if kind == Jellyfish {
+		return NewJellyfishBuilder()
+	}
+	return NewCircuitBuilder()
+}
+
+// CircuitBuilder builds Vanilla-gate circuits with a value-carrying witness.
+// It implements Builder.
+type CircuitBuilder struct {
+	b *gates.VanillaBuilder
+}
+
+// NewCircuitBuilder returns an empty Vanilla-gate builder.
+func NewCircuitBuilder() *CircuitBuilder {
+	return &CircuitBuilder{b: gates.NewVanillaBuilder()}
+}
+
+// Arithmetization reports Vanilla.
+func (c *CircuitBuilder) Arithmetization() Arithmetization { return Vanilla }
+
+// Secret introduces a secret witness value.
+func (c *CircuitBuilder) Secret(v uint64) Wire { return c.b.NewVariable(ff.NewElement(v)) }
+
+// SecretElement introduces a secret field element.
+func (c *CircuitBuilder) SecretElement(v ff.Element) Wire { return c.b.NewVariable(v) }
+
+// Add emits an addition gate.
+func (c *CircuitBuilder) Add(a, b Wire) Wire { return c.b.Add(a, b) }
+
+// Mul emits a multiplication gate.
+func (c *CircuitBuilder) Mul(a, b Wire) Wire { return c.b.Mul(a, b) }
+
+// AddConst emits out = a + k.
+func (c *CircuitBuilder) AddConst(a Wire, k uint64) Wire {
+	return c.b.AddConst(a, ff.NewElement(k))
+}
+
+// AssertEqualConst constrains a == k.
+func (c *CircuitBuilder) AssertEqualConst(a Wire, k uint64) {
+	c.b.AssertConst(a, ff.NewElement(k))
+}
+
+// AssertEqualElement constrains a == k for a full field element.
+func (c *CircuitBuilder) AssertEqualElement(a Wire, k ff.Element) {
+	c.b.AssertConst(a, k)
+}
+
+// Value returns the witness value currently assigned to a wire.
+func (c *CircuitBuilder) Value(a Wire) ff.Element { return c.b.Value(a) }
+
+// GateCount returns the number of gates emitted so far.
+func (c *CircuitBuilder) GateCount() int { return c.b.GateCount() }
+
+func (c *CircuitBuilder) compile(logGates int) (*gates.Circuit, error) {
+	return c.b.Build(logGates)
+}
+
+// JellyfishBuilder builds circuits from high-degree Jellyfish custom gates.
+// It implements Builder and additionally exposes the gate forms one
+// Jellyfish row can absorb (Power5, DoubleMulAdd, Power5Round, EccProduct).
+type JellyfishBuilder struct {
+	b *gates.JellyfishBuilder
+}
+
+// NewJellyfishBuilder returns an empty Jellyfish-gate builder.
+func NewJellyfishBuilder() *JellyfishBuilder {
+	return &JellyfishBuilder{b: gates.NewJellyfishBuilder()}
+}
+
+// Arithmetization reports Jellyfish.
+func (c *JellyfishBuilder) Arithmetization() Arithmetization { return Jellyfish }
+
+// Secret introduces a secret witness value.
+func (c *JellyfishBuilder) Secret(v uint64) Wire { return c.b.NewVariable(ff.NewElement(v)) }
+
+// SecretElement introduces a secret field element.
+func (c *JellyfishBuilder) SecretElement(v ff.Element) Wire { return c.b.NewVariable(v) }
+
+// Add emits out = a + b.
+func (c *JellyfishBuilder) Add(a, b Wire) Wire { return c.b.Add(a, b) }
+
+// Mul emits out = a · b.
+func (c *JellyfishBuilder) Mul(a, b Wire) Wire { return c.b.Mul(a, b) }
+
+// AddConst emits out = a + k via a one-input linear-combination gate.
+func (c *JellyfishBuilder) AddConst(a Wire, k uint64) Wire {
+	return c.b.LinearCombination([]Wire{a}, []ff.Element{ff.One()}, ff.NewElement(k))
+}
+
+// Power5 emits out = a⁵ in a single gate.
+func (c *JellyfishBuilder) Power5(a Wire) Wire { return c.b.Power5(a) }
+
+// DoubleMulAdd emits out = a·b + d·e in a single gate.
+func (c *JellyfishBuilder) DoubleMulAdd(a, b, d, e Wire) Wire { return c.b.DoubleMulAdd(a, b, d, e) }
+
+// Power5Round emits out = Σᵢ coeffs[i]·ins[i]⁵ + k in a single gate: a full
+// Rescue round's S-box layer plus MDS row.
+func (c *JellyfishBuilder) Power5Round(ins [4]Wire, coeffs [4]uint64, k uint64) Wire {
+	var ce [4]ff.Element
+	for i, v := range coeffs {
+		ce[i] = ff.NewElement(v)
+	}
+	return c.b.Power5Round(ins, ce, ff.NewElement(k))
+}
+
+// EccProduct emits out = a·b·d·e via the qecc selector.
+func (c *JellyfishBuilder) EccProduct(a, b, d, e Wire) Wire { return c.b.EccProduct(a, b, d, e) }
+
+// AssertEqualConst constrains a == k.
+func (c *JellyfishBuilder) AssertEqualConst(a Wire, k uint64) {
+	c.b.AssertConst(a, ff.NewElement(k))
+}
+
+// AssertEqualElement constrains a == k for a full field element.
+func (c *JellyfishBuilder) AssertEqualElement(a Wire, k ff.Element) {
+	c.b.AssertConst(a, k)
+}
+
+// Value returns the witness value currently assigned to a wire.
+func (c *JellyfishBuilder) Value(a Wire) ff.Element { return c.b.Value(a) }
+
+// GateCount returns the number of gates emitted so far.
+func (c *JellyfishBuilder) GateCount() int { return c.b.GateCount() }
+
+func (c *JellyfishBuilder) compile(logGates int) (*gates.Circuit, error) {
+	return c.b.Build(logGates)
+}
+
+var (
+	_ Builder = (*CircuitBuilder)(nil)
+	_ Builder = (*JellyfishBuilder)(nil)
+)

@@ -1,20 +1,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"sort"
 
-	"zkphire/internal/ff"
-	"zkphire/internal/gates"
+	"zkphire"
 	"zkphire/internal/hw"
 	"zkphire/internal/hw/cpumodel"
 	"zkphire/internal/hw/dse"
 	"zkphire/internal/hw/system"
 	"zkphire/internal/hw/zkspeed"
-	"zkphire/internal/hyperplonk"
-	"zkphire/internal/pcs"
 	"zkphire/internal/workloads"
 )
 
@@ -372,24 +370,25 @@ func runTable9(args []string) error {
 
 // measuredProofKB produces a real HyperPlonk proof at two small sizes and
 // linearly extrapolates the per-round growth to the Rollup-25 Jellyfish
-// size (µ = 19) — proof size depends only on µ and the gate degrees.
+// size (µ = 19) — proof size depends only on µ and the gate degrees. The
+// proofs run through the public session API (Compile → NewProver → Prove).
 func measuredProofKB() (float64, error) {
 	sizeAt := func(mu int) (int, error) {
-		srs := pcs.SetupDeterministic(mu+1, 42)
-		b := gates.NewJellyfishBuilder()
-		x := b.NewVariable(ff.NewElement(3))
+		srs := zkphire.SetupDeterministic(mu+1, 42)
+		b := zkphire.NewJellyfishBuilder()
+		x := b.Secret(3)
 		y := b.Power5(x)
 		z := b.Mul(y, x)
-		b.AssertConst(z, ff.NewElement(729))
-		c, err := b.Build(mu)
+		b.AssertEqualConst(z, 729)
+		compiled, err := zkphire.Compile(b, zkphire.WithLogGates(mu))
 		if err != nil {
 			return 0, err
 		}
-		idx, err := hyperplonk.Preprocess(srs, c)
+		prover, err := zkphire.NewProver(srs, compiled)
 		if err != nil {
 			return 0, err
 		}
-		proof, err := hyperplonk.Prove(srs, idx, c, hyperplonk.Config{})
+		proof, err := prover.Prove(context.Background())
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,59 @@
+package zkphire
+
+import "context"
+
+// This file keeps the pre-session entry points alive as thin shims over the
+// Compile/NewProver/Prove pipeline. They re-run preprocessing on every call
+// — new code should hold a Prover instead.
+
+// ProveCircuit compiles the builder to 2^logGates rows, preprocesses it and
+// produces a proof plus the verifying key.
+//
+// Deprecated: use Compile, NewProver and Prover.Prove — they preprocess once
+// and amortize across proofs.
+func ProveCircuit(srs *SRS, c *CircuitBuilder, logGates int) (*Proof, *VerifyingKey, error) {
+	return proveOnce(srs, c, logGates)
+}
+
+// ProveJellyfish compiles a Jellyfish circuit and produces a proof.
+//
+// Deprecated: use Compile, NewProver and Prover.Prove.
+func ProveJellyfish(srs *SRS, c *JellyfishBuilder, logGates int) (*Proof, *VerifyingKey, error) {
+	return proveOnce(srs, c, logGates)
+}
+
+// proveOnce is the one code path behind both deprecated facades.
+func proveOnce(srs *SRS, b Builder, logGates int) (*Proof, *VerifyingKey, error) {
+	compiled, err := Compile(b, WithLogGates(logGates))
+	if err != nil {
+		return nil, nil, err
+	}
+	prover, err := NewProver(srs, compiled)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := prover.Prove(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	return proof, prover.VerifyingKey(), nil
+}
+
+// VerifyCircuit checks a proof against its verifying key.
+//
+// Deprecated: use Verify.
+func VerifyCircuit(srs *SRS, vk *VerifyingKey, proof *Proof) error {
+	return Verify(srs, vk, proof)
+}
+
+// EstimateProver models the full HyperPlonk protocol for 2^logGates gates
+// (jellyfish selects the high-degree arithmetization).
+//
+// Deprecated: use EstimateProtocol with an Arithmetization constant.
+func (a *Accelerator) EstimateProver(jellyfish bool, logGates int) (Estimate, error) {
+	kind := Vanilla
+	if jellyfish {
+		kind = Jellyfish
+	}
+	return a.EstimateProtocol(kind, logGates)
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"zkphire"
 	"zkphire/internal/core"
 	"zkphire/internal/hw"
 	"zkphire/internal/hw/dse"
@@ -66,4 +67,17 @@ func main() {
 	}
 	fmt.Printf("unit-level: %.3f ms at %.0f%% multiplier utilization, %.1f MB off-chip traffic\n",
 		res.Seconds*1e3, res.Utilization*100, res.OffchipBytes/(1<<20))
+
+	// Sanity-check the deployment against the standard backends: one
+	// polymorphic call each. zkSpeed+ rejects the Jellyfish workload — its
+	// fixed-function core is the reason this DSE exists.
+	fmt.Printf("\nBaselines for the same workload (2^%d Jellyfish gates):\n", logGates)
+	for _, est := range zkphire.Estimators() {
+		e, err := est.EstimateProtocol(zkphire.Jellyfish, logGates)
+		if err != nil {
+			fmt.Printf("  %-28s n/a (%v)\n", est.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-28s %10.2f ms\n", est.Name(), e.Seconds*1e3)
+	}
 }

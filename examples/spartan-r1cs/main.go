@@ -7,16 +7,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"zkphire/internal/core"
+	"zkphire"
 	"zkphire/internal/ff"
-	"zkphire/internal/hw"
 	"zkphire/internal/hyperplonk"
 	"zkphire/internal/pcs"
-	"zkphire/internal/poly"
 	"zkphire/internal/spartan"
 	"zkphire/internal/sumcheck"
 	"zkphire/internal/transcript"
@@ -65,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	start = time.Now()
-	proof, err := hyperplonk.Prove(srs, idx, circ, hyperplonk.Config{})
+	proof, err := hyperplonk.Prove(context.Background(), srs, idx, circ, hyperplonk.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,24 +74,24 @@ func main() {
 	fmt.Printf("HyperPlonk: %d lowered gates, proved + verified in %v\n",
 		circ.GateCount, time.Since(start).Round(time.Millisecond))
 
-	// --- One accelerator, both protocols. ---
-	cfg := core.Config{PEs: 16, EEs: 2, PLs: 5, BankSizeWords: 1 << 13, Prime: hw.FixedPrime}
-	mem := hw.NewMemory(1024)
+	// --- One accelerator, both protocols: the public Estimator surface
+	// prices every Table I constraint on the same programmable unit. ---
+	acc := zkphire.DefaultAccelerator()
 	for _, tc := range []struct {
 		name string
 		id   int
 	}{
 		{"Spartan outer (poly 1)", 1},
 		{"Spartan inner (poly 2)", 2},
-		{"HyperPlonk ZeroCheck (poly 20)", 20},
-		{"HyperPlonk PermCheck (poly 21)", 21},
+		{"HyperPlonk ZeroCheck (poly 20)", zkphire.VanillaZeroCheckID},
+		{"HyperPlonk PermCheck (poly 21)", zkphire.VanillaPermCheckID},
 	} {
-		res, err := core.Simulate(cfg, core.NewWorkload(poly.Registered(tc.id), 24), mem)
+		est, err := acc.EstimateSumCheck(tc.id, 24)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  accelerator @ 2^24 rows: %-32s %8.2f ms (util %.0f%%)\n",
-			tc.name, res.Seconds*1e3, res.Utilization*100)
+			tc.name, est.Seconds*1e3, est.Utilization*100)
 	}
 }
 

@@ -1,0 +1,3 @@
+module zkphire
+
+go 1.24

@@ -16,6 +16,10 @@ import (
 	"zkphire/internal/transcript"
 )
 
+// TDPWatts is the EPYC-7502's rated TDP — the power figure baseline
+// comparisons report for the CPU.
+const TDPWatts = 180.0
+
 // Model holds the calibrated per-operation costs.
 type Model struct {
 	// NsPerMul is the effective cost of one 255-bit modular multiplication

@@ -16,6 +16,9 @@ import (
 // AreaMM2 is zkSpeed+'s die area at 7nm (Table IX).
 const AreaMM2 = 366.46
 
+// PowerW is zkSpeed+'s published average power (Table IX).
+const PowerW = 171.0
+
 // SumcheckUnitAreaMM2 is zkSpeed's SumCheck + MLE-Update area (the iso-area
 // budget for the Fig. 9 comparison).
 const SumcheckUnitAreaMM2 = 30.8

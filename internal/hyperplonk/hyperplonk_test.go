@@ -1,6 +1,8 @@
 package hyperplonk
 
 import (
+	"context"
+
 	"testing"
 
 	"zkphire/internal/ff"
@@ -51,7 +53,7 @@ func TestVanillaEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestJellyfishEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestLargerCircuit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestWrongWitnessRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestWrongWitnessRejected(t *testing.T) {
 func TestTamperedWireCommitmentRejected(t *testing.T) {
 	c := buildVanillaCircuit(t, 3, 4)
 	idx, _ := Preprocess(testSRS, c)
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestTamperedWireCommitmentRejected(t *testing.T) {
 func TestTamperedEvalsRejected(t *testing.T) {
 	c := buildVanillaCircuit(t, 3, 4)
 	idx, _ := Preprocess(testSRS, c)
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestTamperedEvalsRejected(t *testing.T) {
 func TestTamperedVEvalsRejected(t *testing.T) {
 	c := buildVanillaCircuit(t, 3, 4)
 	idx, _ := Preprocess(testSRS, c)
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +169,7 @@ func TestTamperedVEvalsRejected(t *testing.T) {
 func TestTamperedOpeningRejected(t *testing.T) {
 	c := buildVanillaCircuit(t, 3, 4)
 	idx, _ := Preprocess(testSRS, c)
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +203,7 @@ func TestCopyConstraintViolationRejected(t *testing.T) {
 		t.Skip("corruption did not break a copy constraint")
 	}
 	idx, _ := Preprocess(testSRS, c)
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +215,7 @@ func TestCopyConstraintViolationRejected(t *testing.T) {
 func TestProofSize(t *testing.T) {
 	c := buildVanillaCircuit(t, 3, 4)
 	idx, _ := Preprocess(testSRS, c)
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +231,7 @@ func TestIndexMismatchRejected(t *testing.T) {
 	c1 := buildVanillaCircuit(t, 3, 4)
 	c2 := buildJellyfishCircuit(t, 4)
 	idx2, _ := Preprocess(testSRS, c2)
-	if _, err := Prove(testSRS, idx2, c1, Config{}); err == nil {
+	if _, err := Prove(context.Background(), testSRS, idx2, c1, Config{}); err == nil {
 		// Prove may succeed structurally only if tables bind; if it does,
 		// verification must fail.
 		t.Log("prove with mismatched index unexpectedly succeeded")
@@ -253,7 +255,7 @@ func BenchmarkProveVanilla2_8(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Prove(testSRS, idx, c, Config{}); err != nil {
+		if _, err := Prove(context.Background(), testSRS, idx, c, Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}

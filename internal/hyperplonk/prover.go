@@ -1,6 +1,7 @@
 package hyperplonk
 
 import (
+	"context"
 	"fmt"
 
 	"zkphire/internal/ff"
@@ -20,8 +21,14 @@ type Config struct {
 }
 
 // Prove generates a HyperPlonk proof that the circuit is satisfied by its
-// embedded witness.
-func Prove(srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, error) {
+// embedded witness. Cancelling ctx aborts the prover at the next protocol
+// step boundary (the five steps of Section IV-A); a nil ctx never cancels.
+// Prove only reads srs, idx and c, so many proofs of the same index may run
+// concurrently.
+func Prove(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c.NumVars != idx.NumVars {
 		return nil, fmt.Errorf("hyperplonk: circuit/index size mismatch")
 	}
@@ -30,6 +37,9 @@ func Prove(srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, erro
 	scCfg := sumcheck.Config{Workers: cfg.Workers}
 
 	// ---- Step 1: Witness commitments (Sparse MSMs in hardware). ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for j, w := range c.Wires {
 		comm, err := srs.Commit(w)
 		if err != nil {
@@ -40,6 +50,9 @@ func Prove(srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, erro
 	}
 
 	// ---- Step 2: Gate Identity (ZeroCheck). ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	gate := idx.Gate
 	gateTabs, err := bindGateTables(gate, idx, c.Wires)
 	if err != nil {
@@ -60,6 +73,9 @@ func Prove(srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, erro
 	tr.AppendScalars("gate/evals", proof.GateEvals)
 
 	// ---- Step 3: Wire Identity (PermCheck). ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	beta := tr.ChallengeScalar("perm/beta")
 	gamma := tr.ChallengeScalar("perm/gamma")
 	arg := perm.Build(c.Wires, idx.SigmaTabs, beta, gamma)
@@ -83,6 +99,9 @@ func Prove(srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, erro
 	proof.PermZC = permZC
 
 	// ---- Step 4: Batch Evaluations (Multifunction Forest in hardware). ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	piPt, p1Pt, p2Pt, phiPt := perm.ViewPoints(rPerm)
 	proof.VEvals[0] = arg.V.Evaluate(piPt)
 	proof.VEvals[1] = arg.V.Evaluate(p1Pt)
@@ -100,6 +119,9 @@ func Prove(srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, erro
 	tr.AppendScalars("perm/sevals", proof.SigmaPermEvals)
 
 	// ---- Step 5: Polynomial Opening (OpenCheck + batched PCS opening). ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mainPolys, mainComms := openingSet(idx, c.Wires, proof)
 	mainClaims := mainClaimList(idx, proof, rGate, rPerm)
 	proof.OpenMain, err = proveOpenCheck(tr, srs, "open/main", mainPolys, mainComms.tables, mainClaims, []openPoint{{name: "gate", coords: rGate}, {name: "perm", coords: rPerm}}, scCfg)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"zkphire/internal/curve"
 	"zkphire/internal/ff"
@@ -123,7 +124,9 @@ func (d *decoder) length() (int, error) {
 
 func (d *decoder) scalar(out *ff.Element) error {
 	var b [32]byte
-	if _, err := d.r.Read(b[:]); err != nil {
+	// io.ReadFull: a plain Read on a bytes.Reader short-reads without error
+	// at the end of input, which would let truncated scalars decode.
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
 		return err
 	}
 	return out.SetBytesCanonical(b[:])
@@ -149,16 +152,35 @@ func (d *decoder) point(out *curve.G1Affine) error {
 		return err
 	}
 	var xy [96]byte
-	if _, err := d.r.Read(xy[:]); err != nil {
+	if _, err := io.ReadFull(d.r, xy[:]); err != nil {
 		return err
 	}
-	if flag == 1 {
+	switch flag {
+	case 1:
+		// Infinity's coordinate block must be all zero — anything else is a
+		// malleable second encoding of the same point.
+		for _, b := range xy {
+			if b != 0 {
+				return fmt.Errorf("hyperplonk: nonzero coordinates on infinity point")
+			}
+		}
 		out.SetInfinity()
 		return nil
+	case 0:
+		// fall through to the finite-point path
+	default:
+		return fmt.Errorf("hyperplonk: bad point flag %d", flag)
 	}
 	var x, y fp.Element
 	x.SetBytes(xy[:48])
 	y.SetBytes(xy[48:])
+	// Canonicality: SetBytes reduces mod p, so coordinates ≥ p would give a
+	// second byte encoding of the same point. Re-encoding must reproduce
+	// the input exactly.
+	xb, yb := x.Bytes(), y.Bytes()
+	if !bytes.Equal(xb[:], xy[:48]) || !bytes.Equal(yb[:], xy[48:]) {
+		return fmt.Errorf("hyperplonk: non-canonical point coordinates")
+	}
 	out.X, out.Y, out.Infinity = x, y, false
 	if !out.IsOnCurve() {
 		return fmt.Errorf("hyperplonk: point not on curve")

@@ -1,6 +1,8 @@
 package hyperplonk
 
 import (
+	"context"
+
 	"bytes"
 	"testing"
 
@@ -14,7 +16,7 @@ func makeProof(t *testing.T) (*Proof, *Index) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := Prove(testSRS, idx, c, Config{})
+	proof, err := Prove(context.Background(), testSRS, idx, c, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,6 +129,49 @@ func TestTamperedDecodedProofStillRejected(t *testing.T) {
 	back.GateEvals[0].Add(&back.GateEvals[0], &oneE)
 	if err := Verify(testSRS, idx, &back); err == nil {
 		t.Fatal("tampered decoded proof accepted")
+	}
+}
+
+// TestShortEvalListsRejectedNotPanic covers proofs whose evaluation lists
+// are wire-valid but structurally short for the index: Verify must return
+// an error, never index out of range (regression for a verifier panic on
+// crafted proofs).
+func TestShortEvalListsRejectedNotPanic(t *testing.T) {
+	proof, idx := makeProof(t)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("verifier panicked on short eval lists: %v", r)
+		}
+	}()
+	mutations := []func(p *Proof){
+		func(p *Proof) { p.SigmaPermEvals = p.SigmaPermEvals[:1] },
+		func(p *Proof) { p.WirePermEvals = nil },
+		func(p *Proof) { p.GateEvals = p.GateEvals[:2] },
+		func(p *Proof) { p.GateEvals = append(p.GateEvals, ff.One()) },
+	}
+	for i, mutate := range mutations {
+		data, err := proof.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Proof
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&back)
+		// Round-trip the mutated proof so the malformed lists arrive the
+		// way an attacker would deliver them: over the wire.
+		wire, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hostile Proof
+		if err := hostile.UnmarshalBinary(wire); err != nil {
+			continue // rejected at decode: fine
+		}
+		if err := Verify(testSRS, idx, &hostile); err == nil {
+			t.Fatalf("mutation %d: structurally short proof verified", i)
+		}
 	}
 }
 

@@ -16,6 +16,16 @@ func Verify(srs *pcs.SRS, idx *Index, proof *Proof) error {
 	if len(proof.WireComms) != idx.Wires {
 		return fmt.Errorf("hyperplonk: %d wire commitments, want %d", len(proof.WireComms), idx.Wires)
 	}
+	// Structural length checks up front: the wire format cannot know the
+	// index, so a decoded proof may carry short or long evaluation lists —
+	// reject them here rather than panic downstream.
+	if len(proof.GateEvals) != idx.Gate.NumVars() {
+		return fmt.Errorf("hyperplonk: %d gate evaluations, want %d", len(proof.GateEvals), idx.Gate.NumVars())
+	}
+	if len(proof.WirePermEvals) != idx.Wires || len(proof.SigmaPermEvals) != idx.Wires {
+		return fmt.Errorf("hyperplonk: %d wire / %d sigma perm evaluations, want %d each",
+			len(proof.WirePermEvals), len(proof.SigmaPermEvals), idx.Wires)
+	}
 	tr := newTranscript(idx)
 	for _, comm := range proof.WireComms {
 		appendComm(tr, "wire", comm)

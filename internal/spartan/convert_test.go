@@ -1,6 +1,8 @@
 package spartan
 
 import (
+	"context"
+
 	"testing"
 
 	"zkphire/internal/ff"
@@ -42,7 +44,7 @@ func TestLoweredCircuitProvesEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := hyperplonk.Prove(srs, idx, circ, hyperplonk.Config{})
+	proof, err := hyperplonk.Prove(context.Background(), srs, idx, circ, hyperplonk.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,213 @@
+package zkphire
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zkphire/internal/gates"
+	"zkphire/internal/hyperplonk"
+)
+
+// minLogGates is the smallest padded circuit size (2 rows) — the whole
+// stack, product tree included, proves end to end at this size.
+const minLogGates = 1
+
+// maxLogGates caps explicit sizes at 2^30 rows (the hardware models' own
+// software-proving ceiling; larger tables would not fit in memory anyway).
+const maxLogGates = 30
+
+// CompileOption customizes Compile.
+type CompileOption func(*compileOptions)
+
+type compileOptions struct {
+	logGates    int
+	logGatesSet bool
+}
+
+// WithLogGates pins the padded circuit size to 2^logGates rows instead of
+// auto-sizing from the gate count. Compile fails if the circuit does not
+// fit, or if logGates is out of range — the option pins, it never falls
+// back.
+func WithLogGates(logGates int) CompileOption {
+	return func(o *compileOptions) { o.logGates, o.logGatesSet = logGates, true }
+}
+
+// CompiledCircuit is a padded, witness-checked circuit ready for
+// preprocessing. Produce one with Compile; it is immutable afterwards and
+// safe to share across provers.
+type CompiledCircuit struct {
+	circ *gates.Circuit
+	kind Arithmetization
+}
+
+// Arithmetization reports the circuit's gate system.
+func (cc *CompiledCircuit) Arithmetization() Arithmetization { return cc.kind }
+
+// LogGates returns log2 of the padded row count.
+func (cc *CompiledCircuit) LogGates() int { return cc.circ.NumVars }
+
+// GateCount returns the real (unpadded) gate count.
+func (cc *CompiledCircuit) GateCount() int { return cc.circ.GateCount }
+
+// Compile pads the builder's circuit to a power-of-two row count, emits the
+// selector/wire/permutation tables, and checks that the embedded witness
+// satisfies every gate (failing fast, before any preprocessing cost). By
+// default the row count is the smallest power of two that fits the emitted
+// gates; use WithLogGates to pin it (e.g. to match a pre-sized SRS).
+func Compile(b Builder, opts ...CompileOption) (*CompiledCircuit, error) {
+	var o compileOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	lg := o.logGates
+	if !o.logGatesSet {
+		lg = autoLogGates(b.GateCount())
+	}
+	if lg < minLogGates || lg > maxLogGates {
+		return nil, fmt.Errorf("zkphire: logGates %d out of range [%d, %d]", lg, minLogGates, maxLogGates)
+	}
+	circ, err := b.compile(lg)
+	if err != nil {
+		return nil, err
+	}
+	if !circ.Satisfied() {
+		return nil, fmt.Errorf("zkphire: witness does not satisfy the circuit")
+	}
+	return &CompiledCircuit{circ: circ, kind: b.Arithmetization()}, nil
+}
+
+// autoLogGates returns the smallest supported log2 capacity holding n gates.
+func autoLogGates(n int) int {
+	lg := minLogGates
+	for (1 << uint(lg)) < n {
+		lg++
+	}
+	return lg
+}
+
+// ProverOption customizes NewProver.
+type ProverOption func(*Prover)
+
+// WithWorkers sets the goroutine count for each proof's SumCheck scans
+// (0 = GOMAXPROCS for single proofs, 1 for proofs inside BatchProve, whose
+// parallelism comes from proving whole proofs concurrently).
+func WithWorkers(n int) ProverOption {
+	return func(p *Prover) { p.workers = n }
+}
+
+// Prover is a reusable proving session: NewProver runs the circuit
+// preprocessing (selector and wiring-permutation commitments) exactly once,
+// and every subsequent Prove or BatchProve call amortizes it. A Prover is
+// safe for concurrent use — all shared state is read-only after
+// construction.
+type Prover struct {
+	srs      *SRS
+	compiled *CompiledCircuit
+	vk       *hyperplonk.Index
+	workers  int
+}
+
+// NewProver preprocesses the compiled circuit against the SRS and returns a
+// session that can prove it any number of times.
+func NewProver(srs *SRS, compiled *CompiledCircuit, opts ...ProverOption) (*Prover, error) {
+	if compiled == nil || compiled.circ == nil {
+		return nil, fmt.Errorf("zkphire: nil compiled circuit")
+	}
+	idx, err := hyperplonk.Preprocess(srs, compiled.circ)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prover{srs: srs, compiled: compiled, vk: idx}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p, nil
+}
+
+// VerifyingKey returns the preprocessed index proofs verify against.
+func (p *Prover) VerifyingKey() *VerifyingKey { return p.vk }
+
+// Prove generates one proof. Cancelling ctx aborts between protocol steps.
+func (p *Prover) Prove(ctx context.Context) (*Proof, error) {
+	return p.prove(ctx, p.workers)
+}
+
+// Verify checks a proof against this session's verifying key.
+func (p *Prover) Verify(proof *Proof) error {
+	return hyperplonk.Verify(p.srs, p.vk, proof)
+}
+
+func (p *Prover) prove(ctx context.Context, workers int) (*Proof, error) {
+	return hyperplonk.Prove(ctx, p.srs, p.vk, p.compiled.circ, hyperplonk.Config{Workers: workers})
+}
+
+// BatchProve generates n proofs from the one-time preprocessing, proving up
+// to `workers` proofs concurrently (0 = GOMAXPROCS). The first error — or a
+// ctx cancellation — stops the batch. Inside the batch each proof's inner
+// SumCheck scans run single-threaded unless WithWorkers overrode that;
+// proof-level parallelism saturates the machine without oversubscribing it.
+func (p *Prover) BatchProve(ctx context.Context, n, workers int) ([]*Proof, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zkphire: batch size %d must be positive", n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	innerWorkers := p.workers
+	if innerWorkers == 0 {
+		innerWorkers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	proofs := make([]*Proof, n)
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				proof, err := p.prove(ctx, innerWorkers)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("zkphire: batch proof %d: %w", i, err)
+						cancel()
+					})
+					return
+				}
+				proofs[i] = proof
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return proofs, nil
+}

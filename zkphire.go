@@ -4,36 +4,45 @@
 // gates) together with a model of the zkPHIRE programmable SumCheck
 // accelerator (HPCA 2026).
 //
-// Typical proving flow:
+// Typical proving flow — compile once, preprocess once, prove many times:
 //
 //	srs, _ := zkphire.Setup(12)
-//	b := zkphire.NewCircuitBuilder()
+//	b := zkphire.NewBuilder(zkphire.Vanilla)
 //	x := b.Secret(3)
 //	x3 := b.Mul(b.Mul(x, x), x)
 //	b.AssertEqualConst(b.Add(x3, x), 30)
-//	proof, vk, _ := zkphire.ProveCircuit(srs, b, 6)
-//	err := zkphire.VerifyCircuit(srs, vk, proof)
 //
-// Hardware modeling flow:
+//	compiled, _ := zkphire.Compile(b) // logGates auto-sized from the gate count
+//	prover, _ := zkphire.NewProver(srs, compiled)
+//	proof, _ := prover.Prove(ctx)
+//	err := zkphire.Verify(srs, prover.VerifyingKey(), proof)
 //
-//	acc := zkphire.DefaultAccelerator()
-//	est, _ := acc.EstimateSumCheck(zkphire.JellyfishZeroCheckID, 24)
-//	fmt.Println(est.Seconds, est.Utilization)
+// The preprocessing (selector and wiring commitments) is paid once in
+// NewProver and amortized across every subsequent Prove or BatchProve call:
+//
+//	proofs, _ := prover.BatchProve(ctx, 64, 4) // 64 proofs, 4 workers
+//
+// Proofs and verifying keys serialize for the wire:
+//
+//	data, _ := proof.MarshalBinary()
+//	vkBytes, _ := prover.VerifyingKey().MarshalBinary()
+//	vk, _ := zkphire.UnmarshalVerifyingKey(vkBytes)
+//
+// Hardware modeling flow — the Estimator interface prices the same protocol
+// workload on the zkPHIRE accelerator, the zkSpeed+ baseline ASIC, and the
+// paper's CPU baseline with one polymorphic call:
+//
+//	for _, est := range zkphire.Estimators() {
+//	    e, err := est.EstimateProtocol(zkphire.Jellyfish, 24)
+//	    ...
+//	}
 package zkphire
 
 import (
 	"crypto/rand"
-	"fmt"
 
-	"zkphire/internal/core"
-	"zkphire/internal/ff"
-	"zkphire/internal/gates"
-	"zkphire/internal/hw"
-	"zkphire/internal/hw/system"
 	"zkphire/internal/hyperplonk"
 	"zkphire/internal/pcs"
-	"zkphire/internal/poly"
-	"zkphire/internal/workloads"
 )
 
 // SRS is a structured reference string for circuits of up to MaxVars
@@ -51,132 +60,26 @@ func SetupDeterministic(maxVars int, seed int64) *SRS {
 	return pcs.SetupDeterministic(maxVars, seed)
 }
 
-// Proof is a HyperPlonk proof.
+// Proof is a HyperPlonk proof. It implements encoding.BinaryMarshaler and
+// encoding.BinaryUnmarshaler; deserialization validates every scalar and
+// group element, so proofs from an untrusted wire are safe to verify.
 type Proof = hyperplonk.Proof
 
-// VerifyingKey is the preprocessed circuit index.
+// VerifyingKey is the preprocessed circuit index. MarshalBinary writes the
+// verifier's view (commitments only); see UnmarshalVerifyingKey.
 type VerifyingKey = hyperplonk.Index
 
-// CircuitBuilder builds Vanilla-gate circuits with a value-carrying witness.
-type CircuitBuilder struct {
-	b *gates.VanillaBuilder
-}
-
-// Wire is a circuit variable handle.
-type Wire = gates.Variable
-
-// NewCircuitBuilder returns an empty Vanilla-gate builder.
-func NewCircuitBuilder() *CircuitBuilder {
-	return &CircuitBuilder{b: gates.NewVanillaBuilder()}
-}
-
-// Secret introduces a secret witness value.
-func (c *CircuitBuilder) Secret(v uint64) Wire { return c.b.NewVariable(ff.NewElement(v)) }
-
-// SecretElement introduces a secret field element.
-func (c *CircuitBuilder) SecretElement(v ff.Element) Wire { return c.b.NewVariable(v) }
-
-// Add emits an addition gate.
-func (c *CircuitBuilder) Add(a, b Wire) Wire { return c.b.Add(a, b) }
-
-// Mul emits a multiplication gate.
-func (c *CircuitBuilder) Mul(a, b Wire) Wire { return c.b.Mul(a, b) }
-
-// AddConst emits out = a + k.
-func (c *CircuitBuilder) AddConst(a Wire, k uint64) Wire {
-	return c.b.AddConst(a, ff.NewElement(k))
-}
-
-// AssertEqualConst constrains a == k.
-func (c *CircuitBuilder) AssertEqualConst(a Wire, k uint64) {
-	c.b.AssertConst(a, ff.NewElement(k))
-}
-
-// GateCount returns the number of gates emitted so far.
-func (c *CircuitBuilder) GateCount() int { return c.b.GateCount() }
-
-// ProveCircuit compiles the builder to 2^logGates rows, preprocesses it and
-// produces a proof plus the verifying key.
-func ProveCircuit(srs *SRS, c *CircuitBuilder, logGates int) (*Proof, *VerifyingKey, error) {
-	circ, err := c.b.Build(logGates)
-	if err != nil {
-		return nil, nil, err
-	}
-	if !circ.Satisfied() {
-		return nil, nil, fmt.Errorf("zkphire: witness does not satisfy the circuit")
-	}
-	idx, err := hyperplonk.Preprocess(srs, circ)
-	if err != nil {
-		return nil, nil, err
-	}
-	proof, err := hyperplonk.Prove(srs, idx, circ, hyperplonk.Config{})
-	if err != nil {
-		return nil, nil, err
-	}
-	return proof, idx, nil
-}
-
-// VerifyCircuit checks a proof against its verifying key.
-func VerifyCircuit(srs *SRS, vk *VerifyingKey, proof *Proof) error {
+// Verify checks a proof against its verifying key.
+func Verify(srs *SRS, vk *VerifyingKey, proof *Proof) error {
 	return hyperplonk.Verify(srs, vk, proof)
 }
 
-// JellyfishBuilder builds circuits from high-degree Jellyfish custom gates
-// (power-5 S-boxes, double-mul, 4-way products) — the arithmetization behind
-// the paper's headline gate-count reductions.
-type JellyfishBuilder struct {
-	b *gates.JellyfishBuilder
+// UnmarshalVerifyingKey deserializes a verifying key produced by
+// VerifyingKey.MarshalBinary. The result carries the verifier's view only —
+// it verifies proofs but cannot be used to construct a Prover.
+func UnmarshalVerifyingKey(data []byte) (*VerifyingKey, error) {
+	return hyperplonk.UnmarshalVerifyingKey(data)
 }
-
-// NewJellyfishBuilder returns an empty Jellyfish-gate builder.
-func NewJellyfishBuilder() *JellyfishBuilder {
-	return &JellyfishBuilder{b: gates.NewJellyfishBuilder()}
-}
-
-// Secret introduces a secret witness value.
-func (c *JellyfishBuilder) Secret(v uint64) Wire { return c.b.NewVariable(ff.NewElement(v)) }
-
-// Add emits out = a + b.
-func (c *JellyfishBuilder) Add(a, b Wire) Wire { return c.b.Add(a, b) }
-
-// Mul emits out = a · b.
-func (c *JellyfishBuilder) Mul(a, b Wire) Wire { return c.b.Mul(a, b) }
-
-// Power5 emits out = a⁵ in a single gate.
-func (c *JellyfishBuilder) Power5(a Wire) Wire { return c.b.Power5(a) }
-
-// DoubleMulAdd emits out = a·b + d·e in a single gate.
-func (c *JellyfishBuilder) DoubleMulAdd(a, b, d, e Wire) Wire { return c.b.DoubleMulAdd(a, b, d, e) }
-
-// AssertEqualConst constrains a == k.
-func (c *JellyfishBuilder) AssertEqualConst(a Wire, k uint64) {
-	c.b.AssertConst(a, ff.NewElement(k))
-}
-
-// GateCount returns the number of gates emitted so far.
-func (c *JellyfishBuilder) GateCount() int { return c.b.GateCount() }
-
-// ProveJellyfish compiles a Jellyfish circuit and produces a proof.
-func ProveJellyfish(srs *SRS, c *JellyfishBuilder, logGates int) (*Proof, *VerifyingKey, error) {
-	circ, err := c.b.Build(logGates)
-	if err != nil {
-		return nil, nil, err
-	}
-	if !circ.Satisfied() {
-		return nil, nil, fmt.Errorf("zkphire: witness does not satisfy the circuit")
-	}
-	idx, err := hyperplonk.Preprocess(srs, circ)
-	if err != nil {
-		return nil, nil, err
-	}
-	proof, err := hyperplonk.Prove(srs, idx, circ, hyperplonk.Config{})
-	if err != nil {
-		return nil, nil, err
-	}
-	return proof, idx, nil
-}
-
-// --- hardware modeling facade ---
 
 // Well-known constraint IDs from the paper's Table I.
 const (
@@ -186,57 +89,3 @@ const (
 	JellyfishPermCheckID = 23
 	OpenCheckID          = 24
 )
-
-// Accelerator is a configured zkPHIRE design point.
-type Accelerator struct {
-	cfg system.Config
-}
-
-// DefaultAccelerator returns the paper's Table V exemplar (294 mm², 2 TB/s).
-func DefaultAccelerator() *Accelerator {
-	return &Accelerator{cfg: system.TableV()}
-}
-
-// Estimate is a performance estimate from the hardware model.
-type Estimate struct {
-	Seconds     float64
-	Utilization float64
-	AreaMM2     float64
-	PowerW      float64
-}
-
-// EstimateSumCheck models one SumCheck of a Table I constraint over
-// 2^logGates gates on the accelerator's programmable SumCheck unit.
-func (a *Accelerator) EstimateSumCheck(tableID, logGates int) (Estimate, error) {
-	if tableID < 0 || tableID >= poly.NumRegistered {
-		return Estimate{}, fmt.Errorf("zkphire: unknown Table I constraint %d", tableID)
-	}
-	w := core.NewWorkload(poly.Registered(tableID), logGates)
-	res, err := core.Simulate(a.cfg.SumCheck, w, hw.NewMemory(a.cfg.BandwidthGBps))
-	if err != nil {
-		return Estimate{}, err
-	}
-	return Estimate{
-		Seconds:     res.Seconds,
-		Utilization: res.Utilization,
-		AreaMM2:     a.cfg.SumCheck.Area7(),
-	}, nil
-}
-
-// EstimateProver models the full HyperPlonk protocol for 2^logGates gates
-// (jellyfish selects the high-degree arithmetization).
-func (a *Accelerator) EstimateProver(jellyfish bool, logGates int) (Estimate, error) {
-	kind := workloads.Vanilla
-	if jellyfish {
-		kind = workloads.Jellyfish
-	}
-	r, err := a.cfg.ProveTime(kind, logGates, hw.DefaultSparsity)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return Estimate{
-		Seconds: r.Total(),
-		AreaMM2: a.cfg.Area().Total(),
-		PowerW:  a.cfg.Power().Total(),
-	}, nil
-}
