@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race bench-smoke bench-json fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# Quick kernel benchmarks: one iteration of the small parallel-engine
+# benchmarks plus a quick benchjson pass. Used by CI as a smoke signal that
+# the hot kernels still run and report.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkMLEFold/2\^16|BenchmarkMLEEvaluate/2\^16|BenchmarkCurveMSM/2\^16|BenchmarkProveSession' -benchtime=1x .
+	$(GO) run ./cmd/benchjson -quick -o /tmp/bench_smoke.json
+
+# Full kernel measurement at the sizes the bench trajectory tracks
+# (2^16–2^20 MSMs; end-to-end Prove at logGates=16). Takes minutes.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_pr2.json

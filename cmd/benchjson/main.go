@@ -1,0 +1,285 @@
+// Command benchjson measures the prover stack's key kernels — mle.Fold,
+// mle.Evaluate, perm.Build, curve.MSM, pcs.Commit, and the end-to-end
+// session Prove — with testing.Benchmark and writes the results as a JSON
+// record (BENCH_pr2.json), seeding the repo's bench trajectory.
+//
+// Each kernel runs at worker budgets 1 and GOMAXPROCS through the shared
+// internal/parallel engine. Entries carry the pre-engine serial baseline
+// (measured at the seed commit on the same kernel shapes) so the record
+// documents both the serial win and the parallel scaling headroom.
+//
+//	go run ./cmd/benchjson -o BENCH_pr2.json        # full sizes (minutes)
+//	go run ./cmd/benchjson -quick -o /tmp/b.json    # CI smoke (seconds)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"zkphire"
+	"zkphire/internal/curve"
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+	"zkphire/internal/pcs"
+	"zkphire/internal/perm"
+)
+
+type kernelResult struct {
+	Name        string `json:"name"`
+	Workers     int    `json:"workers"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// BaselineNsPerOp is the serial pre-engine number measured at the seed
+	// commit (adf6bae) on this runner; zero when not measured (quick mode).
+	BaselineNsPerOp int64   `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type record struct {
+	PR         int            `json:"pr"`
+	Generated  string         `json:"generated"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Quick      bool           `json:"quick"`
+	Note       string         `json:"note"`
+	Kernels    []kernelResult `json:"kernels"`
+}
+
+// seedBaselines holds the pre-PR serial timings (ns/op) measured at the
+// seed commit on the kernel shapes below. They are runner-specific; rerun
+// the seed commit's kernels to recalibrate on different hardware.
+var seedBaselines = map[string]int64{
+	"mle.Fold/2^20":             46_864_113,
+	"mle.Evaluate/2^16":         7_424_552,
+	"perm.Build/2^16/k=3":       99_736_451,
+	"curve.MSM/2^16":            2_629_526_325,
+	"curve.MSM/2^18":            10_134_528_257,
+	"curve.MSM/2^20":            34_616_961_756,
+	"pcs.Commit/dense/2^18":     9_860_344_728,
+	"session.Prove/logGates=16": 15_635_234_935,
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr2.json", "output path")
+	quick := flag.Bool("quick", false, "small sizes for a CI smoke pass")
+	flag.Parse()
+
+	rec := &record{
+		PR:         2,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Note: "baseline_ns_per_op is the pre-parallel-engine serial path " +
+			"measured at the seed commit on the same runner; on a single-core " +
+			"runner the workers>1 rows show engine overhead, not scaling.",
+	}
+
+	budgets := []int{1}
+	if runtime.GOMAXPROCS(0) > 1 {
+		budgets = append(budgets, runtime.GOMAXPROCS(0))
+	}
+
+	foldLg, evalLg, msmLgs, commitLg, permLg := 20, 16, []int{16, 18, 20}, 18, 16
+	proveLg := 16
+	if *quick {
+		foldLg, evalLg, msmLgs, commitLg, permLg = 14, 12, []int{12}, 12, 12
+		proveLg = 8
+	}
+
+	rng := ff.NewRand(71)
+
+	// mle.Fold
+	{
+		base := rng.Elements(1 << foldLg)
+		work := make([]ff.Element, len(base))
+		r := rng.Element()
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					copy(work, base)
+					tab := mle.FromEvals(work)
+					b.StartTimer()
+					tab.FoldWorkers(&r, w)
+				}
+			})
+			add(rec, fmt.Sprintf("mle.Fold/2^%d", foldLg), w, res, !*quick)
+		}
+	}
+
+	// mle.Evaluate
+	{
+		tab := mle.FromEvals(rng.Elements(1 << evalLg))
+		point := rng.Elements(evalLg)
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tab.EvaluateWorkers(point, w)
+				}
+			})
+			add(rec, fmt.Sprintf("mle.Evaluate/2^%d", evalLg), w, res, !*quick)
+		}
+	}
+
+	// perm.Build
+	{
+		k := 3
+		wires := make([]*mle.Table, k)
+		for j := range wires {
+			wires[j] = mle.FromEvals(rng.Elements(1 << permLg))
+		}
+		sigma := perm.SigmaTables(perm.Identity(k, 1<<permLg), permLg)
+		beta, gamma := rng.Element(), rng.Element()
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					perm.BuildWorkers(wires, sigma, beta, gamma, w)
+				}
+			})
+			add(rec, fmt.Sprintf("perm.Build/2^%d/k=3", permLg), w, res, !*quick)
+		}
+	}
+
+	// curve.MSM and pcs.Commit share one point set.
+	maxLg := commitLg
+	for _, lg := range msmLgs {
+		if lg > maxLg {
+			maxLg = lg
+		}
+	}
+	points := benchPoints(1 << maxLg)
+	for _, lg := range msmLgs {
+		n := 1 << lg
+		scalars := rng.Elements(n)
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					curve.MSMWorkers(points[:n], scalars, w)
+				}
+			})
+			add(rec, fmt.Sprintf("curve.MSM/2^%d", lg), w, res, !*quick)
+		}
+	}
+	{
+		srs := &pcs.SRS{MaxVars: maxLg, Levels: make([][]curve.G1Affine, maxLg+1)}
+		srs.Levels[commitLg] = points[:1<<commitLg]
+		dense := mle.FromEvals(rng.Elements(1 << commitLg))
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := srs.CommitWorkers(dense, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			add(rec, fmt.Sprintf("pcs.Commit/dense/2^%d", commitLg), w, res, !*quick)
+		}
+	}
+
+	// End-to-end session Prove.
+	{
+		log.Printf("setting up SRS for logGates=%d (one-time)", proveLg)
+		srs := zkphire.SetupDeterministic(proveLg+1, 42)
+		cb := zkphire.NewCircuitBuilder()
+		x := cb.Secret(3)
+		acc := x
+		// 40000 gates at the full size — the same circuit shape the seed
+		// baseline was measured on.
+		gateTarget := 40000
+		if *quick {
+			gateTarget = (1 << proveLg) * 3 / 5
+		}
+		for i := 0; i < gateTarget; i++ {
+			if i%2 == 0 {
+				acc = cb.Mul(acc, x)
+			} else {
+				acc = cb.Add(acc, x)
+			}
+		}
+		compiled, err := zkphire.Compile(cb, zkphire.WithLogGates(proveLg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, w := range budgets {
+			prover, err := zkphire.NewProver(srs, compiled, zkphire.WithWorkers(w))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := prover.Prove(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			add(rec, fmt.Sprintf("session.Prove/logGates=%d", proveLg), w, res, !*quick)
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d kernel rows)", *out, len(rec.Kernels))
+}
+
+func add(rec *record, name string, workers int, res testing.BenchmarkResult, withBaseline bool) {
+	kr := kernelResult{
+		Name:        name,
+		Workers:     workers,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if withBaseline {
+		if base, ok := seedBaselines[name]; ok {
+			kr.BaselineNsPerOp = base
+			if kr.NsPerOp > 0 {
+				kr.Speedup = float64(base) / float64(kr.NsPerOp)
+			}
+		}
+	}
+	rec.Kernels = append(rec.Kernels, kr)
+	log.Printf("%-32s workers=%-2d %12d ns/op  %8d allocs/op", name, workers, kr.NsPerOp, kr.AllocsPerOp)
+}
+
+// benchPoints returns n distinct affine points (i·G) cheaply.
+func benchPoints(n int) []curve.G1Affine {
+	g := curve.Generator()
+	jacs := make([]curve.G1Jac, n)
+	var acc curve.G1Jac
+	acc.SetInfinity()
+	for i := range jacs {
+		acc.AddMixed(&g)
+		jacs[i] = acc
+	}
+	return curve.BatchFromJacobian(jacs)
+}

@@ -1,6 +1,9 @@
 package curve
 
-import "zkphire/internal/ff"
+import (
+	"zkphire/internal/ff"
+	"zkphire/internal/parallel"
+)
 
 // FixedBaseTable precomputes windowed multiples of a fixed base point so
 // that scalar multiplications cost ~32 mixed additions instead of ~255
@@ -61,13 +64,23 @@ func (t *FixedBaseTable) Mul(k *ff.Element) G1Jac {
 	return acc
 }
 
-// MulMany applies Mul to each scalar, returning affine points.
+// MulMany applies Mul to each scalar, returning affine points. It uses the
+// full machine; use MulManyWorkers for an explicit budget.
 func (t *FixedBaseTable) MulMany(ks []ff.Element) []G1Affine {
+	return t.MulManyWorkers(ks, 0)
+}
+
+// MulManyWorkers is MulMany with a worker budget (<= 0 means GOMAXPROCS).
+// Each scalar multiplication is independent and lands in its own slot, so
+// the result is identical across budgets.
+func (t *FixedBaseTable) MulManyWorkers(ks []ff.Element, workers int) []G1Affine {
 	jacs := make([]G1Jac, len(ks))
-	for i := range ks {
-		jacs[i] = t.Mul(&ks[i])
-	}
-	return BatchFromJacobian(jacs)
+	parallel.ForGrain(workers, len(ks), pointGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			jacs[i] = t.Mul(&ks[i])
+		}
+	})
+	return BatchFromJacobianWorkers(jacs, workers)
 }
 
 func extractDigitBytes(le []byte, bit, width int) uint32 {

@@ -10,6 +10,7 @@ import (
 
 	"zkphire/internal/ff"
 	"zkphire/internal/fp"
+	"zkphire/internal/parallel"
 )
 
 // B is the curve coefficient: y² = x³ + B.
@@ -316,41 +317,63 @@ func (p *G1Jac) ScalarMulBig(q *G1Jac, k *big.Int) *G1Jac {
 	return p.Set(&acc)
 }
 
-// BatchFromJacobian converts a slice of Jacobian points to affine with a
-// single field inversion (Montgomery batching), mirroring the hardware's
+// pointGrain is the minimum chunk size for loops whose iterations are curve
+// point operations (microseconds each, vs ~100ns for field elements).
+const pointGrain = 64
+
+// BatchFromJacobian converts a slice of Jacobian points to affine with one
+// field inversion per chunk (Montgomery batching), mirroring the hardware's
 // batched-inverse unit.
 func BatchFromJacobian(in []G1Jac) []G1Affine {
+	return BatchFromJacobianWorkers(in, 0)
+}
+
+// BatchFromJacobianWorkers is BatchFromJacobian with a worker budget. Each
+// chunk runs its own Montgomery batch inversion; the per-point results are
+// independent of the chunking.
+func BatchFromJacobianWorkers(in []G1Jac, workers int) []G1Affine {
 	n := len(in)
 	out := make([]G1Affine, n)
-	zs := make([]fp.Element, n)
-	for i := range in {
-		if in[i].IsInfinity() {
-			zs[i].SetZero()
-		} else {
-			zs[i] = in[i].Z
+	parallel.ForGrain(workers, n, pointGrain, func(lo, hi int) {
+		zs := make([]fp.Element, hi-lo)
+		for i := lo; i < hi; i++ {
+			if in[i].IsInfinity() {
+				zs[i-lo].SetZero()
+			} else {
+				zs[i-lo] = in[i].Z
+			}
 		}
-	}
-	batchInvertFp(zs)
-	for i := range in {
-		if in[i].IsInfinity() {
-			out[i].SetInfinity()
-			continue
+		batchInvertFp(zs)
+		for i := lo; i < hi; i++ {
+			if in[i].IsInfinity() {
+				out[i].SetInfinity()
+				continue
+			}
+			var z2, z3 fp.Element
+			z2.Square(&zs[i-lo])
+			z3.Mul(&z2, &zs[i-lo])
+			out[i].X.Mul(&in[i].X, &z2)
+			out[i].Y.Mul(&in[i].Y, &z3)
 		}
-		var z2, z3 fp.Element
-		z2.Square(&zs[i])
-		z3.Mul(&z2, &zs[i])
-		out[i].X.Mul(&in[i].X, &z2)
-		out[i].Y.Mul(&in[i].Y, &z3)
-	}
+	})
 	return out
 }
 
 func batchInvertFp(a []fp.Element) {
+	batchInvertFpScratch(a, nil)
+}
+
+// batchInvertFpScratch is batchInvertFp with an optional caller-owned
+// prefix buffer (len >= len(a)) so hot loops can amortize the allocation.
+func batchInvertFpScratch(a, scratch []fp.Element) {
 	n := len(a)
 	if n == 0 {
 		return
 	}
-	prefix := make([]fp.Element, n)
+	prefix := scratch
+	if len(prefix) < n {
+		prefix = make([]fp.Element, n)
+	}
 	acc := fp.One()
 	for i := 0; i < n; i++ {
 		prefix[i] = acc

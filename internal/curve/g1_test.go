@@ -1,7 +1,6 @@
 package curve
 
 import (
-	"math/big"
 	"testing"
 
 	"zkphire/internal/ff"
@@ -217,19 +216,18 @@ func TestSparseMSM(t *testing.T) {
 }
 
 func TestExtractDigit(t *testing.T) {
-	v, _ := new(big.Int).SetString("ffeeddccbbaa99887766554433221100", 16)
-	words := v.Bits()
-	if got := extractDigit(words, 0, 8); got != 0x00 {
+	words := [4]uint64{0x7766554433221100, 0xffeeddccbbaa9988, 0, 0}
+	if got := extractDigit(&words, 0, 8); got != 0x00 {
 		t.Fatalf("digit 0 = %x", got)
 	}
-	if got := extractDigit(words, 8, 8); got != 0x11 {
+	if got := extractDigit(&words, 8, 8); got != 0x11 {
 		t.Fatalf("digit 1 = %x", got)
 	}
 	// Straddles the 64-bit word boundary.
-	if got := extractDigit(words, 60, 8); got != 0x87 {
+	if got := extractDigit(&words, 60, 8); got != 0x87 {
 		t.Fatalf("straddle digit = %x", got)
 	}
-	if got := extractDigit(words, 200, 8); got != 0 {
+	if got := extractDigit(&words, 200, 8); got != 0 {
 		t.Fatalf("out of range digit = %x", got)
 	}
 }

@@ -1,116 +1,269 @@
 package curve
 
 import (
-	"math/big"
-	"runtime"
-	"sync"
-
 	"zkphire/internal/ff"
+	"zkphire/internal/fp"
+	"zkphire/internal/parallel"
 )
 
-// MSM computes Σ scalars[i]·points[i] with Pippenger's bucket method,
-// parallelized across windows. It panics if the slice lengths differ.
+// MSM computes Σ scalars[i]·points[i] with Pippenger's bucket method using
+// the full machine (GOMAXPROCS workers). It panics if the slice lengths
+// differ.
 //
 // This is the software ground truth for the zkPHIRE MSM unit model; the
 // structure (windows of width c, 2^c−1 buckets, running-sum aggregation,
 // cross-window doubling) is the same computation the hardware performs.
 func MSM(points []G1Affine, scalars []ff.Element) G1Jac {
+	return MSMWorkers(points, scalars, 0)
+}
+
+// MSMWorkers is MSM with an explicit worker budget (<= 0 means GOMAXPROCS).
+//
+// Work splits over (window, point-range chunk) tasks, so parallelism scales
+// with the input size N instead of stopping at the ~20 window count: each
+// task accumulates the buckets of one window over one contiguous point
+// range and reduces them to a weighted sum; window totals merge the chunk
+// sums in ascending chunk order (group addition is exact, so the result is
+// identical for every budget).
+func MSMWorkers(points []G1Affine, scalars []ff.Element, workers int) G1Jac {
 	if len(points) != len(scalars) {
 		panic("curve: MSM length mismatch")
 	}
+	return msmWindow(points, scalars, workers, windowSize(len(points)))
+}
+
+// msmWindow is MSMWorkers with an explicit Pippenger window width; the
+// window-tuning benchmark drives it directly.
+func msmWindow(points []G1Affine, scalars []ff.Element, workers, c int) G1Jac {
 	var res G1Jac
 	res.SetInfinity()
 	n := len(points)
 	if n == 0 {
 		return res
 	}
+	w := parallel.Workers(workers)
 
-	c := windowSize(n)
 	const scalarBits = 255
 	numWindows := (scalarBits + c - 1) / c
 
-	// Decompose scalars into base-2^c digits once.
+	// Decompose scalars into base-2^c digits once, straight from the
+	// canonical limbs (no per-scalar big.Int).
+	flat := make([]uint32, numWindows*n)
 	digits := make([][]uint32, numWindows)
-	for w := range digits {
-		digits[w] = make([]uint32, n)
+	for wi := range digits {
+		digits[wi] = flat[wi*n : (wi+1)*n]
 	}
-	var kBig big.Int
-	for i := range scalars {
-		scalars[i].BigInt(&kBig)
-		words := kBig.Bits()
-		for w := 0; w < numWindows; w++ {
-			digits[w][i] = extractDigit(words, w*c, c)
+	parallel.For(w, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			limbs := scalars[i].Regular()
+			for wi := 0; wi < numWindows; wi++ {
+				digits[wi][i] = extractDigit(&limbs, wi*c, c)
+			}
 		}
-	}
+	})
 
-	// Each window's bucket accumulation is independent.
-	windowSums := make([]G1Jac, numWindows)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < numWindows; w++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(w int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			windowSums[w] = bucketSum(points, digits[w], c)
-		}(w)
+	// Bucket accumulation over (window, chunk) tasks. Chunks are capped so
+	// each still amortizes its 2^c running-sum additions over at least that
+	// many points.
+	numChunks := (w + numWindows - 1) / numWindows
+	if maxChunks := n >> uint(c); numChunks > maxChunks {
+		numChunks = maxChunks
 	}
-	wg.Wait()
+	if numChunks < 1 {
+		numChunks = 1
+	}
+	chunkLen := (n + numChunks - 1) / numChunks
+	partials := make([]G1Jac, numWindows*numChunks)
+	parallel.Run(w, numWindows*numChunks, func(task int) {
+		wi, ci := task/numChunks, task%numChunks
+		lo := ci * chunkLen
+		hi := lo + chunkLen
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partials[task].SetInfinity()
+			return
+		}
+		partials[task] = bucketSum(points[lo:hi], digits[wi][lo:hi], c)
+	})
 
-	// Combine windows: res = Σ 2^{wc} · windowSums[w]
-	res = windowSums[numWindows-1]
-	for w := numWindows - 2; w >= 0; w-- {
+	// Merge chunk sums per window (ascending chunk order), then combine
+	// windows: res = Σ 2^{wc} · windowSums[w].
+	windowSum := func(wi int) G1Jac {
+		sum := partials[wi*numChunks]
+		for ci := 1; ci < numChunks; ci++ {
+			sum.AddAssign(&partials[wi*numChunks+ci])
+		}
+		return sum
+	}
+	res = windowSum(numWindows - 1)
+	for wi := numWindows - 2; wi >= 0; wi-- {
 		for k := 0; k < c; k++ {
 			res.Double(&res)
 		}
-		res.AddAssign(&windowSums[w])
+		s := windowSum(wi)
+		res.AddAssign(&s)
 	}
 	return res
 }
 
-// bucketSum accumulates one Pippenger window: points with digit d go to
-// bucket d; the weighted sum Σ d·bucket[d] is formed with a running suffix
-// sum (two passes of additions, no multiplications).
+// bucketSum accumulates one Pippenger window over one point range: points
+// with digit d go to bucket d; the weighted sum Σ d·bucket[d] is formed with
+// a running suffix sum (two passes of additions, no multiplications).
+//
+// Buckets are kept in AFFINE coordinates and updated with batch-affine
+// additions: each addition needs one field inversion for its slope, and one
+// Montgomery batch inversion serves a whole queue of them, so the amortized
+// cost (~1 inversion share + 3M + 1S) beats the 8M+5S mixed Jacobian
+// addition by roughly 2×. A bucket can appear at most once per queue (its
+// queued slope reads the bucket value at queue time); a second addition to
+// the same bucket is deferred to a follow-up pass instead of flushing, so
+// the inversion stays amortized over full batches even for narrow windows.
 func bucketSum(points []G1Affine, digit []uint32, c int) G1Jac {
 	numBuckets := (1 << uint(c)) - 1
-	buckets := make([]G1Jac, numBuckets)
-	for i := range buckets {
-		buckets[i].SetInfinity()
+	buckets := make([]G1Affine, numBuckets)
+	full := make([]bool, numBuckets)
+	inQueue := make([]bool, numBuckets)
+
+	const maxBatch = 1024
+	opBucket := make([]int32, maxBatch)
+	opX := make([]fp.Element, maxBatch)   // addend x (needed for x3)
+	opNum := make([]fp.Element, maxBatch) // slope numerator
+	opDen := make([]fp.Element, maxBatch) // slope denominator → batch inverted
+	invScratch := make([]fp.Element, maxBatch)
+	m := 0
+
+	flush := func() {
+		batchInvertFpScratch(opDen[:m], invScratch)
+		var lambda, t, x3, y3 fp.Element
+		for i := 0; i < m; i++ {
+			bk := &buckets[opBucket[i]]
+			lambda.Mul(&opNum[i], &opDen[i])
+			x3.Square(&lambda)
+			x3.Sub(&x3, &bk.X)
+			x3.Sub(&x3, &opX[i])
+			t.Sub(&bk.X, &x3)
+			y3.Mul(&lambda, &t)
+			y3.Sub(&y3, &bk.Y)
+			bk.X, bk.Y = x3, y3
+			inQueue[opBucket[i]] = false
+		}
+		m = 0
 	}
+
+	// minAmortize is the queue length below which a flush would waste the
+	// batch inversion; conflicting additions on a short queue go through a
+	// lazily-allocated Jacobian overflow bucket instead. Narrow windows
+	// (buckets ≪ batch) degrade gracefully to the plain Jacobian method.
+	const minAmortize = 192
+	var jacOverflow []G1Jac
+
+	enqueue := func(b int32, p *G1Affine) {
+		if !full[b] {
+			buckets[b] = *p
+			full[b] = true
+			return
+		}
+		if inQueue[b] {
+			if m >= minAmortize {
+				flush()
+			} else {
+				if jacOverflow == nil {
+					jacOverflow = make([]G1Jac, numBuckets)
+					for i := range jacOverflow {
+						jacOverflow[i].SetInfinity()
+					}
+				}
+				jacOverflow[b].AddMixed(p)
+				return
+			}
+		}
+		bk := &buckets[b]
+		var num, den fp.Element
+		if bk.X.Equal(&p.X) {
+			if !bk.Y.Equal(&p.Y) {
+				// P + (−P): the bucket empties.
+				full[b] = false
+				return
+			}
+			// Doubling: λ = 3x² / 2y.
+			den.Double(&p.Y)
+			if den.IsZero() {
+				// 2-torsion input (not reachable from subgroup points).
+				full[b] = false
+				return
+			}
+			num.Square(&p.X)
+			var twoX2 fp.Element
+			twoX2.Double(&num)
+			num.Add(&num, &twoX2)
+		} else {
+			// Chord: λ = (y2−y1)/(x2−x1).
+			num.Sub(&p.Y, &bk.Y)
+			den.Sub(&p.X, &bk.X)
+		}
+		opBucket[m] = b
+		opX[m] = p.X
+		opNum[m] = num
+		opDen[m] = den
+		inQueue[b] = true
+		m++
+		if m == maxBatch {
+			flush()
+		}
+	}
+
 	for i := range points {
 		d := digit[i]
 		if d == 0 {
 			continue
 		}
-		buckets[d-1].AddMixed(&points[i])
+		if points[i].Infinity {
+			continue
+		}
+		enqueue(int32(d-1), &points[i])
 	}
+	flush()
+
 	var running, sum G1Jac
 	running.SetInfinity()
 	sum.SetInfinity()
 	for b := numBuckets - 1; b >= 0; b-- {
-		running.AddAssign(&buckets[b])
+		if full[b] {
+			running.AddMixed(&buckets[b])
+		}
+		if jacOverflow != nil && !jacOverflow[b].IsInfinity() {
+			running.AddAssign(&jacOverflow[b])
+		}
 		sum.AddAssign(&running)
 	}
 	return sum
 }
 
-func extractDigit(words []big.Word, bit, width int) uint32 {
-	const wordBits = 64 // big.Word is 64-bit on all supported platforms here
-	var v uint64
+// extractDigit reads a width-bit window starting at bit `bit` from
+// little-endian limbs.
+func extractDigit(words *[ff.Limbs]uint64, bit, width int) uint32 {
+	const wordBits = 64
 	wordIdx := bit / wordBits
+	if wordIdx >= len(words) {
+		return 0
+	}
 	ofs := bit % wordBits
-	if wordIdx < len(words) {
-		v = uint64(words[wordIdx]) >> uint(ofs)
-		if ofs+width > wordBits && wordIdx+1 < len(words) {
-			v |= uint64(words[wordIdx+1]) << uint(wordBits-ofs)
-		}
+	v := words[wordIdx] >> uint(ofs)
+	if ofs+width > wordBits && wordIdx+1 < len(words) {
+		v |= words[wordIdx+1] << uint(wordBits-ofs)
 	}
 	return uint32(v & ((1 << uint(width)) - 1))
 }
 
-// windowSize picks the Pippenger window width for n points, matching the
-// usual n/log(n) tradeoff (and the 7..10-bit windows the paper sweeps).
+// windowSize picks the Pippenger window width for n points. The cost model
+// is numWindows·(n·costAffine + 2·2^c·costJac) with numWindows =
+// ceil(255/c); larger inputs amortize bigger windows (fewer passes over all
+// points). The large-n tiers were measured with BenchmarkMSMWindowSweep on
+// the batch-affine bucket path (c=13 beats c=9 by ~25% at 2^16, c=14–15 by
+// ~50% at 2^18); past c≈15 the bucket array falls out of cache and the
+// curve turns back up.
 func windowSize(n int) int {
 	switch {
 	case n < 32:
@@ -119,12 +272,16 @@ func windowSize(n int) int {
 		return 5
 	case n < 4096:
 		return 7
-	case n < 65536:
+	case n < 1<<14:
 		return 9
-	case n < 1<<20:
-		return 10
+	case n < 1<<15:
+		return 11
+	case n < 1<<17:
+		return 13
+	case n < 1<<19:
+		return 14
 	default:
-		return 12
+		return 15
 	}
 }
 
@@ -142,27 +299,58 @@ func MSMNaive(points []G1Affine, scalars []ff.Element) G1Jac {
 }
 
 // SparseMSM computes an MSM where most scalars are 0 or 1, the statistics of
-// HyperPlonk witness commitments. Zero scalars are skipped, one scalars
-// reduce to plain point additions, and only the dense remainder runs through
-// Pippenger. This mirrors the paper's Sparse MSM datapath.
+// HyperPlonk witness commitments, using the full machine. Zero scalars are
+// skipped, one scalars reduce to plain point additions, and only the dense
+// remainder runs through Pippenger. This mirrors the paper's Sparse MSM
+// datapath.
 func SparseMSM(points []G1Affine, scalars []ff.Element) G1Jac {
-	var onesAcc G1Jac
-	onesAcc.SetInfinity()
-	var densePoints []G1Affine
-	var denseScalars []ff.Element
-	oneE := ff.One()
-	for i := range scalars {
-		switch {
-		case scalars[i].IsZero():
-			// skip
-		case scalars[i].Equal(&oneE):
-			onesAcc.AddMixed(&points[i])
-		default:
-			densePoints = append(densePoints, points[i])
-			denseScalars = append(denseScalars, scalars[i])
-		}
+	return SparseMSMWorkers(points, scalars, 0)
+}
+
+// sparsePart is one chunk's contribution to a sparse MSM: the sum of the
+// one-scalar points plus the dense remainder, collected in index order.
+type sparsePart struct {
+	ones         G1Jac
+	densePoints  []G1Affine
+	denseScalars []ff.Element
+}
+
+// SparseMSMWorkers is SparseMSM with an explicit worker budget. The 0/1/dense
+// classification runs chunked; chunk results merge in ascending index order,
+// so the dense remainder reaches Pippenger in the same order as the serial
+// scan and the result is budget-independent.
+func SparseMSMWorkers(points []G1Affine, scalars []ff.Element, workers int) G1Jac {
+	if len(points) != len(scalars) {
+		panic("curve: MSM length mismatch")
 	}
-	dense := MSM(densePoints, denseScalars)
-	onesAcc.AddAssign(&dense)
-	return onesAcc
+	if len(points) == 0 {
+		var res G1Jac
+		res.SetInfinity()
+		return res
+	}
+	part := parallel.MapReduce(workers, len(scalars), func(lo, hi int) sparsePart {
+		var p sparsePart
+		p.ones.SetInfinity()
+		oneE := ff.One()
+		for i := lo; i < hi; i++ {
+			switch {
+			case scalars[i].IsZero():
+				// skip
+			case scalars[i].Equal(&oneE):
+				p.ones.AddMixed(&points[i])
+			default:
+				p.densePoints = append(p.densePoints, points[i])
+				p.denseScalars = append(p.denseScalars, scalars[i])
+			}
+		}
+		return p
+	}, func(a, b sparsePart) sparsePart {
+		a.ones.AddAssign(&b.ones)
+		a.densePoints = append(a.densePoints, b.densePoints...)
+		a.denseScalars = append(a.denseScalars, b.denseScalars...)
+		return a
+	})
+	dense := MSMWorkers(part.densePoints, part.denseScalars, workers)
+	part.ones.AddAssign(&dense)
+	return part.ones
 }

@@ -1,0 +1,35 @@
+package curve
+
+import (
+	"fmt"
+	"testing"
+
+	"zkphire/internal/ff"
+)
+
+// BenchmarkMSMWindowSweep measures Pippenger window widths directly; it
+// backs the windowSize table. Run with -benchtime=1x: large sizes cost
+// seconds per op.
+func BenchmarkMSMWindowSweep(b *testing.B) {
+	rng := ff.NewRand(91)
+	g := Generator()
+	n := 1 << 18
+	jacs := make([]G1Jac, n)
+	var acc G1Jac
+	acc.SetInfinity()
+	for i := range jacs {
+		acc.AddMixed(&g)
+		jacs[i] = acc
+	}
+	points := BatchFromJacobian(jacs)
+	for _, lg := range []int{16, 18} {
+		scalars := rng.Elements(1 << lg)
+		for _, c := range []int{9, 11, 13, 14, 15} {
+			b.Run(fmt.Sprintf("2^%d/c=%d", lg, c), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					msmWindow(points[:1<<lg], scalars, 1, c)
+				}
+			})
+		}
+	}
+}

@@ -184,6 +184,13 @@ func (z *Element) BigInt(out *big.Int) *big.Int {
 	return out
 }
 
+// Regular returns the canonical (non-Montgomery) value of z as little-endian
+// 64-bit limbs. MSM digit decomposition uses this to slice scalars into
+// Pippenger windows without a big.Int round trip per scalar.
+func (z *Element) Regular() [Limbs]uint64 {
+	return [Limbs]uint64(z.fromMont())
+}
+
 // fromMont returns the canonical-representation limbs of z.
 func (z *Element) fromMont() Element {
 	var res Element
@@ -340,40 +347,46 @@ func madd(a, b, c, d uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
-// Mul sets z = x*y mod q (Montgomery CIOS) and returns z.
+// madd0 returns the high word of a*b + c (the low word is discarded — in
+// the fused CIOS round below it is zero by construction of m).
+func madd0(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, carry := bits.Add64(lo, c, 0)
+	return hi + carry
+}
+
+// Mul sets z = x*y mod q (Montgomery CIOS, fused "no-carry" variant) and
+// returns z. The top limb of q is < 2^63, so the accumulator never
+// overflows the Limbs+1st word and the multiplication and Montgomery
+// reduction interleave in one unrolled pass held in scalar locals — the hot
+// instruction sequence of the SumCheck scan and every MLE fold.
 func (z *Element) Mul(x, y *Element) *Element {
-	var t [Limbs + 2]uint64
+	var t0, t1, t2, t3 uint64
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
 
 	for i := 0; i < Limbs; i++ {
-		// t += x * y[i]
-		var c uint64
-		for j := 0; j < Limbs; j++ {
-			c, t[j] = madd(x[j], y[i], t[j], c)
-		}
-		var c2 uint64
-		t[Limbs], c2 = bits.Add64(t[Limbs], c, 0)
-		t[Limbs+1] += c2
-
-		// Montgomery reduction step.
-		m := t[0] * qInvNeg
-		c, _ = madd(m, q[0], t[0], 0)
-		for j := 1; j < Limbs; j++ {
-			c, t[j-1] = madd(m, q[j], t[j], c)
-		}
-		var carry uint64
-		t[Limbs-1], carry = bits.Add64(t[Limbs], c, 0)
-		t[Limbs] = t[Limbs+1] + carry
-		t[Limbs+1] = 0
+		yi := y[i]
+		var A, C uint64
+		A, t0 = madd(x0, yi, t0, 0)
+		m := t0 * qInvNeg
+		C = madd0(m, q0, t0)
+		A, t1 = madd(x1, yi, t1, A)
+		C, t0 = madd(m, q1, t1, C)
+		A, t2 = madd(x2, yi, t2, A)
+		C, t1 = madd(m, q2, t2, C)
+		A, t3 = madd(x3, yi, t3, A)
+		C, t2 = madd(m, q3, t3, C)
+		t3 = C + A
 	}
 
-	var r Element
-	copy(r[:], t[:Limbs])
-	if t[Limbs] != 0 || !smallerThanModulus(&r) {
+	r := Element{t0, t1, t2, t3}
+	if !smallerThanModulus(&r) {
 		var b uint64
-		r[0], b = bits.Sub64(r[0], q[0], 0)
-		r[1], b = bits.Sub64(r[1], q[1], b)
-		r[2], b = bits.Sub64(r[2], q[2], b)
-		r[3], _ = bits.Sub64(r[3], q[3], b)
+		r[0], b = bits.Sub64(r[0], q0, 0)
+		r[1], b = bits.Sub64(r[1], q1, b)
+		r[2], b = bits.Sub64(r[2], q2, b)
+		r[3], _ = bits.Sub64(r[3], q3, b)
 	}
 	*z = r
 	return z

@@ -249,37 +249,54 @@ func madd(a, b, c, d uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
-// Mul sets z = x*y mod p (Montgomery CIOS) and returns z.
+// madd0 returns the high word of a*b + c (the low word is discarded — in
+// the fused CIOS round below it is zero by construction of m).
+func madd0(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, carry := bits.Add64(lo, c, 0)
+	return hi + carry
+}
+
+// Mul sets z = x*y mod p (Montgomery CIOS, fused "no-carry" variant) and
+// returns z. Because the top limb of p is < 2^62, the intermediate
+// accumulator never overflows the Limbs+1st word, so the multiplication and
+// Montgomery reduction interleave in a single unrolled pass with the
+// accumulator in scalar locals (registers). This is the prover's single
+// hottest instruction sequence — every curve-point operation in an MSM runs
+// through it.
 func (z *Element) Mul(x, y *Element) *Element {
-	var t [Limbs + 2]uint64
+	var t0, t1, t2, t3, t4, t5 uint64
+	x0, x1, x2, x3, x4, x5 := x[0], x[1], x[2], x[3], x[4], x[5]
+	p0, p1, p2, p3, p4, p5 := p[0], p[1], p[2], p[3], p[4], p[5]
 
 	for i := 0; i < Limbs; i++ {
-		var c uint64
-		for j := 0; j < Limbs; j++ {
-			c, t[j] = madd(x[j], y[i], t[j], c)
-		}
-		var c2 uint64
-		t[Limbs], c2 = bits.Add64(t[Limbs], c, 0)
-		t[Limbs+1] += c2
-
-		m := t[0] * pInvNeg
-		c, _ = madd(m, p[0], t[0], 0)
-		for j := 1; j < Limbs; j++ {
-			c, t[j-1] = madd(m, p[j], t[j], c)
-		}
-		var carry uint64
-		t[Limbs-1], carry = bits.Add64(t[Limbs], c, 0)
-		t[Limbs] = t[Limbs+1] + carry
-		t[Limbs+1] = 0
+		yi := y[i]
+		var A, C uint64
+		A, t0 = madd(x0, yi, t0, 0)
+		m := t0 * pInvNeg
+		C = madd0(m, p0, t0)
+		A, t1 = madd(x1, yi, t1, A)
+		C, t0 = madd(m, p1, t1, C)
+		A, t2 = madd(x2, yi, t2, A)
+		C, t1 = madd(m, p2, t2, C)
+		A, t3 = madd(x3, yi, t3, A)
+		C, t2 = madd(m, p3, t3, C)
+		A, t4 = madd(x4, yi, t4, A)
+		C, t3 = madd(m, p4, t4, C)
+		A, t5 = madd(x5, yi, t5, A)
+		C, t4 = madd(m, p5, t5, C)
+		t5 = C + A
 	}
 
-	var r Element
-	copy(r[:], t[:Limbs])
-	if t[Limbs] != 0 || !smallerThanModulus(&r) {
+	r := Element{t0, t1, t2, t3, t4, t5}
+	if !smallerThanModulus(&r) {
 		var b uint64
-		for i := 0; i < Limbs; i++ {
-			r[i], b = bits.Sub64(r[i], p[i], b)
-		}
+		r[0], b = bits.Sub64(r[0], p0, b)
+		r[1], b = bits.Sub64(r[1], p1, b)
+		r[2], b = bits.Sub64(r[2], p2, b)
+		r[3], b = bits.Sub64(r[3], p3, b)
+		r[4], b = bits.Sub64(r[4], p4, b)
+		r[5], b = bits.Sub64(r[5], p5, b)
 	}
 	*z = r
 	return z

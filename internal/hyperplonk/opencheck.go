@@ -71,7 +71,7 @@ func proveOpenCheck(tr *transcript.Transcript, srs *pcs.SRS, label string, polys
 	tabs := make([]*mle.Table, 0, len(polys)+len(points))
 	tabs = append(tabs, polys...)
 	for _, pt := range points {
-		tabs = append(tabs, mle.Eq(pt.coords))
+		tabs = append(tabs, mle.EqWorkers(pt.coords, cfg.Workers))
 	}
 	assign, err := sumcheck.NewAssignment(comp, tabs)
 	if err != nil {
@@ -90,11 +90,11 @@ func proveOpenCheck(tr *transcript.Transcript, srs *pcs.SRS, label string, polys
 	// Batched single-point opening of Σ β^i f_i at r*.
 	beta := tr.ChallengeScalar(label + "/beta")
 	coeffs := betaPowers(beta, len(polys))
-	combined, err := pcs.CombineTables(polys, coeffs)
+	combined, err := pcs.CombineTablesWorkers(polys, coeffs, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	opened, proofPCS, err := srs.Open(combined, rStar)
+	opened, proofPCS, err := srs.OpenWorkers(combined, rStar, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("hyperplonk: %s opening: %w", label, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"zkphire/internal/ff"
 	"zkphire/internal/gates"
 	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
 	"zkphire/internal/pcs"
 	"zkphire/internal/perm"
 	"zkphire/internal/poly"
@@ -16,7 +17,9 @@ import (
 
 // Config controls the prover.
 type Config struct {
-	// Workers for SumCheck scans; 0 = GOMAXPROCS.
+	// Workers is the worker budget for the whole proof — wire commitments,
+	// permutation construction, SumCheck scans, batch evaluations, and PCS
+	// openings all share it. 0 = GOMAXPROCS.
 	Workers int
 }
 
@@ -34,17 +37,29 @@ func Prove(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg 
 	}
 	tr := newTranscript(idx)
 	proof := &Proof{}
-	scCfg := sumcheck.Config{Workers: cfg.Workers}
+	workers := parallel.Workers(cfg.Workers)
+	scCfg := sumcheck.Config{Workers: workers}
 
 	// ---- Step 1: Witness commitments (Sparse MSMs in hardware). ----
+	// The per-wire MSMs are independent; run them concurrently, dividing the
+	// budget so the step uses ~workers goroutines overall. Commitments are
+	// appended to the transcript in wire order afterwards, so the transcript
+	// is identical to the sequential schedule.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for j, w := range c.Wires {
-		comm, err := srs.Commit(w)
+	wireComms := make([]pcs.Commitment, len(c.Wires))
+	wireErrs := make([]error, len(c.Wires))
+	perWire := parallel.Split(workers, len(c.Wires))
+	parallel.Run(workers, len(c.Wires), func(j int) {
+		wireComms[j], wireErrs[j] = srs.CommitWorkers(c.Wires[j], perWire)
+	})
+	for j, err := range wireErrs {
 		if err != nil {
 			return nil, fmt.Errorf("hyperplonk: wire %d commit: %w", j, err)
 		}
+	}
+	for _, comm := range wireComms {
 		proof.WireComms = append(proof.WireComms, comm)
 		appendComm(tr, "wire", comm)
 	}
@@ -78,8 +93,8 @@ func Prove(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg 
 	}
 	beta := tr.ChallengeScalar("perm/beta")
 	gamma := tr.ChallengeScalar("perm/gamma")
-	arg := perm.Build(c.Wires, idx.SigmaTabs, beta, gamma)
-	vComm, err := srs.Commit(arg.V)
+	arg := perm.BuildWorkers(c.Wires, idx.SigmaTabs, beta, gamma, workers)
+	vComm, err := srs.CommitWorkers(arg.V, workers)
 	if err != nil {
 		return nil, fmt.Errorf("hyperplonk: product-tree commit: %w", err)
 	}
@@ -99,22 +114,36 @@ func Prove(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg 
 	proof.PermZC = permZC
 
 	// ---- Step 4: Batch Evaluations (Multifunction Forest in hardware). ----
+	// All 4 + 2k evaluations are independent; run them concurrently with the
+	// budget divided among them. Transcript appends keep the sequential
+	// order below.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	piPt, p1Pt, p2Pt, phiPt := perm.ViewPoints(rPerm)
-	proof.VEvals[0] = arg.V.Evaluate(piPt)
-	proof.VEvals[1] = arg.V.Evaluate(p1Pt)
-	proof.VEvals[2] = arg.V.Evaluate(p2Pt)
-	proof.VEvals[3] = arg.V.Evaluate(phiPt)
-	tr.AppendScalars("perm/vevals", proof.VEvals[:])
-
 	proof.WirePermEvals = make([]ff.Element, idx.Wires)
 	proof.SigmaPermEvals = make([]ff.Element, idx.Wires)
-	for j := 0; j < idx.Wires; j++ {
-		proof.WirePermEvals[j] = c.Wires[j].Evaluate(rPerm)
-		proof.SigmaPermEvals[j] = idx.SigmaTabs[j].Evaluate(rPerm)
+	type evalJob struct {
+		dst *ff.Element
+		tab *mle.Table
+		pt  []ff.Element
 	}
+	jobs := []evalJob{
+		{&proof.VEvals[0], arg.V, piPt},
+		{&proof.VEvals[1], arg.V, p1Pt},
+		{&proof.VEvals[2], arg.V, p2Pt},
+		{&proof.VEvals[3], arg.V, phiPt},
+	}
+	for j := 0; j < idx.Wires; j++ {
+		jobs = append(jobs,
+			evalJob{&proof.WirePermEvals[j], c.Wires[j], rPerm},
+			evalJob{&proof.SigmaPermEvals[j], idx.SigmaTabs[j], rPerm})
+	}
+	perEval := parallel.Split(workers, len(jobs))
+	parallel.Run(workers, len(jobs), func(i int) {
+		*jobs[i].dst = jobs[i].tab.EvaluateWorkers(jobs[i].pt, perEval)
+	})
+	tr.AppendScalars("perm/vevals", proof.VEvals[:])
 	tr.AppendScalars("perm/wevals", proof.WirePermEvals)
 	tr.AppendScalars("perm/sevals", proof.SigmaPermEvals)
 
@@ -207,12 +236,7 @@ func indexOf(ss []string, s string) int {
 // buildPermCheck returns the PermCheck composite (without eq wrapping; the
 // ZeroCheck adds it) and its bound tables, in the composite's variable order.
 func buildPermCheck(k int, alpha ff.Element, arg *perm.Argument) (*poly.Composite, []*mle.Table) {
-	var comp *poly.Composite
-	if k == 3 {
-		comp = permCheckCore(3, alpha)
-	} else {
-		comp = permCheckCore(k, alpha)
-	}
+	comp := permCheckCore(k, alpha)
 	tabs := make([]*mle.Table, comp.NumVars())
 	for i, name := range comp.VarNames {
 		switch name {

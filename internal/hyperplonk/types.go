@@ -16,6 +16,7 @@ import (
 	"zkphire/internal/ff"
 	"zkphire/internal/gates"
 	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
 	"zkphire/internal/pcs"
 	"zkphire/internal/perm"
 	"zkphire/internal/poly"
@@ -91,8 +92,16 @@ func (p *Proof) SizeBytes() int {
 	return size
 }
 
-// Preprocess commits the circuit's selectors and wiring permutation.
+// Preprocess commits the circuit's selectors and wiring permutation on the
+// full machine.
 func Preprocess(srs *pcs.SRS, c *gates.Circuit) (*Index, error) {
+	return PreprocessWorkers(srs, c, 0)
+}
+
+// PreprocessWorkers is Preprocess with a worker budget (<= 0 means
+// GOMAXPROCS). The per-table commitments are independent and run
+// concurrently with the budget divided among them.
+func PreprocessWorkers(srs *pcs.SRS, c *gates.Circuit, workers int) (*Index, error) {
 	if c.NumVars+1 > srs.MaxVars {
 		return nil, fmt.Errorf("hyperplonk: SRS supports %d vars, circuit needs %d (+1 for the product tree)", srs.MaxVars, c.NumVars)
 	}
@@ -105,22 +114,24 @@ func Preprocess(srs *pcs.SRS, c *gates.Circuit) (*Index, error) {
 	sort.Strings(names)
 	idx.SelectorNames = names
 	for _, n := range names {
-		t := c.Selectors[n]
-		comm, err := srs.Commit(t)
-		if err != nil {
-			return nil, err
-		}
-		idx.SelectorTabs = append(idx.SelectorTabs, t)
-		idx.SelectorComms = append(idx.SelectorComms, comm)
+		idx.SelectorTabs = append(idx.SelectorTabs, c.Selectors[n])
 	}
-
 	idx.SigmaTabs = perm.SigmaTables(c.Perm, c.NumVars)
-	for _, t := range idx.SigmaTabs {
-		comm, err := srs.Commit(t)
+
+	tabs := append(append([]*mle.Table(nil), idx.SelectorTabs...), idx.SigmaTabs...)
+	comms := make([]pcs.Commitment, len(tabs))
+	errs := make([]error, len(tabs))
+	per := parallel.Split(workers, len(tabs))
+	parallel.Run(workers, len(tabs), func(i int) {
+		comms[i], errs[i] = srs.CommitWorkers(tabs[i], per)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		idx.SigmaComms = append(idx.SigmaComms, comm)
 	}
+	numSel := len(idx.SelectorTabs)
+	idx.SelectorComms = comms[:numSel:numSel]
+	idx.SigmaComms = comms[numSel:]
 	return idx, nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"zkphire/internal/ff"
+	"zkphire/internal/parallel"
 )
 
 // Table is a dense MLE evaluation table of size 2^NumVars.
@@ -58,33 +59,101 @@ func (t *Table) Clone() *Table {
 //
 // This is the MLE Update of the paper. It panics on an empty table.
 func (t *Table) Fold(r *ff.Element) {
+	t.FoldWorkers(r, 1)
+}
+
+// FoldWorkers is Fold with a worker budget (<= 0 means GOMAXPROCS). The
+// in-place update pattern races with itself when chunked (entry j is written
+// while entry 2j is still being read by a lower chunk), so the parallel path
+// folds into a pooled scratch buffer and copies back; the single-chunk path
+// stays purely in place.
+func (t *Table) FoldWorkers(r *ff.Element, workers int) {
 	if t.NumVars == 0 {
 		panic("mle: cannot fold a 0-variable table")
 	}
 	half := len(t.Evals) / 2
-	var diff ff.Element
-	for j := 0; j < half; j++ {
-		a0 := t.Evals[2*j]
-		diff.Sub(&t.Evals[2*j+1], &a0)
-		diff.Mul(&diff, r)
-		t.Evals[j].Add(&a0, &diff)
+	if parallel.Workers(workers) == 1 || !parallel.WorthSplitting(half) {
+		foldSerialInPlace(t.Evals, r)
+	} else {
+		dst := parallel.GetScratch(half)
+		foldInto(dst, t.Evals, r, workers)
+		src := t.Evals
+		parallel.For(workers, half, func(lo, hi int) {
+			copy(src[lo:hi], dst[lo:hi])
+		})
+		parallel.PutScratch(dst)
 	}
 	t.Evals = t.Evals[:half]
 	t.NumVars--
 }
 
+// foldSerialInPlace performs the fold of evals (length 2m) into its own
+// first half.
+func foldSerialInPlace(evals []ff.Element, r *ff.Element) {
+	half := len(evals) / 2
+	var diff ff.Element
+	for j := 0; j < half; j++ {
+		a0 := evals[2*j]
+		diff.Sub(&evals[2*j+1], &a0)
+		diff.Mul(&diff, r)
+		evals[j].Add(&a0, &diff)
+	}
+}
+
+// foldInto writes the r-fold of src (length 2m) into dst (length m):
+// dst[j] = src[2j] + r·(src[2j+1] − src[2j]). dst must not alias src.
+func foldInto(dst, src []ff.Element, r *ff.Element, workers int) {
+	parallel.For(workers, len(dst), func(lo, hi int) {
+		var diff ff.Element
+		for j := lo; j < hi; j++ {
+			a0 := src[2*j]
+			diff.Sub(&src[2*j+1], &a0)
+			diff.Mul(&diff, r)
+			dst[j].Add(&a0, &diff)
+		}
+	})
+}
+
 // Evaluate returns the multilinear extension evaluated at an arbitrary field
 // point (len(point) must equal NumVars). The table is not modified.
 func (t *Table) Evaluate(point []ff.Element) ff.Element {
+	return t.EvaluateWorkers(point, 1)
+}
+
+// EvaluateWorkers is Evaluate with a worker budget (<= 0 means GOMAXPROCS).
+// Instead of deep-cloning the table it folds into a pooled half-size scratch
+// buffer and ping-pongs between two arena buffers from there, so repeated
+// evaluations allocate nothing in steady state.
+func (t *Table) EvaluateWorkers(point []ff.Element, workers int) ff.Element {
 	if len(point) != t.NumVars {
 		panic(fmt.Sprintf("mle: evaluate with %d coordinates on %d-var table", len(point), t.NumVars))
 	}
-	cur := t.Clone()
-	for i := range point {
-		cur.Fold(&point[i])
-		_ = i
+	if t.NumVars == 0 {
+		return t.Evals[0]
 	}
-	return cur.Evals[0]
+	half := len(t.Evals) / 2
+	bufA := parallel.GetScratch(half)
+	foldInto(bufA, t.Evals, &point[0], workers)
+	var bufB []ff.Element
+	cur, inA := bufA, true
+	for i := 1; i < len(point); i++ {
+		if bufB == nil {
+			bufB = parallel.GetScratch(half / 2)
+		}
+		m := len(cur) / 2
+		var dst []ff.Element
+		if inA {
+			dst = bufB[:m]
+		} else {
+			dst = bufA[:m]
+		}
+		foldInto(dst, cur, &point[i], workers)
+		cur, inA = dst, !inA
+	}
+	res := cur[0]
+	parallel.PutScratch(bufA)
+	parallel.PutScratch(bufB)
+	return res
 }
 
 // Sum returns Σ_x f(x) over the hypercube.
@@ -100,6 +169,14 @@ func (t *Table) Sum() ff.Element {
 // builds on the fly with a dedicated product lane during round 1 (the Build
 // MLE kernel).
 func Eq(r []ff.Element) *Table {
+	return EqWorkers(r, 1)
+}
+
+// EqWorkers is Eq with a worker budget (<= 0 means GOMAXPROCS). Each
+// expansion step reads entry j and writes entries j and j+size, so the
+// entries of one step are independent and the large trailing steps
+// parallelize cleanly.
+func EqWorkers(r []ff.Element, workers int) *Table {
 	nv := len(r)
 	t := New(nv)
 	t.Evals[0] = ff.One()
@@ -112,11 +189,14 @@ func Eq(r []ff.Element) *Table {
 		var oneMinus ff.Element
 		oneE := ff.One()
 		oneMinus.Sub(&oneE, &ri)
-		for j := size - 1; j >= 0; j-- {
-			v := t.Evals[j]
-			t.Evals[j+size].Mul(&v, &ri)
-			t.Evals[j].Mul(&v, &oneMinus)
-		}
+		evals, sz := t.Evals, size
+		parallel.For(workers, size, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				v := evals[j]
+				evals[j+sz].Mul(&v, &ri)
+				evals[j].Mul(&v, &oneMinus)
+			}
+		})
 		size *= 2
 	}
 	return t
@@ -192,19 +272,32 @@ type Sparsity struct {
 
 // AnalyzeSparsity counts zero / one / dense entries.
 func (t *Table) AnalyzeSparsity() Sparsity {
-	s := Sparsity{Total: len(t.Evals)}
-	oneE := ff.One()
-	for i := range t.Evals {
-		switch {
-		case t.Evals[i].IsZero():
-			s.Zeros++
-		case t.Evals[i].Equal(&oneE):
-			s.Ones++
-		default:
-			s.Dense++
-		}
+	return t.AnalyzeSparsityWorkers(1)
+}
+
+// AnalyzeSparsityWorkers is AnalyzeSparsity with a worker budget.
+func (t *Table) AnalyzeSparsityWorkers(workers int) Sparsity {
+	if len(t.Evals) == 0 {
+		return Sparsity{}
 	}
-	return s
+	evals := t.Evals
+	return parallel.MapReduce(workers, len(evals), func(lo, hi int) Sparsity {
+		s := Sparsity{Total: hi - lo}
+		oneE := ff.One()
+		for i := lo; i < hi; i++ {
+			switch {
+			case evals[i].IsZero():
+				s.Zeros++
+			case evals[i].Equal(&oneE):
+				s.Ones++
+			default:
+				s.Dense++
+			}
+		}
+		return s
+	}, func(a, b Sparsity) Sparsity {
+		return Sparsity{Zeros: a.Zeros + b.Zeros, Ones: a.Ones + b.Ones, Dense: a.Dense + b.Dense, Total: a.Total + b.Total}
+	})
 }
 
 // DenseFraction returns the fraction of entries that are neither 0 nor 1.

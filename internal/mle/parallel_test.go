@@ -1,0 +1,82 @@
+package mle
+
+import (
+	"testing"
+
+	"zkphire/internal/ff"
+)
+
+// budgets covers the serial path, a forced split, and the GOMAXPROCS
+// default.
+var budgets = []int{1, 2, 3, 0}
+
+// bigTable returns a table large enough (2^13) that the engine actually
+// splits it across goroutines.
+func bigTable(seed int64) *Table {
+	rng := ff.NewRand(seed)
+	return FromEvals(rng.Elements(1 << 13))
+}
+
+func TestFoldWorkersMatchesSerial(t *testing.T) {
+	rng := ff.NewRand(21)
+	r := rng.Element()
+	want := bigTable(20)
+	want.Fold(&r)
+	for _, w := range budgets {
+		got := bigTable(20)
+		got.FoldWorkers(&r, w)
+		if got.NumVars != want.NumVars {
+			t.Fatalf("w=%d: numvars %d, want %d", w, got.NumVars, want.NumVars)
+		}
+		for i := range want.Evals {
+			if !got.Evals[i].Equal(&want.Evals[i]) {
+				t.Fatalf("w=%d: fold mismatch at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestEvaluateWorkersMatchesSerial(t *testing.T) {
+	rng := ff.NewRand(22)
+	tab := bigTable(23)
+	point := rng.Elements(tab.NumVars)
+	want := tab.Evaluate(point)
+	for _, w := range budgets {
+		got := tab.EvaluateWorkers(point, w)
+		if !got.Equal(&want) {
+			t.Fatalf("w=%d: evaluate mismatch", w)
+		}
+	}
+	// The table itself must be untouched.
+	fresh := bigTable(23)
+	for i := range fresh.Evals {
+		if !tab.Evals[i].Equal(&fresh.Evals[i]) {
+			t.Fatalf("Evaluate modified the table at %d", i)
+		}
+	}
+}
+
+func TestEqWorkersMatchesSerial(t *testing.T) {
+	rng := ff.NewRand(24)
+	r := rng.Elements(13)
+	want := Eq(r)
+	for _, w := range budgets {
+		got := EqWorkers(r, w)
+		for i := range want.Evals {
+			if !got.Evals[i].Equal(&want.Evals[i]) {
+				t.Fatalf("w=%d: eq mismatch at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestAnalyzeSparsityWorkersMatchesSerial(t *testing.T) {
+	rng := ff.NewRand(25)
+	tab := FromEvals(rng.SparseElements(1<<13, 0.2))
+	want := tab.AnalyzeSparsity()
+	for _, w := range budgets {
+		if got := tab.AnalyzeSparsityWorkers(w); got != want {
+			t.Fatalf("w=%d: sparsity %+v, want %+v", w, got, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"zkphire/internal/ff"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	if got := Split(8, 4); got != 2 {
+		t.Fatalf("Split(8,4) = %d, want 2", got)
+	}
+	if got := Split(2, 8); got != 1 {
+		t.Fatalf("Split(2,8) = %d, want 1", got)
+	}
+	if got := Split(8, 0); got != 8 {
+		t.Fatalf("Split(8,0) = %d, want 8", got)
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, minGrain - 1, minGrain, 3*minGrain + 17} {
+		for _, w := range []int{1, 2, 3, 16, 0} {
+			seen := make([]int32, n)
+			For(w, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapReduceOrderedAndComplete(t *testing.T) {
+	n := 4*minGrain + 123
+	want := n * (n - 1) / 2
+	for _, w := range []int{1, 2, 5, 0} {
+		got := MapReduce(w, n, func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		}, func(a, b int) int { return a + b })
+		if got != want {
+			t.Fatalf("w=%d: sum = %d, want %d", w, got, want)
+		}
+	}
+
+	// Ordered merge: concatenating chunk-local slices must reproduce the
+	// identity sequence regardless of worker budget.
+	ids := MapReduce(4, n, func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}, func(a, b []int) []int { return append(a, b...) })
+	for i, v := range ids {
+		if v != i {
+			t.Fatalf("merge order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	for _, w := range []int{1, 3, 0} {
+		k := 37
+		hits := make([]int32, k)
+		Run(w, k, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, c := range hits {
+			if c != 1 {
+				t.Fatalf("w=%d: task %d ran %d times", w, i, c)
+			}
+		}
+	}
+	Run(4, 0, func(int) { t.Fatal("task ran for k=0") })
+}
+
+func TestScratchArena(t *testing.T) {
+	buf := GetScratch(1000)
+	if len(buf) != 1000 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	if cap(buf) != 1024 {
+		t.Fatalf("cap = %d, want power-of-two class 1024", cap(buf))
+	}
+	buf[0] = ff.One()
+	PutScratch(buf)
+
+	if got := GetScratch(0); got != nil {
+		t.Fatalf("GetScratch(0) = %v, want nil", got)
+	}
+	PutScratch(nil)                     // must not panic
+	PutScratch(make([]ff.Element, 100)) // non-power-of-two cap: no-op
+}

@@ -27,6 +27,7 @@ import (
 	"zkphire/internal/curve"
 	"zkphire/internal/ff"
 	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
 )
 
 // SRS is the structured reference string for up to MaxVars variables.
@@ -81,7 +82,7 @@ func setupWithTau(maxVars int, tau []ff.Element) *SRS {
 	srs := &SRS{MaxVars: maxVars, Tau: tau, G: g, Levels: make([][]curve.G1Affine, maxVars+1)}
 	for k := 0; k <= maxVars; k++ {
 		suffix := tau[maxVars-k:]
-		eq := mle.Eq(suffix)
+		eq := mle.EqWorkers(suffix, 0)
 		srs.Levels[k] = fb.MulMany(eq.Evals)
 	}
 	return srs
@@ -90,20 +91,27 @@ func setupWithTau(maxVars int, tau []ff.Element) *SRS {
 // tauSuffix returns the trapdoor coordinates used by a k-variable MLE.
 func (s *SRS) tauSuffix(k int) []ff.Element { return s.Tau[s.MaxVars-k:] }
 
-// Commit commits to an MLE. Sparse tables automatically take the Sparse MSM
-// path (the hardware's witness-commitment mode).
+// Commit commits to an MLE with the full machine. Sparse tables
+// automatically take the Sparse MSM path (the hardware's witness-commitment
+// mode).
 func (s *SRS) Commit(t *mle.Table) (Commitment, error) {
+	return s.CommitWorkers(t, 0)
+}
+
+// CommitWorkers is Commit with an explicit worker budget (<= 0 means
+// GOMAXPROCS). The resulting commitment is identical for every budget.
+func (s *SRS) CommitWorkers(t *mle.Table, workers int) (Commitment, error) {
 	k := t.NumVars
 	if k > s.MaxVars {
 		return Commitment{}, fmt.Errorf("pcs: table has %d vars, SRS supports %d", k, s.MaxVars)
 	}
 	basis := s.Levels[k]
-	sp := t.AnalyzeSparsity()
+	sp := t.AnalyzeSparsityWorkers(workers)
 	var acc curve.G1Jac
 	if sp.DenseFraction() < 0.5 {
-		acc = curve.SparseMSM(basis, t.Evals)
+		acc = curve.SparseMSMWorkers(basis, t.Evals, workers)
 	} else {
-		acc = curve.MSM(basis, t.Evals)
+		acc = curve.MSMWorkers(basis, t.Evals, workers)
 	}
 	var aff curve.G1Affine
 	aff.FromJacobian(&acc)
@@ -111,8 +119,16 @@ func (s *SRS) Commit(t *mle.Table) (Commitment, error) {
 }
 
 // Open produces an evaluation proof for t at point z, returning the value
-// f(z) and the witness commitments.
+// f(z) and the witness commitments. It uses the full machine.
 func (s *SRS) Open(t *mle.Table, z []ff.Element) (ff.Element, *OpeningProof, error) {
+	return s.OpenWorkers(t, z, 0)
+}
+
+// OpenWorkers is Open with an explicit worker budget. The quotient tables
+// live in pooled arena scratch (no per-level allocation), the quotient
+// construction and folds are chunked, and each level's witness MSM runs on
+// the same budget.
+func (s *SRS) OpenWorkers(t *mle.Table, z []ff.Element, workers int) (ff.Element, *OpeningProof, error) {
 	k := t.NumVars
 	if len(z) != k {
 		return ff.Element{}, nil, fmt.Errorf("pcs: point arity %d for %d-var table", len(z), k)
@@ -120,17 +136,34 @@ func (s *SRS) Open(t *mle.Table, z []ff.Element) (ff.Element, *OpeningProof, err
 	if k > s.MaxVars {
 		return ff.Element{}, nil, fmt.Errorf("pcs: table too large for SRS")
 	}
-	cur := t.Clone()
+	if k == 0 {
+		return t.Evals[0], &OpeningProof{}, nil
+	}
+	// Working copy of the evaluations in arena scratch (the fold below is
+	// destructive); q shares a second scratch buffer across levels.
+	work := parallel.GetScratch(t.Size())
+	qBuf := parallel.GetScratch(t.Size() / 2)
+	defer parallel.PutScratch(work)
+	defer parallel.PutScratch(qBuf)
+	src := t.Evals
+	parallel.For(workers, len(src), func(lo, hi int) {
+		copy(work[lo:hi], src[lo:hi])
+	})
+
+	cur := mle.FromEvals(work)
 	proof := &OpeningProof{Qs: make([]curve.G1Affine, k)}
 	for i := 0; i < k; i++ {
 		half := cur.Size() / 2
-		q := make([]ff.Element, half)
-		for j := 0; j < half; j++ {
-			q[j].Sub(&cur.Evals[2*j+1], &cur.Evals[2*j])
-		}
-		acc := curve.MSM(s.Levels[k-i-1], q)
+		q := qBuf[:half]
+		evals := cur.Evals
+		parallel.For(workers, half, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				q[j].Sub(&evals[2*j+1], &evals[2*j])
+			}
+		})
+		acc := curve.MSMWorkers(s.Levels[k-i-1], q, workers)
 		proof.Qs[i].FromJacobian(&acc)
-		cur.Fold(&z[i])
+		cur.FoldWorkers(&z[i], workers)
 	}
 	return cur.Evals[0], proof, nil
 }
@@ -192,19 +225,29 @@ func CombineCommitments(cs []Commitment, coeffs []ff.Element) (Commitment, error
 
 // CombineTables returns Σ coeffs[i]·tables[i] as a new table.
 func CombineTables(tables []*mle.Table, coeffs []ff.Element) (*mle.Table, error) {
+	return CombineTablesWorkers(tables, coeffs, 1)
+}
+
+// CombineTablesWorkers is CombineTables with a worker budget; entries are
+// independent, so the combination chunks over the evaluation index.
+func CombineTablesWorkers(tables []*mle.Table, coeffs []ff.Element, workers int) (*mle.Table, error) {
 	if len(tables) == 0 || len(tables) != len(coeffs) {
 		return nil, fmt.Errorf("pcs: bad combination arity")
 	}
 	out := mle.New(tables[0].NumVars)
-	var tmp ff.Element
-	for i, t := range tables {
+	for _, t := range tables {
 		if t.NumVars != out.NumVars {
 			return nil, fmt.Errorf("pcs: mixed arity in table combination")
 		}
-		for j := range t.Evals {
-			tmp.Mul(&t.Evals[j], &coeffs[i])
-			out.Evals[j].Add(&out.Evals[j], &tmp)
-		}
 	}
+	parallel.For(workers, out.Size(), func(lo, hi int) {
+		var tmp ff.Element
+		for i, t := range tables {
+			for j := lo; j < hi; j++ {
+				tmp.Mul(&t.Evals[j], &coeffs[i])
+				out.Evals[j].Add(&out.Evals[j], &tmp)
+			}
+		}
+	})
 	return out, nil
 }

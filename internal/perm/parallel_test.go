@@ -1,0 +1,61 @@
+package perm
+
+import (
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+)
+
+// TestBuildWorkersMatchesSerial checks every table of the argument —
+// numerators, denominators, ϕ, the product tree, and the index views — is
+// identical to the serial construction for every budget, at a size that
+// forces the engine to split.
+func TestBuildWorkersMatchesSerial(t *testing.T) {
+	const nv = 13
+	rng := ff.NewRand(51)
+	k := 3
+	wires := make([]*mle.Table, k)
+	for j := range wires {
+		wires[j] = mle.FromEvals(rng.Elements(1 << nv))
+	}
+	p := Identity(k, 1<<nv)
+	p.AddCycle([]int{0, 1 << nv, 2 << nv})
+	p.AddCycle([]int{5, 17})
+	// Copy-constrained positions must hold equal values for Π ϕ = 1.
+	wires[1].Evals[0] = wires[0].Evals[0]
+	wires[2].Evals[0] = wires[0].Evals[0]
+	wires[0].Evals[17] = wires[0].Evals[5]
+	sigma := SigmaTables(p, nv)
+	beta, gamma := rng.Element(), rng.Element()
+
+	want := BuildWorkers(wires, sigma, beta, gamma, 1)
+	for _, w := range []int{2, 5, 0} {
+		got := BuildWorkers(wires, sigma, beta, gamma, w)
+		check := func(name string, a, b *mle.Table) {
+			t.Helper()
+			if a.Size() != b.Size() {
+				t.Fatalf("workers=%d: %s size mismatch", w, name)
+			}
+			for i := range a.Evals {
+				if !a.Evals[i].Equal(&b.Evals[i]) {
+					t.Fatalf("workers=%d: %s differs at %d", w, name, i)
+				}
+			}
+		}
+		for j := 0; j < k; j++ {
+			check("N", want.NTabs[j], got.NTabs[j])
+			check("D", want.DTabs[j], got.DTabs[j])
+		}
+		check("Phi", want.Phi, got.Phi)
+		check("V", want.V, got.V)
+		check("Pi", want.Pi, got.Pi)
+		check("P1", want.P1, got.P1)
+		check("P2", want.P2, got.P2)
+	}
+	root := want.Root()
+	one := ff.One()
+	if !root.Equal(&one) {
+		t.Fatal("identity-cycle permutation grand product is not 1")
+	}
+}

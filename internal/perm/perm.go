@@ -26,6 +26,7 @@ import (
 
 	"zkphire/internal/ff"
 	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
 )
 
 // Permutation represents σ over k columns × N rows: Sigma[j][x] is the
@@ -143,6 +144,15 @@ type Argument struct {
 // Build constructs the argument for the given wires, σ tables, and
 // challenges. wires and sigmaTabs must have one table per column.
 func Build(wires, sigmaTabs []*mle.Table, beta, gamma ff.Element) *Argument {
+	return BuildWorkers(wires, sigmaTabs, beta, gamma, 1)
+}
+
+// BuildWorkers is Build with a worker budget (<= 0 means GOMAXPROCS). The
+// numerator/denominator tables, the batched inversion (one Montgomery batch
+// per chunk), ϕ, each product-tree level, and the index-mapped views all
+// chunk over the row index; every intermediate is identical to the serial
+// construction.
+func BuildWorkers(wires, sigmaTabs []*mle.Table, beta, gamma ff.Element, workers int) *Argument {
 	k := len(wires)
 	if k == 0 || len(sigmaTabs) != k {
 		panic("perm: column count mismatch")
@@ -153,59 +163,88 @@ func Build(wires, sigmaTabs []*mle.Table, beta, gamma ff.Element) *Argument {
 	a := &Argument{Beta: beta, Gamma: gamma}
 	a.NTabs = make([]*mle.Table, k)
 	a.DTabs = make([]*mle.Table, k)
-	var tmp ff.Element
 	for j := 0; j < k; j++ {
-		id := IDTable(j, nv)
-		nt := mle.New(nv)
-		dt := mle.New(nv)
-		for x := 0; x < n; x++ {
-			tmp.Mul(&beta, &id.Evals[x])
-			nt.Evals[x].Add(&wires[j].Evals[x], &tmp)
-			nt.Evals[x].Add(&nt.Evals[x], &gamma)
-
-			tmp.Mul(&beta, &sigmaTabs[j].Evals[x])
-			dt.Evals[x].Add(&wires[j].Evals[x], &tmp)
-			dt.Evals[x].Add(&dt.Evals[x], &gamma)
-		}
-		a.NTabs[j] = nt
-		a.DTabs[j] = dt
+		a.NTabs[j] = mle.New(nv)
+		a.DTabs[j] = mle.New(nv)
 	}
+	parallel.For(workers, n, func(lo, hi int) {
+		var tmp, id ff.Element
+		for j := 0; j < k; j++ {
+			wj, sj := wires[j].Evals, sigmaTabs[j].Evals
+			nt, dt := a.NTabs[j].Evals, a.DTabs[j].Evals
+			for x := lo; x < hi; x++ {
+				// id_j(x) = j·N + x, computed inline instead of
+				// materializing the identity table.
+				id.SetUint64(uint64(j*n + x))
+				tmp.Mul(&beta, &id)
+				nt[x].Add(&wj[x], &tmp)
+				nt[x].Add(&nt[x], &gamma)
 
-	// ϕ = ΠN / ΠD with one batched inversion.
-	num := make([]ff.Element, n)
-	den := make([]ff.Element, n)
-	for x := 0; x < n; x++ {
-		num[x] = a.NTabs[0].Evals[x]
-		den[x] = a.DTabs[0].Evals[x]
-		for j := 1; j < k; j++ {
-			num[x].Mul(&num[x], &a.NTabs[j].Evals[x])
-			den[x].Mul(&den[x], &a.DTabs[j].Evals[x])
+				tmp.Mul(&beta, &sj[x])
+				dt[x].Add(&wj[x], &tmp)
+				dt[x].Add(&dt[x], &gamma)
+			}
 		}
-	}
-	ff.BatchInvert(den)
+	})
+
+	// ϕ = ΠN / ΠD; the inversion runs one Montgomery batch per chunk.
+	num := parallel.GetScratch(n)
+	den := parallel.GetScratch(n)
+	defer parallel.PutScratch(num)
+	defer parallel.PutScratch(den)
 	phi := mle.New(nv)
-	for x := 0; x < n; x++ {
-		phi.Evals[x].Mul(&num[x], &den[x])
-	}
+	parallel.For(workers, n, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			num[x] = a.NTabs[0].Evals[x]
+			den[x] = a.DTabs[0].Evals[x]
+			for j := 1; j < k; j++ {
+				num[x].Mul(&num[x], &a.NTabs[j].Evals[x])
+				den[x].Mul(&den[x], &a.DTabs[j].Evals[x])
+			}
+		}
+		ff.BatchInvert(den[lo:hi])
+		for x := lo; x < hi; x++ {
+			phi.Evals[x].Mul(&num[x], &den[x])
+		}
+	})
 	a.Phi = phi
 
-	// Product tree T of size 2N.
+	// Product tree T of size 2N, built level by level; within a level every
+	// node is independent.
 	tEvals := make([]ff.Element, 2*n)
-	copy(tEvals, phi.Evals)
-	for j := 0; j < n-1; j++ {
-		tEvals[n+j].Mul(&tEvals[2*j], &tEvals[2*j+1])
+	parallel.For(workers, n, func(lo, hi int) {
+		copy(tEvals[lo:hi], phi.Evals[lo:hi])
+	})
+	for width := n / 2; width >= 1; width /= 2 {
+		// This level's nodes are T[n+off .. n+off+width) with children at
+		// T[2·off .. 2·(off+width)).
+		off := n - 2*width
+		if width == 1 {
+			// Root T[2N−2] plus the fixed pad T[2N−1] = 1.
+			tEvals[2*n-2].Mul(&tEvals[2*off], &tEvals[2*off+1])
+			break
+		}
+		parallel.For(workers, width, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				tEvals[n+off+j].Mul(&tEvals[2*(off+j)], &tEvals[2*(off+j)+1])
+			}
+		})
 	}
 	tEvals[2*n-1] = ff.One()
 	a.V = mle.FromEvals(tEvals)
 
 	// Views.
-	a.Pi = mle.FromEvals(append([]ff.Element(nil), tEvals[n:]...))
+	pi := make([]ff.Element, n)
 	p1 := make([]ff.Element, n)
 	p2 := make([]ff.Element, n)
-	for x := 0; x < n; x++ {
-		p1[x] = tEvals[2*x]
-		p2[x] = tEvals[2*x+1]
-	}
+	parallel.For(workers, n, func(lo, hi int) {
+		copy(pi[lo:hi], tEvals[n+lo:n+hi])
+		for x := lo; x < hi; x++ {
+			p1[x] = tEvals[2*x]
+			p2[x] = tEvals[2*x+1]
+		}
+	})
+	a.Pi = mle.FromEvals(pi)
 	a.P1 = mle.FromEvals(p1)
 	a.P2 = mle.FromEvals(p2)
 	return a

@@ -12,11 +12,10 @@ package sumcheck
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"zkphire/internal/ff"
 	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
 	"zkphire/internal/poly"
 	"zkphire/internal/transcript"
 )
@@ -91,23 +90,40 @@ type Proof struct {
 
 // Config controls the prover.
 type Config struct {
-	// Workers is the number of goroutines for the per-round scan.
-	// Zero means GOMAXPROCS.
+	// Workers is the worker budget for the per-round scan, the table folds,
+	// and the working-copy setup. Zero means GOMAXPROCS.
 	Workers int
 }
 
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
+func (c Config) workers() int { return parallel.Workers(c.Workers) }
 
-// Prove runs the SumCheck prover, consuming a (cloned) assignment and
-// appending all messages to the transcript. The returned challenges are the
-// verifier's random point r₁..r_µ.
+// Prove runs the SumCheck prover, consuming a working copy of the
+// assignment and appending all messages to the transcript. The returned
+// challenges are the verifier's random point r₁..r_µ.
+//
+// The working copies live in the shared arena (parallel.GetScratch) rather
+// than freshly allocated clones, so repeated proofs of same-sized circuits
+// reuse the same table-sized buffers.
 func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Config) (*Proof, []ff.Element, error) {
-	work := a.Clone()
+	w := cfg.workers()
+	n := a.Tables[0].Size()
+	scratch := make([][]ff.Element, len(a.Tables))
+	work := &Assignment{Composite: a.Composite, Tables: make([]*mle.Table, len(a.Tables))}
+	for i, t := range a.Tables {
+		buf := parallel.GetScratch(n)
+		scratch[i] = buf
+		src := t.Evals
+		parallel.For(w, n, func(lo, hi int) {
+			copy(buf[lo:hi], src[lo:hi])
+		})
+		work.Tables[i] = mle.FromEvals(buf)
+	}
+	defer func() {
+		for _, buf := range scratch {
+			parallel.PutScratch(buf)
+		}
+	}()
+
 	mu := work.NumVars()
 	d := work.Composite.Degree()
 	k := d + 1
@@ -120,13 +136,13 @@ func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Confi
 	tr.AppendScalar("sumcheck/claim", &claim)
 
 	for round := 0; round < mu; round++ {
-		evals := roundPolynomial(work, k, cfg.workers())
+		evals := roundPolynomial(work, k, w)
 		compressed := CompressRound(evals)
 		tr.AppendScalars("sumcheck/round", compressed)
 		r := tr.ChallengeScalar("sumcheck/challenge")
 		challenges = append(challenges, r)
 		for _, t := range work.Tables {
-			t.Fold(&r)
+			t.FoldWorkers(&r, w)
 		}
 		proof.RoundEvals = append(proof.RoundEvals, compressed)
 	}
@@ -138,79 +154,54 @@ func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Confi
 	return proof, challenges, nil
 }
 
-// roundPolynomial computes s(t) for t = 0..k-1 over the current tables.
+// roundPolynomial computes s(t) for t = 0..k-1 over the current tables: the
+// paper's Fig. 1 dataflow (extend each constituent to k points per pair,
+// multiply across terms, accumulate), chunked over the pair index through
+// the shared engine. The merge adds partial accumulators in ascending chunk
+// order, so the round polynomial is identical for every budget.
 func roundPolynomial(a *Assignment, k, workers int) []ff.Element {
 	half := a.Tables[0].Size() / 2
 	comp := a.Composite
 	nv := len(a.Tables)
 
-	if workers > half {
-		workers = half
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	accs := make([][]ff.Element, workers)
-	var wg sync.WaitGroup
-	chunk := (half + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > half {
-			hi = half
-		}
-		if lo >= hi {
-			accs[w] = make([]ff.Element, k)
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := make([]ff.Element, k)
-			// ext[v][t] is the extension of constituent v at point t for
-			// the current pair.
-			ext := make([][]ff.Element, nv)
-			for v := range ext {
-				ext[v] = make([]ff.Element, k)
-			}
-			var diff, term, pw ff.Element
-			for j := lo; j < hi; j++ {
-				for v := 0; v < nv; v++ {
-					evals := a.Tables[v].Evals
-					a0 := evals[2*j]
-					diff.Sub(&evals[2*j+1], &a0)
-					ext[v][0] = a0
-					for t := 1; t < k; t++ {
-						ext[v][t].Add(&ext[v][t-1], &diff)
-					}
+	return parallel.MapReduce(workers, half, func(lo, hi int) []ff.Element {
+		acc := make([]ff.Element, k)
+		// ext[v*k+t] is the extension of constituent v at point t for the
+		// current pair, in one flat arena buffer.
+		ext := parallel.GetScratch(nv * k)
+		defer parallel.PutScratch(ext)
+		var diff, term, pw ff.Element
+		for j := lo; j < hi; j++ {
+			for v := 0; v < nv; v++ {
+				evals := a.Tables[v].Evals
+				a0 := evals[2*j]
+				diff.Sub(&evals[2*j+1], &a0)
+				ext[v*k] = a0
+				for t := 1; t < k; t++ {
+					ext[v*k+t].Add(&ext[v*k+t-1], &diff)
 				}
-				for _, tm := range comp.Terms {
-					for t := 0; t < k; t++ {
-						term = tm.Coeff
-						for _, f := range tm.Factors {
-							pw = ext[f.Var][t]
-							for p := 1; p < f.Power; p++ {
-								pw.Mul(&pw, &ext[f.Var][t])
-							}
-							term.Mul(&term, &pw)
+			}
+			for _, tm := range comp.Terms {
+				for t := 0; t < k; t++ {
+					term = tm.Coeff
+					for _, f := range tm.Factors {
+						pw = ext[f.Var*k+t]
+						for p := 1; p < f.Power; p++ {
+							pw.Mul(&pw, &ext[f.Var*k+t])
 						}
-						acc[t].Add(&acc[t], &term)
+						term.Mul(&term, &pw)
 					}
+					acc[t].Add(&acc[t], &term)
 				}
 			}
-			accs[w] = acc
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	out := make([]ff.Element, k)
-	for w := range accs {
-		for t := 0; t < k; t++ {
-			out[t].Add(&out[t], &accs[w][t])
 		}
-	}
-	return out
+		return acc
+	}, func(a, b []ff.Element) []ff.Element {
+		for t := 0; t < k; t++ {
+			a[t].Add(&a[t], &b[t])
+		}
+		return a
+	})
 }
 
 // Verify replays the verifier side of the transcript. It checks each round's

@@ -26,12 +26,13 @@ type ZeroCheckProof struct {
 }
 
 // BuildZeroCheckAssignment wraps the composite with an eq factor bound to
-// eq(X, tau).
-func BuildZeroCheckAssignment(a *Assignment, tau []ff.Element) (*Assignment, *poly.Composite) {
+// eq(X, tau). The eq table expansion (the paper's Build MLE kernel) runs on
+// the given worker budget.
+func BuildZeroCheckAssignment(a *Assignment, tau []ff.Element, workers int) (*Assignment, *poly.Composite) {
 	wrapped := a.Composite.MulByEq("fr")
 	tables := make([]*mle.Table, 0, len(a.Tables)+1)
 	tables = append(tables, a.Tables...)
-	tables = append(tables, mle.Eq(tau))
+	tables = append(tables, mle.EqWorkers(tau, workers))
 	return &Assignment{Composite: wrapped, Tables: tables}, wrapped
 }
 
@@ -40,7 +41,7 @@ func BuildZeroCheckAssignment(a *Assignment, tau []ff.Element) (*Assignment, *po
 func ProveZero(tr *transcript.Transcript, a *Assignment, cfg Config) (*ZeroCheckProof, []ff.Element, error) {
 	mu := a.NumVars()
 	tau := tr.ChallengeScalars("zerocheck/tau", mu)
-	wrappedAssign, _ := BuildZeroCheckAssignment(a, tau)
+	wrappedAssign, _ := BuildZeroCheckAssignment(a, tau, cfg.workers())
 	inner, challenges, err := Prove(tr, wrappedAssign, ff.Zero(), cfg)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,146 @@
+package zkphire
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// buildWide emits enough gates (2^11 rows when padded) that the prover's
+// parallel kernels actually split work across goroutines.
+func buildWide(b Builder) {
+	x := b.Secret(3)
+	acc := x
+	for i := 0; i < 1200; i++ {
+		if i%2 == 0 {
+			acc = b.Mul(acc, x)
+		} else {
+			acc = b.Add(acc, x)
+		}
+	}
+	_ = b.AddConst(acc, 1)
+}
+
+// TestProofBytesIdenticalAcrossWorkerBudgets is the determinism acceptance
+// criterion: the serialized proof must be byte-identical for worker budgets
+// 1, 2, and GOMAXPROCS, in both arithmetizations.
+func TestProofBytesIdenticalAcrossWorkerBudgets(t *testing.T) {
+	srs := SetupDeterministic(12, 6)
+	ctx := context.Background()
+	for _, kind := range []Arithmetization{Vanilla, Jellyfish} {
+		t.Run(kind.String(), func(t *testing.T) {
+			b := NewBuilder(kind)
+			buildWide(b)
+			compiled, err := Compile(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var reference []byte
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				prover, err := NewProver(srs, compiled, WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				proof, err := prover.Prove(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := prover.Verify(proof); err != nil {
+					t.Fatalf("workers=%d: proof rejected: %v", workers, err)
+				}
+				data, err := proof.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if reference == nil {
+					reference = data
+					continue
+				}
+				if !bytes.Equal(reference, data) {
+					t.Fatalf("workers=%d: proof bytes differ from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchProveRaceAcrossBudgets exercises concurrent proofs that each use
+// internal parallelism — the combination the race detector must clear.
+func TestBatchProveRaceAcrossBudgets(t *testing.T) {
+	srs := SetupDeterministic(12, 7)
+	b := NewBuilder(Vanilla)
+	buildWide(b)
+	compiled, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(srs, compiled, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proofs, err := prover.BatchProve(context.Background(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := proofs[0].MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range proofs {
+		data, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, data) {
+			t.Fatalf("batch proof %d differs from proof 0 (same circuit, same transcript)", i)
+		}
+	}
+}
+
+// TestBatchProveMidCancellation cancels a running batch and checks that
+// BatchProve returns promptly and does not leak its worker goroutines.
+func TestBatchProveMidCancellation(t *testing.T) {
+	srs := SetupDeterministic(12, 8)
+	b := NewBuilder(Vanilla)
+	buildWide(b)
+	compiled, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, err := NewProver(srs, compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := prover.BatchProve(ctx, 64, 2)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let some proofs start
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled batch returned no error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("BatchProve did not return after cancellation")
+	}
+
+	// Goroutines must drain back to (about) the pre-batch level.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"zkphire/internal/gates"
 	"zkphire/internal/hyperplonk"
+	"zkphire/internal/parallel"
 )
 
 // minLogGates is the smallest padded circuit size (2 rows) — the whole
@@ -90,9 +91,15 @@ func autoLogGates(n int) int {
 // ProverOption customizes NewProver.
 type ProverOption func(*Prover)
 
-// WithWorkers sets the goroutine count for each proof's SumCheck scans
-// (0 = GOMAXPROCS for single proofs, 1 for proofs inside BatchProve, whose
-// parallelism comes from proving whole proofs concurrently).
+// WithWorkers sets the worker budget for each proof. One budget governs
+// every parallel kernel in the prover — wire-commitment MSMs, MLE folds and
+// Eq expansion, the SumCheck scan, permutation construction, batch
+// evaluations, and PCS openings — via the shared internal/parallel engine.
+//
+// 0 (the default) means: the full machine (GOMAXPROCS) for single Prove
+// calls, and an even share of the machine for each in-flight proof inside
+// BatchProve (cores ÷ batch workers), so a batch saturates the machine
+// without oversubscribing it. Set an explicit n to pin the budget for both.
 func WithWorkers(n int) ProverOption {
 	return func(p *Prover) { p.workers = n }
 }
@@ -110,19 +117,21 @@ type Prover struct {
 }
 
 // NewProver preprocesses the compiled circuit against the SRS and returns a
-// session that can prove it any number of times.
+// session that can prove it any number of times. The WithWorkers budget (if
+// set) also caps the preprocessing commitments.
 func NewProver(srs *SRS, compiled *CompiledCircuit, opts ...ProverOption) (*Prover, error) {
 	if compiled == nil || compiled.circ == nil {
 		return nil, fmt.Errorf("zkphire: nil compiled circuit")
 	}
-	idx, err := hyperplonk.Preprocess(srs, compiled.circ)
-	if err != nil {
-		return nil, err
-	}
-	p := &Prover{srs: srs, compiled: compiled, vk: idx}
+	p := &Prover{srs: srs, compiled: compiled}
 	for _, opt := range opts {
 		opt(p)
 	}
+	idx, err := hyperplonk.PreprocessWorkers(srs, compiled.circ, p.workers)
+	if err != nil {
+		return nil, err
+	}
+	p.vk = idx
 	return p, nil
 }
 
@@ -145,9 +154,11 @@ func (p *Prover) prove(ctx context.Context, workers int) (*Proof, error) {
 
 // BatchProve generates n proofs from the one-time preprocessing, proving up
 // to `workers` proofs concurrently (0 = GOMAXPROCS). The first error — or a
-// ctx cancellation — stops the batch. Inside the batch each proof's inner
-// SumCheck scans run single-threaded unless WithWorkers overrode that;
-// proof-level parallelism saturates the machine without oversubscribing it.
+// ctx cancellation — stops the batch. Unless WithWorkers pinned a budget,
+// each in-flight proof receives an even share of the machine
+// (GOMAXPROCS ÷ workers), so proof-level parallelism saturates the machine
+// without oversubscribing it and the leftover cores of a small batch still
+// speed up each proof.
 func (p *Prover) BatchProve(ctx context.Context, n, workers int) ([]*Proof, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("zkphire: batch size %d must be positive", n)
@@ -162,8 +173,8 @@ func (p *Prover) BatchProve(ctx context.Context, n, workers int) ([]*Proof, erro
 		workers = n
 	}
 	innerWorkers := p.workers
-	if innerWorkers == 0 {
-		innerWorkers = 1
+	if innerWorkers <= 0 {
+		innerWorkers = parallel.Split(0, workers)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
