@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json fmt vet
+.PHONY: build test race bench-smoke bench-json fmt vet docs
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,10 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gate: every package must carry a godoc package comment.
+docs:
+	sh scripts/checkdocs.sh
 
 # Quick kernel benchmarks: one iteration of the small parallel-engine
 # benchmarks plus a quick benchjson pass. Used by CI as a smoke signal that

@@ -72,6 +72,7 @@ var seedBaselines = map[string]int64{
 func main() {
 	out := flag.String("o", "BENCH_pr2.json", "output path")
 	quick := flag.Bool("quick", false, "small sizes for a CI smoke pass")
+	sessions := flag.Bool("sessions", false, "only the PR 3 cold- vs cached-session prove benchmarks")
 	flag.Parse()
 
 	rec := &record{
@@ -90,6 +91,26 @@ func main() {
 	budgets := []int{1}
 	if runtime.GOMAXPROCS(0) > 1 {
 		budgets = append(budgets, runtime.GOMAXPROCS(0))
+	}
+
+	if *sessions {
+		// The sessions record is the PR 3 trajectory file: don't clobber
+		// BENCH_pr2.json unless the caller explicitly asked to.
+		if *out == "BENCH_pr2.json" {
+			*out = "BENCH_pr3.json"
+		}
+		rec.PR = 3
+		rec.Note = "PR 3 serving-layer record: cold = NewProver (preprocessing) + " +
+			"Prove per op, the session-cache-miss path; cached = Prove on a reused " +
+			"session, the cache-hit path the registry serves after the first " +
+			"registration (see internal/service)."
+		sessionLg := 12
+		if *quick {
+			sessionLg = 8
+		}
+		benchSessions(rec, sessionLg, budgets)
+		writeRecord(rec, *out)
+		return
 	}
 
 	foldLg, evalLg, msmLgs, commitLg, permLg := 20, 16, []int{16, 18, 20}, 18, 16
@@ -240,15 +261,87 @@ func main() {
 		}
 	}
 
+	writeRecord(rec, *out)
+}
+
+// benchSessions measures what the serving layer's session cache buys: the
+// cache-miss path (preprocessing + proof) against the cache-hit path
+// (proof only, on a reused session) at each worker budget.
+func benchSessions(rec *record, lg int, budgets []int) {
+	srs := zkphire.SetupDeterministic(lg+1, 42)
+	cb := zkphire.NewCircuitBuilder()
+	x := cb.Secret(3)
+	acc := x
+	for i := 0; i < (1<<lg)*3/5; i++ {
+		if i%2 == 0 {
+			acc = cb.Mul(acc, x)
+		} else {
+			acc = cb.Add(acc, x)
+		}
+	}
+	compiled, err := zkphire.Compile(cb, zkphire.WithLogGates(lg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range budgets {
+		w := w
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prover, err := zkphire.NewProver(srs, compiled, zkphire.WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := prover.Prove(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(rec, fmt.Sprintf("session.ProveCold/logGates=%d", lg), w, res, false)
+	}
+	for _, w := range budgets {
+		w := w
+		prover, err := zkphire.NewProver(srs, compiled, zkphire.WithWorkers(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := prover.Prove(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(rec, fmt.Sprintf("session.ProveCached/logGates=%d", lg), w, res, false)
+	}
+	// The component the cache amortizes, on its own: selector + sigma
+	// commitments (8 tables for Vanilla).
+	for _, w := range budgets {
+		w := w
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := zkphire.NewProver(srs, compiled, zkphire.WithWorkers(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(rec, fmt.Sprintf("session.Preprocess/logGates=%d", lg), w, res, false)
+	}
+}
+
+// writeRecord serializes the record to path.
+func writeRecord(rec *record, path string) {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s (%d kernel rows)", *out, len(rec.Kernels))
+	log.Printf("wrote %s (%d kernel rows)", path, len(rec.Kernels))
 }
 
 func add(rec *record, name string, workers int, res testing.BenchmarkResult, withBaseline bool) {

@@ -1,0 +1,148 @@
+// Command zkphired is the zkphire proving daemon: a long-running HTTP
+// service that compiles and preprocesses circuits once (LRU session cache
+// with single-flight deduplication), proves them on demand through a
+// bounded job queue with admission control, and serves proofs and
+// verifying keys over the library's validated binary wire formats.
+//
+// Start it, register a circuit, prove, verify:
+//
+//	zkphired -addr :8080 -srs-vars 16 -workers 0 -inflight 2 -queue 8
+//
+//	curl -s localhost:8080/circuits -d '{"program":[
+//	  {"op":"secret","k":3},
+//	  {"op":"mul","a":0,"b":0},
+//	  {"op":"mul","a":1,"b":0},
+//	  {"op":"add","a":2,"b":0},
+//	  {"op":"add_const","a":3,"k":5},
+//	  {"op":"assert_eq","a":4,"k":35}]}'
+//	curl -s localhost:8080/prove -d '{"circuit_id":"<id>"}'
+//	curl -s localhost:8080/verify -d '{"circuit_id":"<id>","proof":"<base64>"}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//
+// The worker budget (-workers, 0 = GOMAXPROCS) is shared by everything
+// the daemon runs: each of the -inflight concurrent proofs leases an even
+// share, so overlapping requests split the machine instead of
+// oversubscribing it. -queue bounds the waiting room; when it is full the
+// daemon answers 429 immediately rather than building a backlog.
+//
+// The SRS is generated at startup: with -seed, deterministically (tests,
+// demos — proofs are reproducible across restarts); without, from system
+// randomness. Production deployments would load a ceremony transcript
+// instead; see DESIGN.md §1 for what the simulated setup substitutes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"zkphire"
+	"zkphire/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	srsVars := flag.Int("srs-vars", 16, "SRS capacity: max circuit logGates+1")
+	seed := flag.Int64("seed", 0, "deterministic SRS seed (0 = system randomness)")
+	workers := flag.Int("workers", 0, "global worker budget (0 = GOMAXPROCS)")
+	inflight := flag.Int("inflight", 2, "proofs running concurrently")
+	queue := flag.Int("queue", 8, "queued proofs beyond the in-flight ones (-1 = none)")
+	cache := flag.Int("cache", 32, "session-cache capacity (circuits)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-proof deadline")
+	flag.Parse()
+
+	if err := run(*addr, *srsVars, *seed, *workers, *inflight, *queue, *cache, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache int, timeout time.Duration) error {
+	var (
+		srs *zkphire.SRS
+		err error
+	)
+	started := time.Now()
+	if seed != 0 {
+		log.Printf("generating deterministic SRS (maxVars=%d, seed=%d)", srsVars, seed)
+		srs = zkphire.SetupDeterministic(srsVars, seed)
+	} else {
+		log.Printf("generating SRS from system randomness (maxVars=%d)", srsVars)
+		if srs, err = zkphire.Setup(srsVars); err != nil {
+			return err
+		}
+	}
+	log.Printf("SRS ready in %v (circuits up to 2^%d rows)", time.Since(started).Round(time.Millisecond), srsVars-1)
+
+	svc, err := service.New(service.Config{
+		SRS:            srs,
+		Workers:        workers,
+		MaxInflight:    inflight,
+		QueueDepth:     queue,
+		CacheSize:      cache,
+		DefaultTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           logRequests(svc.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	budget := workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("zkphired listening on %s (budget %d workers, %d in-flight × %d workers/proof, queue %d, cache %d circuits)",
+		addr, budget, inflight, max(1, budget/max(1, inflight)), queue, cache)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining queue)…")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// logRequests is a minimal access log: method, path, status, duration.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Millisecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

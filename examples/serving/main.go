@@ -1,0 +1,139 @@
+// The serving example exercises the proving service end to end over HTTP:
+// it embeds the service in-process (the same code cmd/zkphired wraps),
+// registers a circuit twice to show the session cache at work, proves it
+// over the wire, verifies the proof both via the API and offline from the
+// returned verifying key, and dumps the service metrics.
+//
+// Run it with:
+//
+//	go run ./examples/serving
+//
+// Against a separately started daemon, point the same requests at it:
+//
+//	go run ./cmd/zkphired -addr :8080 -seed 42
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"zkphire"
+	"zkphire/internal/service"
+)
+
+func main() {
+	// --- serve: the embeddable service on a local port -----------------
+	srs := zkphire.SetupDeterministic(12, 42)
+	svc, err := service.New(service.Config{SRS: srs, MaxInflight: 2, QueueDepth: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, svc.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service listening on %s\n\n", base)
+
+	// --- register: POST /circuits --------------------------------------
+	// The circuit travels as a straight-line program: prove knowledge of
+	// x with x³ + x + 5 = 35.
+	spec := service.CircuitSpec{
+		Program: []service.Op{
+			{Op: "secret", K: 3},
+			{Op: "mul", A: 0, B: 0},
+			{Op: "mul", A: 1, B: 0},
+			{Op: "add", A: 2, B: 0},
+			{Op: "add_const", A: 3, K: 5},
+			{Op: "assert_eq", A: 4, K: 35},
+		},
+	}
+	var reg service.RegisterResponse
+	start := time.Now()
+	post(base+"/circuits", spec, &reg)
+	fmt.Printf("registered circuit %s…\n  %s gates=%d capacity=2^%d cached=%v (%v — preprocessing paid)\n",
+		reg.CircuitID[:16], reg.Arithmetization, reg.GateCount, reg.LogGates, reg.Cached,
+		time.Since(start).Round(time.Millisecond))
+
+	// Registering the identical program again hits the session cache: the
+	// content hash matches, no preprocessing runs.
+	var again service.RegisterResponse
+	start = time.Now()
+	post(base+"/circuits", spec, &again)
+	fmt.Printf("re-registered           \n  cached=%v (%v — no preprocessing)\n\n",
+		again.Cached, time.Since(start).Round(time.Millisecond))
+
+	// --- prove: POST /prove --------------------------------------------
+	var proof service.ProveResponse
+	post(base+"/prove", service.ProveRequest{CircuitID: reg.CircuitID}, &proof)
+	fmt.Printf("proof: %d bytes in %.1f ms on %d workers\n", proof.ProofBytes, proof.DurationMS, proof.Workers)
+
+	// --- verify: POST /verify, then offline ----------------------------
+	var verdict service.VerifyResponse
+	post(base+"/verify", service.VerifyRequest{CircuitID: reg.CircuitID, Proof: proof.Proof}, &verdict)
+	fmt.Printf("service verdict: valid=%v\n", verdict.Valid)
+
+	// A client that trusts only the SRS verifies offline: decode the
+	// verifying key and proof from the wire formats and check locally.
+	vkRaw, _ := base64.StdEncoding.DecodeString(reg.VerifyingKey)
+	vk, err := zkphire.UnmarshalVerifyingKey(vkRaw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proofRaw, _ := base64.StdEncoding.DecodeString(proof.Proof)
+	var p zkphire.Proof
+	if err := p.UnmarshalBinary(proofRaw); err != nil {
+		log.Fatal(err)
+	}
+	if err := zkphire.Verify(srs, vk, &p); err != nil {
+		log.Fatal("offline verification failed: ", err)
+	}
+	fmt.Printf("offline verdict: valid=true (vk %d bytes, proof %d bytes)\n\n", len(vkRaw), len(proofRaw))
+
+	// --- observe: GET /metrics -----------------------------------------
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	fmt.Println("selected metrics:")
+	for _, line := range bytes.Split(text, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("zkphired_cache_")) ||
+			bytes.HasPrefix(line, []byte("zkphired_preprocess_total")) ||
+			bytes.HasPrefix(line, []byte("zkphired_proofs_total")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// post sends v as JSON and decodes the response into out, failing hard on
+// any error — example-grade error handling.
+func post(url string, v, out any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package zkphire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"sort"
+
+	"zkphire/internal/mle"
+)
+
+// CircuitHash is a content hash of a compiled circuit — the cache key a
+// proving service uses to recognise "the same circuit" across requests.
+type CircuitHash [32]byte
+
+// String returns the hash as lowercase hex, the form served as a circuit
+// ID over the wire.
+func (h CircuitHash) String() string { return hex.EncodeToString(h[:]) }
+
+// Hash returns the circuit's content hash: a SHA-256 over the gate system,
+// padded size, gate count, and every compiled table (selectors in sorted
+// name order, wire columns, and the copy-constraint permutation). Two
+// CompiledCircuits hash equal iff preprocessing and proving treat them
+// identically, so the hash is safe to key a prover-session cache on. Note
+// the wire tables carry the witness: circuits differing only in witness
+// values hash differently (their proofs differ too).
+func (cc *CompiledCircuit) Hash() CircuitHash {
+	d := sha256.New()
+	d.Write([]byte("zkphire/circuit/v1"))
+	var hdr [1 + 8 + 8]byte
+	hdr[0] = byte(cc.kind)
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(cc.circ.NumVars))
+	binary.BigEndian.PutUint64(hdr[9:17], uint64(cc.circ.GateCount))
+	d.Write(hdr[:])
+
+	names := make([]string, 0, len(cc.circ.Selectors))
+	for n := range cc.circ.Selectors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d.Write([]byte(n))
+		hashTable(d, cc.circ.Selectors[n])
+	}
+	for _, w := range cc.circ.Wires {
+		hashTable(d, w)
+	}
+	var rows [8]byte
+	binary.BigEndian.PutUint64(rows[:], uint64(cc.circ.Perm.Rows))
+	d.Write(rows[:])
+	var idx [8]byte
+	for _, col := range cc.circ.Perm.Sigma {
+		for _, v := range col {
+			binary.BigEndian.PutUint64(idx[:], uint64(v))
+			d.Write(idx[:])
+		}
+	}
+
+	var h CircuitHash
+	d.Sum(h[:0])
+	return h
+}
+
+// hashTable feeds an MLE table's evaluations into the digest in canonical
+// 32-byte encoding.
+func hashTable(d io.Writer, t *mle.Table) {
+	for i := range t.Evals {
+		b := (&t.Evals[i]).Bytes()
+		d.Write(b[:])
+	}
+}

@@ -1,0 +1,99 @@
+package zkphire
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func compileCubic(t *testing.T, x, target uint64) *CompiledCircuit {
+	t.Helper()
+	b := NewBuilder(Vanilla)
+	w := b.Secret(x)
+	x3 := b.Mul(b.Mul(w, w), w)
+	b.AssertEqualConst(b.AddConst(b.Add(x3, w), 5), target)
+	compiled, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compiled
+}
+
+func TestCircuitHashDeterministic(t *testing.T) {
+	a := compileCubic(t, 3, 35)
+	b := compileCubic(t, 3, 35)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical circuits hash differently")
+	}
+	if a.Hash().String() != b.Hash().String() {
+		t.Fatal("hex form differs")
+	}
+	if len(a.Hash().String()) != 64 {
+		t.Fatalf("hex hash length %d, want 64", len(a.Hash().String()))
+	}
+}
+
+func TestCircuitHashDistinguishes(t *testing.T) {
+	base := compileCubic(t, 3, 35)
+	// A different witness value changes the wire tables, hence the hash.
+	otherWitness := func() *CompiledCircuit {
+		b := NewBuilder(Vanilla)
+		w := b.Secret(2)
+		x3 := b.Mul(b.Mul(w, w), w)
+		b.AssertEqualConst(b.AddConst(b.Add(x3, w), 5), 15)
+		c, err := Compile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}()
+	if base.Hash() == otherWitness.Hash() {
+		t.Fatal("different witnesses, same hash")
+	}
+	// A different padded size changes the hash too.
+	padded := func() *CompiledCircuit {
+		b := NewBuilder(Vanilla)
+		w := b.Secret(3)
+		x3 := b.Mul(b.Mul(w, w), w)
+		b.AssertEqualConst(b.AddConst(b.Add(x3, w), 5), 35)
+		c, err := Compile(b, WithLogGates(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}()
+	if base.Hash() == padded.Hash() {
+		t.Fatal("different padding, same hash")
+	}
+}
+
+func TestProverWorkersAccessorAndOverride(t *testing.T) {
+	compiled := compileCubic(t, 3, 35)
+	srs := SetupDeterministic(compiled.LogGates()+1, 7)
+	p, err := NewProver(srs, compiled, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", p.Workers())
+	}
+	if p.Compiled() != compiled {
+		t.Fatal("Compiled() does not return the session's circuit")
+	}
+	ctx := context.Background()
+	base, err := p.Prove(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ProveWorkers overrides the budget per call; the engine's determinism
+	// guarantees byte-identical proofs at any budget.
+	over, err := p.ProveWorkers(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := base.MarshalBinary()
+	b2, _ := over.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("proof differs across worker budgets")
+	}
+}

@@ -17,6 +17,11 @@
 //     power-of-two-class sync.Pool arena (GetScratch/PutScratch), so
 //     repeated proofs reuse the same table-sized buffers instead of
 //     churning the GC.
+//
+// For a static set of concurrent sub-tasks, Split divides a budget up
+// front; for a changing set of tenants (the proving service's overlapping
+// requests), Budget leases workers dynamically under the same global cap
+// — see Budget, Acquire, and Lease.
 package parallel
 
 import (

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the service's operational counters. All fields are atomic
+// so the hot paths (registry lookups, the dispatcher) update them without
+// a lock; the /metrics handler reads them racily-but-coherently, which is
+// all a scrape needs.
+type Metrics struct {
+	// Registry / session cache.
+	CacheHits          atomic.Int64
+	CacheMisses        atomic.Int64
+	CacheEvictions     atomic.Int64
+	SingleFlightShared atomic.Int64
+	Preprocesses       atomic.Int64
+
+	// Proving pipeline.
+	ProofsCompleted atomic.Int64
+	ProofsFailed    atomic.Int64
+	ProofsRejected  atomic.Int64 // admission control: queue full
+	JobsCancelled   atomic.Int64 // cancelled or deadline-exceeded before/while proving
+
+	// Proof latency (sum + count → average; a scraper derives the rate).
+	ProveNanos atomic.Int64
+	ProveCount atomic.Int64
+}
+
+// ObserveProve records one successful proof latency.
+func (m *Metrics) ObserveProve(d time.Duration) {
+	m.ProveNanos.Add(int64(d))
+	m.ProveCount.Add(1)
+}
+
+// HitRate returns cache hits / lookups (0 when no lookups yet).
+func (m *Metrics) HitRate() float64 {
+	h, miss := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+miss == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+miss)
+}
+
+// WritePrometheus renders the counters (plus the gauges the caller passes
+// in) in the Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("zkphired_cache_hits_total", "Session-cache hits.", m.CacheHits.Load())
+	counter("zkphired_cache_misses_total", "Session-cache misses (preprocessing paid or shared).", m.CacheMisses.Load())
+	counter("zkphired_cache_evictions_total", "Sessions evicted from the LRU.", m.CacheEvictions.Load())
+	counter("zkphired_singleflight_shared_total", "Registrations that piggybacked on an in-flight preprocessing.", m.SingleFlightShared.Load())
+	counter("zkphired_preprocess_total", "NewProver preprocessing runs.", m.Preprocesses.Load())
+	counter("zkphired_proofs_total", "Proofs completed.", m.ProofsCompleted.Load())
+	counter("zkphired_proof_failures_total", "Proof jobs that errored.", m.ProofsFailed.Load())
+	counter("zkphired_proofs_rejected_total", "Prove requests rejected by admission control (429).", m.ProofsRejected.Load())
+	counter("zkphired_jobs_cancelled_total", "Prove jobs cancelled or past deadline.", m.JobsCancelled.Load())
+	fmt.Fprintf(w, "# HELP zkphired_proof_latency_seconds Cumulative proof latency.\n# TYPE zkphired_proof_latency_seconds summary\n")
+	fmt.Fprintf(w, "zkphired_proof_latency_seconds_sum %g\n", float64(m.ProveNanos.Load())/1e9)
+	fmt.Fprintf(w, "zkphired_proof_latency_seconds_count %d\n", m.ProveCount.Load())
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name])
+	}
+}

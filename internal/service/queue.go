@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"zkphire/internal/parallel"
+)
+
+// ErrQueueFull is the admission-control error: the queue's waiting room is
+// at capacity, so the request is rejected immediately (HTTP 429) instead
+// of parking an unbounded number of clients in front of a saturated
+// prover.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrQueueClosed reports a Submit after Close.
+var ErrQueueClosed = errors.New("service: job queue closed")
+
+// Queue is a bounded proving-job queue with a fixed dispatcher pool. Up to
+// `inflight` jobs run concurrently, each under a worker lease from the
+// shared parallel.Budget (the global budget split evenly across
+// dispatchers), so overlapping requests never oversubscribe the machine.
+// Beyond the in-flight jobs, at most `depth` jobs wait; further Submits
+// fail fast with ErrQueueFull.
+//
+// Every job carries its request context: a job whose context is cancelled
+// before dispatch is skipped, and one cancelled mid-run aborts between
+// protocol steps (the prover checks its context) — either way the worker
+// lease is released for the next job.
+type Queue struct {
+	budget *parallel.Budget
+	perJob int // worker lease request per job
+	jobs   chan *job
+	m      *Metrics
+
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+	running atomic.Int64
+}
+
+// job pairs a unit of work with its completion signal. run receives the
+// job context and the leased worker count.
+type job struct {
+	ctx  context.Context
+	run  func(ctx context.Context, workers int) error
+	done chan struct{}
+	err  error
+}
+
+// NewQueue starts a queue with `inflight` dispatchers (< 1 means 1) and a
+// waiting room of `depth` jobs (< 0 means 0: no waiting room — a job is
+// admitted only if a dispatcher can take it soon). Each job leases
+// budget.Total()/inflight workers, so the dispatcher pool exactly covers
+// the budget.
+func NewQueue(budget *parallel.Budget, inflight, depth int, m *Metrics) *Queue {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	q := &Queue{
+		budget: budget,
+		perJob: parallel.Split(budget.Total(), inflight),
+		jobs:   make(chan *job, depth),
+		m:      m,
+	}
+	q.wg.Add(inflight)
+	for i := 0; i < inflight; i++ {
+		go q.dispatch()
+	}
+	return q
+}
+
+// Workers returns the per-job worker lease size.
+func (q *Queue) Workers() int { return q.perJob }
+
+// Depth returns the number of jobs waiting (excluding running ones).
+func (q *Queue) Depth() int { return len(q.jobs) }
+
+// Running returns the number of jobs a dispatcher has picked up and not
+// yet finished — including ones still waiting for their worker lease, so
+// saturation is visible even when every dispatcher is parked in Acquire.
+func (q *Queue) Running() int { return int(q.running.Load()) }
+
+// Submit enqueues run and blocks until it finishes or ctx is done. It
+// returns ErrQueueFull without blocking when the waiting room is at
+// capacity. A ctx cancellation while the job waits abandons it (the
+// dispatcher discards it unrun); the job's own error is returned
+// otherwise.
+func (q *Queue) Submit(ctx context.Context, run func(ctx context.Context, workers int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &job{ctx: ctx, run: run, done: make(chan struct{})}
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- j:
+		q.mu.Unlock()
+	default:
+		q.mu.Unlock()
+		q.m.ProofsRejected.Add(1)
+		return ErrQueueFull
+	}
+
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		// The dispatcher sees the dead context and skips or aborts the
+		// job; we don't wait for it to get there.
+		return ctx.Err()
+	}
+}
+
+// dispatch is one worker of the pool: pop a job, lease workers, run it.
+func (q *Queue) dispatch() {
+	defer q.wg.Done()
+	for j := range q.jobs {
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+			q.m.JobsCancelled.Add(1)
+			close(j.done)
+			continue
+		}
+		// A popped job counts as running even while it waits for its
+		// worker lease — otherwise a daemon whose dispatchers are all
+		// parked in Acquire would report queue_depth=0, inflight=0 while
+		// rejecting traffic.
+		q.running.Add(1)
+		lease, err := q.budget.Acquire(j.ctx, q.perJob)
+		if err != nil {
+			q.running.Add(-1)
+			j.err = err
+			q.m.JobsCancelled.Add(1)
+			close(j.done)
+			continue
+		}
+		j.err = j.run(j.ctx, lease.Workers())
+		q.running.Add(-1)
+		lease.Release()
+		switch {
+		case j.err == nil:
+			q.m.ProofsCompleted.Add(1)
+		case errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded):
+			q.m.JobsCancelled.Add(1)
+		default:
+			q.m.ProofsFailed.Add(1)
+		}
+		close(j.done)
+	}
+}
+
+// Close stops accepting jobs and waits for queued and running ones to
+// drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"zkphire/internal/parallel"
+)
+
+// blockingJob returns a job that parks on release until the test frees it,
+// plus a channel that reports the job started running.
+func blockingJob(release <-chan struct{}) (func(ctx context.Context, workers int) error, <-chan struct{}) {
+	started := make(chan struct{})
+	var once sync.Once
+	return func(ctx context.Context, workers int) error {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}, started
+}
+
+func TestQueueAdmissionControl(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(parallel.NewBudget(1), 1, 1, m)
+	defer q.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+
+	// Job 1 occupies the single dispatcher.
+	run1, started := blockingJob(release)
+	err1 := make(chan error, 1)
+	go func() { err1 <- q.Submit(context.Background(), run1) }()
+	<-started
+
+	// Job 2 fills the one-slot waiting room.
+	run2, _ := blockingJob(release)
+	err2 := make(chan error, 1)
+	go func() { err2 <- q.Submit(context.Background(), run2) }()
+	// Wait until job 2 is actually parked in the channel so the next
+	// Submit deterministically sees a full queue.
+	deadline := time.After(2 * time.Second)
+	for q.Depth() != 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("queue depth %d, want 1", q.Depth())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Job 3 must be rejected immediately, not blocked.
+	if err := q.Submit(context.Background(), run2); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on a full queue = %v, want ErrQueueFull", err)
+	}
+	if got := m.ProofsRejected.Load(); got != 1 {
+		t.Fatalf("ProofsRejected = %d, want 1", got)
+	}
+}
+
+func TestQueueCancelFreesBudgetLease(t *testing.T) {
+	budget := parallel.NewBudget(2)
+	m := &Metrics{}
+	q := NewQueue(budget, 1, 4, m)
+	defer q.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	run, started := blockingJob(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.Submit(ctx, run) }()
+	<-started
+	if budget.InUse() == 0 {
+		t.Fatal("running job should hold a budget lease")
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	// The dispatcher aborts the job (its context is dead) and releases the
+	// lease; poll briefly since Submit returns before the dispatcher
+	// finishes bookkeeping.
+	deadline := time.After(2 * time.Second)
+	for budget.InUse() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("budget still has %d workers leased after cancellation", budget.InUse())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := m.JobsCancelled.Load(); got != 1 {
+		t.Fatalf("JobsCancelled = %d, want 1", got)
+	}
+}
+
+func TestQueueSkipsDeadJobs(t *testing.T) {
+	m := &Metrics{}
+	q := NewQueue(parallel.NewBudget(1), 1, 2, m)
+	defer q.Close()
+
+	release := make(chan struct{})
+	run1, started := blockingJob(release)
+	go q.Submit(context.Background(), run1)
+	<-started
+
+	// Queue a job whose context dies while it waits; the dispatcher must
+	// discard it without running it.
+	ran := false
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- q.Submit(ctx, func(ctx context.Context, workers int) error {
+			ran = true
+			return nil
+		})
+	}()
+	for q.Depth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-errc
+	close(release) // unblock job 1 so the dispatcher reaches job 2
+	q.Close()      // drain
+	if ran {
+		t.Fatal("dispatcher ran a job whose context was already cancelled")
+	}
+	if got := m.JobsCancelled.Load(); got != 1 {
+		t.Fatalf("JobsCancelled = %d, want 1", got)
+	}
+}
+
+func TestQueueSubmitAfterClose(t *testing.T) {
+	q := NewQueue(parallel.NewBudget(1), 1, 1, &Metrics{})
+	q.Close()
+	err := q.Submit(context.Background(), func(context.Context, int) error { return nil })
+	if !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestQueueWorkerSplit(t *testing.T) {
+	q := NewQueue(parallel.NewBudget(8), 4, 0, &Metrics{})
+	defer q.Close()
+	if q.Workers() != 2 {
+		t.Fatalf("per-job workers = %d, want 8/4 = 2", q.Workers())
+	}
+}

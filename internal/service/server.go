@@ -1,0 +1,408 @@
+// Package service turns the zkphire proving library into a long-running,
+// multi-tenant proving service. Three pieces compose it:
+//
+//   - Registry — an LRU cache of proving sessions keyed by circuit content
+//     hash, with single-flight deduplication so concurrent registrations of
+//     the same circuit share one preprocessing run (the expensive selector
+//     and sigma commitments are paid once, then amortized across every
+//     proof of that circuit).
+//   - Queue — a bounded job queue with admission control: at most
+//     `inflight` proofs run at once, each under a worker lease from a
+//     shared parallel.Budget so overlapping requests split the machine
+//     instead of oversubscribing it; a full waiting room rejects
+//     immediately (HTTP 429) rather than building an unbounded backlog.
+//   - Server — an HTTP JSON API (POST /circuits, /prove, /verify;
+//     GET /healthz, /metrics) that moves circuits as straight-line
+//     programs (CircuitSpec) and proofs/verifying keys over the library's
+//     validated MarshalBinary wire formats.
+//
+// The package is embeddable: cmd/zkphired wraps it in a daemon, tests and
+// examples mount Server.Handler on httptest. See ARCHITECTURE.md for where
+// the service sits in the repository's layering and DESIGN.md §3 for the
+// cache and admission-control design.
+package service
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"zkphire"
+	"zkphire/internal/parallel"
+)
+
+// Config sizes a Server. The zero value of every field picks a sensible
+// default, so Config{SRS: srs} is a working single-machine setup.
+type Config struct {
+	// SRS backs every session; circuits needing more variables than it
+	// supports are rejected at registration. Required.
+	SRS *zkphire.SRS
+	// Workers is the global worker budget shared by preprocessing and
+	// proving (0 = GOMAXPROCS).
+	Workers int
+	// MaxInflight is the number of proofs running concurrently
+	// (0 = 2, a latency/throughput middle ground; each in-flight proof
+	// leases Workers/MaxInflight workers).
+	MaxInflight int
+	// QueueDepth is the waiting room beyond the in-flight proofs
+	// (0 = 4×MaxInflight; set -1 for no waiting room).
+	QueueDepth int
+	// CacheSize is the session-LRU capacity (0 = 32 circuits).
+	CacheSize int
+	// DefaultTimeout bounds a prove job with no explicit deadline
+	// (0 = 2 minutes); MaxTimeout caps client-requested deadlines
+	// (0 = 10 minutes).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// Server is the embeddable proving service. Construct with New, mount
+// Handler, Close when done.
+type Server struct {
+	cfg      Config
+	budget   *parallel.Budget
+	registry *Registry
+	queue    *Queue
+	metrics  *Metrics
+	mux      *http.ServeMux
+	start    time.Time
+}
+
+// New validates cfg, applies its defaults, and starts the dispatcher pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.SRS == nil {
+		return nil, fmt.Errorf("service: Config.SRS is required")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	switch {
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 4 * cfg.MaxInflight
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 32
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Minute
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		budget:  parallel.NewBudget(cfg.Workers),
+		metrics: &Metrics{},
+		start:   time.Now(),
+	}
+	s.queue = NewQueue(s.budget, cfg.MaxInflight, cfg.QueueDepth, s.metrics)
+	// Preprocessing leases the same per-job share the queue computed, and
+	// waits at most the server's deadline cap for it.
+	s.registry = NewRegistry(cfg.SRS, s.budget, cfg.CacheSize, s.queue.Workers(), cfg.MaxTimeout, s.metrics)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /circuits", s.handleCircuits)
+	mux.HandleFunc("POST /prove", s.handleProve)
+	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (tests and embedders read them).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the job queue and stops the dispatchers.
+func (s *Server) Close() { s.queue.Close() }
+
+// maxBodyBytes bounds request bodies (a 2^20-op program is ~64 MB JSON).
+const maxBodyBytes = 64 << 20
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) ok(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// RegisterResponse answers POST /circuits.
+type RegisterResponse struct {
+	// CircuitID is the compiled circuit's content hash (hex) — the handle
+	// for /prove and /verify. Deterministic: re-registering the same
+	// program returns the same ID.
+	CircuitID       string `json:"circuit_id"`
+	Arithmetization string `json:"arithmetization"`
+	LogGates        int    `json:"log_gates"`
+	GateCount       int    `json:"gate_count"`
+	// Cached reports whether the session already existed (no
+	// preprocessing paid for this request).
+	Cached bool `json:"cached"`
+	// VerifyingKey is the base64 MarshalBinary verifying key, for clients
+	// that verify proofs themselves.
+	VerifyingKey string `json:"verifying_key"`
+}
+
+// handleCircuits compiles the posted CircuitSpec and materializes (or
+// finds) its proving session.
+func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	var spec CircuitSpec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	compiled, err := spec.Compile()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+	sess, cached, err := s.registry.Register(r.Context(), compiled)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			s.fail(w, statusClientClosedRequest, "registration abandoned: %v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			// The preprocessing lease timed out waiting on a saturated
+			// worker budget — the registration analogue of the queue's 429.
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusServiceUnavailable, "register: %v", err)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "register: %v", err)
+		}
+		return
+	}
+	s.ok(w, RegisterResponse{
+		CircuitID:       sess.Hash.String(),
+		Arithmetization: sess.Kind.String(),
+		LogGates:        sess.LogGates,
+		GateCount:       sess.GateCount,
+		Cached:          cached,
+		VerifyingKey:    base64.StdEncoding.EncodeToString(sess.VKBytes),
+	})
+}
+
+// ProveRequest asks for one proof of a registered circuit.
+type ProveRequest struct {
+	CircuitID string `json:"circuit_id"`
+	// TimeoutMS bounds the job (queue wait + proving); 0 uses the
+	// server's default, values past MaxTimeout are clamped.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ProveResponse carries the proof.
+type ProveResponse struct {
+	CircuitID  string  `json:"circuit_id"`
+	Proof      string  `json:"proof"` // base64 MarshalBinary
+	ProofBytes int     `json:"proof_bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Workers    int     `json:"workers"` // leased for this proof
+}
+
+// statusClientClosedRequest is nginx's 499: the client went away before
+// the response. Go's stdlib has no constant for it.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	var req ProveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookup(w, req.CircuitID)
+	if !ok {
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var (
+		proof   *zkphire.Proof
+		workers int
+		started = time.Now()
+	)
+	err := s.queue.Submit(ctx, func(ctx context.Context, w int) error {
+		workers = w
+		var err error
+		proof, err = sess.Prover.ProveWorkers(ctx, w)
+		return err
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "prover saturated: %v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, "proof deadline exceeded after %v", timeout)
+		return
+	case errors.Is(err, context.Canceled):
+		s.fail(w, statusClientClosedRequest, "proof abandoned: %v", err)
+		return
+	default:
+		s.fail(w, http.StatusInternalServerError, "prove: %v", err)
+		return
+	}
+	elapsed := time.Since(started)
+	s.metrics.ObserveProve(elapsed)
+
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "serialize proof: %v", err)
+		return
+	}
+	s.ok(w, ProveResponse{
+		CircuitID:  req.CircuitID,
+		Proof:      base64.StdEncoding.EncodeToString(data),
+		ProofBytes: len(data),
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Workers:    workers,
+	})
+}
+
+// VerifyRequest checks a proof. The verifying key comes from the registry
+// (CircuitID) or inline (VerifyingKey, base64) — inline wins, so clients
+// can verify against keys from elsewhere.
+type VerifyRequest struct {
+	CircuitID    string `json:"circuit_id,omitempty"`
+	VerifyingKey string `json:"verifying_key,omitempty"`
+	Proof        string `json:"proof"`
+}
+
+// VerifyResponse reports the verdict. Valid=false with a 200 status is a
+// well-formed proof that fails verification; malformed inputs are 4xx.
+type VerifyResponse struct {
+	Valid  bool   `json:"valid"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var vk *zkphire.VerifyingKey
+	switch {
+	case req.VerifyingKey != "":
+		raw, err := base64.StdEncoding.DecodeString(req.VerifyingKey)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "verifying_key is not base64: %v", err)
+			return
+		}
+		if vk, err = zkphire.UnmarshalVerifyingKey(raw); err != nil {
+			s.fail(w, http.StatusBadRequest, "verifying_key: %v", err)
+			return
+		}
+	case req.CircuitID != "":
+		sess, ok := s.lookup(w, req.CircuitID)
+		if !ok {
+			return
+		}
+		vk = sess.Prover.VerifyingKey()
+	default:
+		s.fail(w, http.StatusBadRequest, "need circuit_id or verifying_key")
+		return
+	}
+
+	raw, err := base64.StdEncoding.DecodeString(req.Proof)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "proof is not base64: %v", err)
+		return
+	}
+	var proof zkphire.Proof
+	if err := proof.UnmarshalBinary(raw); err != nil {
+		s.fail(w, http.StatusBadRequest, "proof: %v", err)
+		return
+	}
+	if err := zkphire.Verify(s.cfg.SRS, vk, &proof); err != nil {
+		s.ok(w, VerifyResponse{Valid: false, Reason: err.Error()})
+		return
+	}
+	s.ok(w, VerifyResponse{Valid: true})
+}
+
+// lookup resolves a circuit ID to its cached session, writing the error
+// response on failure.
+func (s *Server) lookup(w http.ResponseWriter, id string) (*Session, bool) {
+	raw, err := hex.DecodeString(id)
+	if err != nil || len(raw) != len(zkphire.CircuitHash{}) {
+		s.fail(w, http.StatusBadRequest, "circuit_id must be %d hex bytes", len(zkphire.CircuitHash{}))
+		return nil, false
+	}
+	var h zkphire.CircuitHash
+	copy(h[:], raw)
+	sess, ok := s.registry.Get(h)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "circuit %s not registered (or evicted) — POST /circuits again", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Circuits      int     `json:"circuits"`
+	QueueDepth    int     `json:"queue_depth"`
+	Inflight      int     `json:"inflight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.ok(w, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Circuits:      s.registry.Len(),
+		QueueDepth:    s.queue.Depth(),
+		Inflight:      s.queue.Running(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, map[string]float64{
+		"zkphired_queue_depth":     float64(s.queue.Depth()),
+		"zkphired_inflight":        float64(s.queue.Running()),
+		"zkphired_cache_entries":   float64(s.registry.Len()),
+		"zkphired_cache_hit_rate":  s.metrics.HitRate(),
+		"zkphired_worker_budget":   float64(s.budget.Total()),
+		"zkphired_workers_in_use":  float64(s.budget.InUse()),
+		"zkphired_workers_per_job": float64(s.queue.Workers()),
+		"zkphired_uptime_seconds":  time.Since(s.start).Seconds(),
+	})
+}

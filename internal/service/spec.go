@@ -1,0 +1,160 @@
+package service
+
+import (
+	"fmt"
+
+	"zkphire"
+)
+
+// CircuitSpec is the wire format clients use to describe a circuit to the
+// service: a straight-line program interpreted onto a zkphire.Builder.
+// Each operation that produces an output appends one wire; later
+// operations reference earlier outputs by index (0-based, in emission
+// order). The embedded values form the witness, so the spec fully
+// determines the compiled circuit — and therefore its content hash, the
+// ID the service keys its session cache on.
+type CircuitSpec struct {
+	// Arithmetization is "vanilla" (default) or "jellyfish".
+	Arithmetization string `json:"arithmetization,omitempty"`
+	// LogGates pins the padded row count to 2^LogGates; 0 auto-sizes.
+	LogGates int `json:"log_gates,omitempty"`
+	// Program is the op sequence; it must emit at least one gate.
+	Program []Op `json:"program"`
+}
+
+// Op is one step of a CircuitSpec program. Wire-reference fields (A, B, D,
+// E) index previously produced wires; K carries a constant.
+type Op struct {
+	// Op selects the operation:
+	//
+	//	secret        out = new secret wire with witness value K
+	//	add           out = A + B
+	//	mul           out = A · B
+	//	add_const     out = A + K
+	//	assert_eq     constrain A == K (no output wire)
+	//	power5        out = A⁵                      (jellyfish only)
+	//	double_mul    out = A·B + D·E               (jellyfish only)
+	//	ecc_product   out = A·B·D·E                 (jellyfish only)
+	Op string `json:"op"`
+	A  int    `json:"a,omitempty"`
+	B  int    `json:"b,omitempty"`
+	D  int    `json:"d,omitempty"`
+	E  int    `json:"e,omitempty"`
+	K  uint64 `json:"k,omitempty"`
+}
+
+// maxProgramOps bounds request size against hostile inputs; at ~60 bytes
+// per JSON op this caps specs around 60 MB, far beyond any real circuit a
+// 2^30-row prover admits.
+const maxProgramOps = 1 << 20
+
+// Build interprets the spec onto a fresh builder and returns it ready for
+// zkphire.Compile. Errors carry the offending op index for 400 responses.
+func (s *CircuitSpec) Build() (zkphire.Builder, error) {
+	var kind zkphire.Arithmetization
+	switch s.Arithmetization {
+	case "", "vanilla":
+		kind = zkphire.Vanilla
+	case "jellyfish":
+		kind = zkphire.Jellyfish
+	default:
+		return nil, fmt.Errorf("unknown arithmetization %q (vanilla or jellyfish)", s.Arithmetization)
+	}
+	if len(s.Program) == 0 {
+		return nil, fmt.Errorf("empty program")
+	}
+	if len(s.Program) > maxProgramOps {
+		return nil, fmt.Errorf("program has %d ops, limit %d", len(s.Program), maxProgramOps)
+	}
+
+	b := zkphire.NewBuilder(kind)
+	jb, _ := b.(*zkphire.JellyfishBuilder)
+	wires := make([]zkphire.Wire, 0, len(s.Program))
+	ref := func(i, w int) (zkphire.Wire, error) {
+		if w < 0 || w >= len(wires) {
+			return 0, fmt.Errorf("op %d: wire ref %d out of range [0, %d)", i, w, len(wires))
+		}
+		return wires[w], nil
+	}
+	for i, op := range s.Program {
+		var (
+			out        zkphire.Wire
+			hasOut     = true
+			a, c, d, e zkphire.Wire
+			err        error
+		)
+		switch op.Op {
+		case "secret":
+			out = b.Secret(op.K)
+		case "add", "mul", "double_mul", "ecc_product":
+			if a, err = ref(i, op.A); err != nil {
+				return nil, err
+			}
+			if c, err = ref(i, op.B); err != nil {
+				return nil, err
+			}
+			switch op.Op {
+			case "add":
+				out = b.Add(a, c)
+			case "mul":
+				out = b.Mul(a, c)
+			default: // jellyfish 4-ary forms
+				if jb == nil {
+					return nil, fmt.Errorf("op %d: %q needs the jellyfish arithmetization", i, op.Op)
+				}
+				if d, err = ref(i, op.D); err != nil {
+					return nil, err
+				}
+				if e, err = ref(i, op.E); err != nil {
+					return nil, err
+				}
+				if op.Op == "double_mul" {
+					out = jb.DoubleMulAdd(a, c, d, e)
+				} else {
+					out = jb.EccProduct(a, c, d, e)
+				}
+			}
+		case "add_const":
+			if a, err = ref(i, op.A); err != nil {
+				return nil, err
+			}
+			out = b.AddConst(a, op.K)
+		case "power5":
+			if jb == nil {
+				return nil, fmt.Errorf("op %d: %q needs the jellyfish arithmetization", i, op.Op)
+			}
+			if a, err = ref(i, op.A); err != nil {
+				return nil, err
+			}
+			out = jb.Power5(a)
+		case "assert_eq":
+			if a, err = ref(i, op.A); err != nil {
+				return nil, err
+			}
+			b.AssertEqualConst(a, op.K)
+			hasOut = false
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q", i, op.Op)
+		}
+		if hasOut {
+			wires = append(wires, out)
+		}
+	}
+	if b.GateCount() == 0 {
+		return nil, fmt.Errorf("program emits no gates")
+	}
+	return b, nil
+}
+
+// Compile builds and compiles the spec in one step.
+func (s *CircuitSpec) Compile() (*zkphire.CompiledCircuit, error) {
+	b, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	var opts []zkphire.CompileOption
+	if s.LogGates > 0 {
+		opts = append(opts, zkphire.WithLogGates(s.LogGates))
+	}
+	return zkphire.Compile(b, opts...)
+}

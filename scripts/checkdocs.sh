@@ -1,0 +1,15 @@
+#!/bin/sh
+# checkdocs.sh — the CI docs gate. Fails when any package in the module
+# (internal layers, the public API, commands, examples) lacks a godoc
+# package comment, so `go doc <pkg>` always gives an orientation paragraph.
+# Run from the repository root:  sh scripts/checkdocs.sh
+set -eu
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./... | grep -v '^$' || true)
+if [ -n "$missing" ]; then
+    echo "packages missing a godoc package comment:" >&2
+    echo "$missing" | sed 's/^/  /' >&2
+    echo "add a '// Package <name> ...' (or '// Command <name> ...') comment above the package clause." >&2
+    exit 1
+fi
+echo "package docs OK ($(go list ./... | wc -l | tr -d ' ') packages)"

@@ -138,6 +138,22 @@ func NewProver(srs *SRS, compiled *CompiledCircuit, opts ...ProverOption) (*Prov
 // VerifyingKey returns the preprocessed index proofs verify against.
 func (p *Prover) VerifyingKey() *VerifyingKey { return p.vk }
 
+// Workers returns the session's configured worker budget: 0 means "the
+// full machine" (see WithWorkers). Serving layers read it to account a
+// session's proofs against a global budget.
+func (p *Prover) Workers() int { return p.workers }
+
+// Compiled returns the compiled circuit this session proves.
+func (p *Prover) Compiled() *CompiledCircuit { return p.compiled }
+
+// ProveWorkers generates one proof under an explicit worker budget,
+// overriding the session's WithWorkers setting for this call only. A
+// dispatcher that leases workers from a shared parallel.Budget uses this
+// to run each in-flight proof at exactly its leased share.
+func (p *Prover) ProveWorkers(ctx context.Context, workers int) (*Proof, error) {
+	return p.prove(ctx, workers)
+}
+
 // Prove generates one proof. Cancelling ctx aborts between protocol steps.
 func (p *Prover) Prove(ctx context.Context) (*Proof, error) {
 	return p.prove(ctx, p.workers)

@@ -36,6 +36,12 @@
 //	    e, err := est.EstimateProtocol(zkphire.Jellyfish, 24)
 //	    ...
 //	}
+//
+// For many concurrent clients and heterogeneous circuits, the serving
+// layer (internal/service, wrapped by cmd/zkphired) adds a
+// content-hash-keyed session cache ([CompiledCircuit.Hash]), a bounded job
+// queue with admission control, and an HTTP API over the wire formats
+// above. ARCHITECTURE.md maps all the layers.
 package zkphire
 
 import (
