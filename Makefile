@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json fmt vet docs
+.PHONY: build test race bench-smoke bench-json bench-msm fmt vet docs
 
 build:
 	$(GO) build ./...
@@ -22,13 +22,22 @@ docs:
 	sh scripts/checkdocs.sh
 
 # Quick kernel benchmarks: one iteration of the small parallel-engine
-# benchmarks plus a quick benchjson pass. Used by CI as a smoke signal that
-# the hot kernels still run and report.
+# benchmarks plus quick benchjson passes (all kernels, then the MSM-only
+# GLV series). Used by CI as a smoke signal that the hot kernels still run
+# and report.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkMLEFold/2\^16|BenchmarkMLEEvaluate/2\^16|BenchmarkCurveMSM/2\^16|BenchmarkProveSession' -benchtime=1x .
 	$(GO) run ./cmd/benchjson -quick -o /tmp/bench_smoke.json
+	$(GO) run ./cmd/benchjson -quick -msm -o /tmp/bench_smoke_msm.json
 
 # Full kernel measurement at the sizes the bench trajectory tracks
 # (2^16–2^20 MSMs; end-to-end Prove at logGates=16). Takes minutes.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_pr2.json
+	$(GO) run ./cmd/benchjson -o BENCH_pr4.json
+
+# The GLV before/after record alone: curve.MSM at 2^16–2^20 against the
+# BENCH_pr2.json serial numbers. Minutes, not tens of minutes. Writes a
+# separate file so the full-kernel BENCH_pr4.json record is never clobbered
+# by a 3-series run.
+bench-msm:
+	$(GO) run ./cmd/benchjson -msm -o BENCH_pr4_msm.json

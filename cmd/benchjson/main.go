@@ -1,14 +1,17 @@
 // Command benchjson measures the prover stack's key kernels — mle.Fold,
 // mle.Evaluate, perm.Build, curve.MSM, pcs.Commit, and the end-to-end
 // session Prove — with testing.Benchmark and writes the results as a JSON
-// record (BENCH_pr2.json), seeding the repo's bench trajectory.
+// record, continuing the repo's bench trajectory (BENCH_pr2.json →
+// BENCH_pr4.json).
 //
 // Each kernel runs at worker budgets 1 and GOMAXPROCS through the shared
-// internal/parallel engine. Entries carry the pre-engine serial baseline
-// (measured at the seed commit on the same kernel shapes) so the record
-// documents both the serial win and the parallel scaling headroom.
+// internal/parallel engine. Entries carry the pre-GLV serial numbers
+// recorded in BENCH_pr2.json on the same runner as baseline_ns_per_op, so
+// the record is a before/after of the endomorphism + signed-digit MSM work
+// (and of everything riding on it, pcs.Commit and Prove included).
 //
-//	go run ./cmd/benchjson -o BENCH_pr2.json        # full sizes (minutes)
+//	go run ./cmd/benchjson -o BENCH_pr4.json        # full sizes (minutes)
+//	go run ./cmd/benchjson -msm -o BENCH_pr4.json   # MSM 2^16–2^20 only
 //	go run ./cmd/benchjson -quick -o /tmp/b.json    # CI smoke (seconds)
 package main
 
@@ -55,37 +58,42 @@ type record struct {
 	Kernels    []kernelResult `json:"kernels"`
 }
 
-// seedBaselines holds the pre-PR serial timings (ns/op) measured at the
-// seed commit on the kernel shapes below. They are runner-specific; rerun
-// the seed commit's kernels to recalibrate on different hardware.
-var seedBaselines = map[string]int64{
-	"mle.Fold/2^20":             46_864_113,
-	"mle.Evaluate/2^16":         7_424_552,
-	"perm.Build/2^16/k=3":       99_736_451,
-	"curve.MSM/2^16":            2_629_526_325,
-	"curve.MSM/2^18":            10_134_528_257,
-	"curve.MSM/2^20":            34_616_961_756,
-	"pcs.Commit/dense/2^18":     9_860_344_728,
-	"session.Prove/logGates=16": 15_635_234_935,
+// pr2Baselines holds the PR 2 serial timings (ns/op) recorded in
+// BENCH_pr2.json on this runner — the pre-GLV state of each kernel. They are
+// runner-specific; rerun the PR 2 commit's kernels to recalibrate on
+// different hardware. (The seed-commit numbers, one more generation back,
+// live in BENCH_pr2.json's own baseline_ns_per_op fields.)
+var pr2Baselines = map[string]int64{
+	"mle.Fold/2^20":             38_449_613,
+	"mle.Evaluate/2^16":         5_064_108,
+	"perm.Build/2^16/k=3":       70_197_009,
+	"curve.MSM/2^16":            1_628_167_206,
+	"curve.MSM/2^18":            5_578_695_489,
+	"curve.MSM/2^20":            16_751_878_173,
+	"pcs.Commit/dense/2^18":     5_136_042_630,
+	"session.Prove/logGates=16": 11_726_530_498,
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr2.json", "output path")
+	out := flag.String("o", "BENCH_pr4.json", "output path")
 	quick := flag.Bool("quick", false, "small sizes for a CI smoke pass")
 	sessions := flag.Bool("sessions", false, "only the PR 3 cold- vs cached-session prove benchmarks")
+	msmOnly := flag.Bool("msm", false, "only the curve.MSM series (the GLV before/after record)")
 	flag.Parse()
 
 	rec := &record{
-		PR:         2,
+		PR:         4,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
-		Note: "baseline_ns_per_op is the pre-parallel-engine serial path " +
-			"measured at the seed commit on the same runner; on a single-core " +
-			"runner the workers>1 rows show engine overhead, not scaling.",
+		Note: "baseline_ns_per_op is the PR 2 serial number recorded in " +
+			"BENCH_pr2.json on the same runner (the pre-GLV Pippenger path); " +
+			"speedup_vs_baseline is therefore the endomorphism + signed-digit " +
+			"win. On a single-core runner the workers>1 rows show engine " +
+			"overhead, not scaling.",
 	}
 
 	budgets := []int{1}
@@ -95,8 +103,8 @@ func main() {
 
 	if *sessions {
 		// The sessions record is the PR 3 trajectory file: don't clobber
-		// BENCH_pr2.json unless the caller explicitly asked to.
-		if *out == "BENCH_pr2.json" {
+		// the default kernel record unless the caller explicitly asked to.
+		if *out == "BENCH_pr4.json" {
 			*out = "BENCH_pr3.json"
 		}
 		rec.PR = 3
@@ -121,6 +129,32 @@ func main() {
 	}
 
 	rng := ff.NewRand(71)
+
+	if *msmOnly {
+		// The MSM-only record holds 3 series, not the full 8: don't clobber
+		// the committed full-kernel trajectory file unless the caller
+		// explicitly asked to (same guard as -sessions above).
+		if *out == "BENCH_pr4.json" {
+			*out = "BENCH_pr4_msm.json"
+		}
+		points := benchPoints(1 << msmLgs[len(msmLgs)-1])
+		for _, lg := range msmLgs {
+			n := 1 << lg
+			scalars := rng.Elements(n)
+			for _, w := range budgets {
+				w := w
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						curve.MSMWorkers(points[:n], scalars, w)
+					}
+				})
+				add(rec, fmt.Sprintf("curve.MSM/2^%d", lg), w, res, !*quick)
+			}
+		}
+		writeRecord(rec, *out)
+		return
+	}
 
 	// mle.Fold
 	{
@@ -353,7 +387,7 @@ func add(rec *record, name string, workers int, res testing.BenchmarkResult, wit
 		BytesPerOp:  res.AllocedBytesPerOp(),
 	}
 	if withBaseline {
-		if base, ok := seedBaselines[name]; ok {
+		if base, ok := pr2Baselines[name]; ok {
 			kr.BaselineNsPerOp = base
 			if kr.NsPerOp > 0 {
 				kr.Speedup = float64(base) / float64(kr.NsPerOp)

@@ -1,0 +1,71 @@
+package curve
+
+import (
+	"zkphire/internal/ff"
+	"zkphire/internal/fp"
+	"zkphire/internal/parallel"
+)
+
+// GLV endomorphism. BLS12-381 (j-invariant 0) has the efficiently computable
+// endomorphism φ(x, y) = (βx, y) for a cube root of unity β in Fp; on the
+// G1 subgroup φ acts as scalar multiplication by the cube root of unity λ in
+// Fr (see ff.SplitGLV). Which of the two primitive roots {β, β²} matches the
+// λ that ff derives is fixed at init by evaluating both against the
+// generator: φ(G) must equal λ·G.
+var endoBeta fp.Element
+
+// initEndo derives and validates β. Called from g1.go's init (not a file
+// init of its own: it needs the generator, and endo.go sorts before g1.go).
+func initEndo() {
+	lam := ff.Lambda()
+	var lamG G1Jac
+	g := GeneratorJac()
+	lamG.ScalarMulBig(&g, lam)
+	var want G1Affine
+	want.FromJacobian(&lamG)
+
+	beta := fp.ThirdRootOne()
+	for try := 0; ; try++ {
+		if try == 2 {
+			panic("curve: no cube root of unity matches λ on the generator")
+		}
+		var cand G1Affine
+		cand.X.Mul(&g1Gen.X, &beta)
+		cand.Y = g1Gen.Y
+		if cand.Equal(&want) {
+			endoBeta = beta
+			break
+		}
+		beta.Square(&beta)
+	}
+}
+
+// Endo sets p = φ(q) = (β·q.X, q.Y) and returns p. φ(q) = λ·q for subgroup
+// points, at the cost of one field multiplication.
+func (p *G1Affine) Endo(q *G1Affine) *G1Affine {
+	p.X.Mul(&q.X, &endoBeta)
+	p.Y = q.Y
+	p.Infinity = q.Infinity
+	return p
+}
+
+// EndoPoints returns the φ-table for a point set as x-coordinates only —
+// φ(P) = (βx, y) shares y with P, so βx is all the MSM needs and the table
+// costs 48 instead of 96 bytes per point. Uses the full machine. MSM callers
+// that reuse a base set (the PCS commitment bases) precompute this once and
+// pass it to MSMEndoWorkers so no βx is ever recomputed per call; pcs.SRS
+// caches it per level.
+func EndoPoints(points []G1Affine) []fp.Element {
+	return EndoPointsWorkers(points, 0)
+}
+
+// EndoPointsWorkers is EndoPoints with an explicit worker budget.
+func EndoPointsWorkers(points []G1Affine, workers int) []fp.Element {
+	out := make([]fp.Element, len(points))
+	parallel.For(workers, len(points), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i].Mul(&points[i].X, &endoBeta)
+		}
+	})
+	return out
+}

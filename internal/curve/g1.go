@@ -38,6 +38,7 @@ func init() {
 	if !g1Gen.IsOnCurve() {
 		panic("curve: generator is not on the curve")
 	}
+	initEndo()
 }
 
 // Generator returns the standard G1 generator.

@@ -6,35 +6,106 @@ import (
 	"zkphire/internal/parallel"
 )
 
-// MSM computes Σ scalars[i]·points[i] with Pippenger's bucket method using
-// the full machine (GOMAXPROCS workers). It panics if the slice lengths
-// differ.
+// Pippenger MSM over the GLV endomorphism with signed bucket digits.
+//
+// Each 255-bit scalar k is decomposed as k ≡ ±k₁ + λ·(±k₂) (mod r) with
+// k₁, k₂ < 2^127 (ff.SplitGLV); the MSM then runs over the doubled point
+// set {Pᵢ, φ(Pᵢ)} with half-width scalars, halving the Pippenger window
+// count. Digits are recoded into the signed range [−2^(c−1), 2^(c−1)], so a
+// width-c window needs 2^(c−1) buckets instead of 2^c−1 — negative digits
+// add −P, and affine negation is a single fp.Neg of the y-coordinate. Both
+// halvings together shrink the bucket state and the cross-window
+// running-sum reduction by ~4× and let the same cache budget carry a wider
+// window.
 //
 // This is the software ground truth for the zkPHIRE MSM unit model; the
-// structure (windows of width c, 2^c−1 buckets, running-sum aggregation,
+// structure (windows of width c, signed buckets, running-sum aggregation,
 // cross-window doubling) is the same computation the hardware performs.
+
+// Scratch arenas for the MSM working state (bucket tables, occupancy maps,
+// batch-affine queues, digit decompositions). Pooling them keeps repeated
+// proofs allocation-free in steady state.
+var (
+	jacArena   parallel.Arena[G1Jac]
+	fpArena    parallel.Arena[fp.Element]
+	pairArena  parallel.Arena[affPair]
+	pendArena  parallel.Arena[pendOp]
+	boolArena  parallel.Arena[bool]
+	int32Arena parallel.Arena[int32]
+	splitArena parallel.Arena[glvSplit]
+)
+
+// pendOp is a deferred bucket addition: an add that found its bucket already
+// in the batch-affine queue parks here (with its sign-adjusted coordinates)
+// until the next flush empties the queue, so a collision never forces an
+// early flush of a short batch.
+type pendOp struct {
+	x, y fp.Element
+	b    int32
+}
+
+// glvSplit is one scalar's GLV decomposition: the two half-width magnitudes
+// and their signs.
+type glvSplit struct {
+	k1, k2     [2]uint64
+	neg1, neg2 bool
+}
+
+// affPair is a bucket's affine coordinates, exactly 96 bytes with X and Y on
+// adjacent cache lines: the accumulation loop's random bucket accesses then
+// touch two consecutive lines (one hardware-prefetchable pair) instead of
+// two independent ones.
+type affPair struct {
+	X, Y fp.Element
+}
+
+// MSM computes Σ scalars[i]·points[i] with the full machine (GOMAXPROCS
+// workers). It panics if the slice lengths differ.
 func MSM(points []G1Affine, scalars []ff.Element) G1Jac {
 	return MSMWorkers(points, scalars, 0)
 }
 
 // MSMWorkers is MSM with an explicit worker budget (<= 0 means GOMAXPROCS).
+// The φ-table is built on the fly (one fp.Mul per point, from the pooled
+// arena); callers that reuse a base set should precompute it once with
+// EndoPoints and call MSMEndoWorkers instead.
 //
 // Work splits over (window, point-range chunk) tasks, so parallelism scales
-// with the input size N instead of stopping at the ~20 window count: each
-// task accumulates the buckets of one window over one contiguous point
-// range and reduces them to a weighted sum; window totals merge the chunk
-// sums in ascending chunk order (group addition is exact, so the result is
-// identical for every budget).
+// with the input size N instead of stopping at the ~8 window count; window
+// totals merge the chunk sums in ascending chunk order (group addition is
+// exact, so the result is identical for every budget).
 func MSMWorkers(points []G1Affine, scalars []ff.Element, workers int) G1Jac {
 	if len(points) != len(scalars) {
 		panic("curve: MSM length mismatch")
 	}
-	return msmWindow(points, scalars, workers, windowSize(len(points)))
+	return msmGLV(points, nil, scalars, workers, windowSize(len(points)))
 }
 
-// msmWindow is MSMWorkers with an explicit Pippenger window width; the
-// window-tuning benchmark drives it directly.
-func msmWindow(points []G1Affine, scalars []ff.Element, workers, c int) G1Jac {
+// MSMEndo is MSMEndoWorkers with the full machine.
+func MSMEndo(points []G1Affine, endoX []fp.Element, scalars []ff.Element) G1Jac {
+	return MSMEndoWorkers(points, endoX, scalars, 0)
+}
+
+// MSMEndoWorkers computes the MSM against a precomputed φ-table (from
+// EndoPoints): endoX[i] must equal β·points[i].X. The PCS layer caches the
+// table per SRS level so committing and opening never recompute βx.
+func MSMEndoWorkers(points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers int) G1Jac {
+	if len(points) != len(scalars) || len(endoX) != len(points) {
+		panic("curve: MSM length mismatch")
+	}
+	return msmGLV(points, endoX, scalars, workers, windowSize(len(points)))
+}
+
+// glvScalarBits is the bit capacity of one decomposed scalar half: the
+// magnitudes are < 2^127 and signed-digit recoding can carry one bit past
+// the top, so windows must cover 128 bits.
+const glvScalarBits = 128
+
+// msmGLV is the GLV Pippenger core with an explicit window width; the
+// window-tuning benchmark drives it directly. endoX may be nil, in which
+// case the φ-table is materialized from the arena for the duration of the
+// call (one fp.Mul per point).
+func msmGLV(points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers, c int) G1Jac {
 	var res G1Jac
 	res.SetInfinity()
 	n := len(points)
@@ -43,30 +114,36 @@ func msmWindow(points []G1Affine, scalars []ff.Element, workers, c int) G1Jac {
 	}
 	w := parallel.Workers(workers)
 
-	const scalarBits = 255
-	numWindows := (scalarBits + c - 1) / c
-
-	// Decompose scalars into base-2^c digits once, straight from the
-	// canonical limbs (no per-scalar big.Int).
-	flat := make([]uint32, numWindows*n)
-	digits := make([][]uint32, numWindows)
-	for wi := range digits {
-		digits[wi] = flat[wi*n : (wi+1)*n]
+	if endoX == nil {
+		buf := fpArena.Get(n)
+		defer fpArena.Put(buf)
+		parallel.For(w, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i].Mul(&points[i].X, &endoBeta)
+			}
+		})
+		endoX = buf
 	}
+
+	// Decompose every scalar once; windows extract their signed digits from
+	// the halves on the fly (a handful of shifts per digit), so no
+	// window×point digit matrix is materialized.
+	splits := splitArena.Get(n)
+	defer splitArena.Put(splits)
 	parallel.For(w, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			limbs := scalars[i].Regular()
-			for wi := 0; wi < numWindows; wi++ {
-				digits[wi][i] = extractDigit(&limbs, wi*c, c)
-			}
+			s := &splits[i]
+			s.k1, s.k2, s.neg1, s.neg2 = scalars[i].SplitGLV()
 		}
 	})
 
+	numWindows := (glvScalarBits + c - 1) / c
+
 	// Bucket accumulation over (window, chunk) tasks. Chunks are capped so
-	// each still amortizes its 2^c running-sum additions over at least that
-	// many points.
+	// each still amortizes its 2^(c−1) bucket reduction over at least that
+	// many point pairs.
 	numChunks := (w + numWindows - 1) / numWindows
-	if maxChunks := n >> uint(c); numChunks > maxChunks {
+	if maxChunks := (2 * n) >> uint(c-1); numChunks > maxChunks {
 		numChunks = maxChunks
 	}
 	if numChunks < 1 {
@@ -85,7 +162,7 @@ func msmWindow(points []G1Affine, scalars []ff.Element, workers, c int) G1Jac {
 			partials[task].SetInfinity()
 			return
 		}
-		partials[task] = bucketSum(points[lo:hi], digits[wi][lo:hi], c)
+		partials[task] = bucketSumGLV(points[lo:hi], endoX[lo:hi], splits[lo:hi], wi, c)
 	})
 
 	// Merge chunk sums per window (ascending chunk order), then combine
@@ -108,9 +185,42 @@ func msmWindow(points []G1Affine, scalars []ff.Element, workers, c int) G1Jac {
 	return res
 }
 
-// bucketSum accumulates one Pippenger window over one point range: points
-// with digit d go to bucket d; the weighted sum Σ d·bucket[d] is formed with
-// a running suffix sum (two passes of additions, no multiplications).
+// glvDigit extracts the signed width-c digit of window wi from a half-width
+// magnitude. Signed recoding is closed-form: with tᵢ the raw unsigned digit,
+//
+//	dᵢ = tᵢ + bit(wi·c − 1) − 2^c·bit((wi+1)·c − 1),
+//
+// i.e. a window borrows one from its successor exactly when its own top bit
+// is set, which keeps every digit in [−2^(c−1), 2^(c−1)] without a carry
+// chain (bit(j) is bit j of the magnitude). Reading two bits per window
+// replaces the per-scalar sequential recode, so digits are extracted on the
+// fly per (window, point) visit.
+func glvDigit(k *[2]uint64, wi, c int) int {
+	bit := wi * c
+	var v uint64
+	if bit < 128 {
+		word, ofs := bit>>6, uint(bit&63)
+		v = k[word] >> ofs
+		if int(ofs)+c > 64 && word == 0 {
+			v |= k[1] << (64 - ofs)
+		}
+		v &= (1 << uint(c)) - 1
+	}
+	d := int(v)
+	if bit > 0 {
+		d += int((k[(bit-1)>>6] >> uint((bit-1)&63)) & 1)
+	}
+	if ob := (wi+1)*c - 1; ob < 128 && (k[ob>>6]>>uint(ob&63))&1 != 0 {
+		d -= 1 << uint(c)
+	}
+	return d
+}
+
+// bucketSumGLV accumulates one signed-digit window over one point range:
+// each point pair (Pᵢ, φ(Pᵢ)) contributes its two digits; |d| selects the
+// bucket and the digit sign (xor the half's sign) selects P or −P, negation
+// being one fp.Neg of y. The weighted sum Σ d·bucket[d] is formed with a
+// running suffix sum over 2^(c−1) buckets.
 //
 // Buckets are kept in AFFINE coordinates and updated with batch-affine
 // additions: each addition needs one field inversion for its slope, and one
@@ -120,18 +230,31 @@ func msmWindow(points []G1Affine, scalars []ff.Element, workers, c int) G1Jac {
 // queued slope reads the bucket value at queue time); a second addition to
 // the same bucket is deferred to a follow-up pass instead of flushing, so
 // the inversion stays amortized over full batches even for narrow windows.
-func bucketSum(points []G1Affine, digit []uint32, c int) G1Jac {
-	numBuckets := (1 << uint(c)) - 1
-	buckets := make([]G1Affine, numBuckets)
-	full := make([]bool, numBuckets)
-	inQueue := make([]bool, numBuckets)
+func bucketSumGLV(points []G1Affine, endoX []fp.Element, splits []glvSplit, wi, c int) G1Jac {
+	numBuckets := 1 << uint(c-1)
+	// The bucket table stores bare (X, Y) pairs — 96 bytes per bucket, no
+	// Infinity-flag padding — so at c=16 the accumulation loop's random
+	// accesses walk a 3 MiB table of adjacent-line pairs.
+	buckets := pairArena.Get(numBuckets)
+	full := boolArena.Get(numBuckets)
+	inQueue := boolArena.Get(numBuckets)
+	clear(full)
+	clear(inQueue)
+	defer pairArena.Put(buckets)
+	defer boolArena.Put(full)
+	defer boolArena.Put(inQueue)
 
-	const maxBatch = 1024
-	opBucket := make([]int32, maxBatch)
-	opX := make([]fp.Element, maxBatch)   // addend x (needed for x3)
-	opNum := make([]fp.Element, maxBatch) // slope numerator
-	opDen := make([]fp.Element, maxBatch) // slope denominator → batch inverted
-	invScratch := make([]fp.Element, maxBatch)
+	const maxBatch = 4096
+	opBucket := int32Arena.Get(maxBatch)
+	opX := fpArena.Get(maxBatch)   // addend x (needed for x3)
+	opNum := fpArena.Get(maxBatch) // slope numerator
+	opDen := fpArena.Get(maxBatch) // slope denominator → batch inverted
+	invScratch := fpArena.Get(maxBatch)
+	defer int32Arena.Put(opBucket)
+	defer fpArena.Put(opX)
+	defer fpArena.Put(opNum)
+	defer fpArena.Put(opDen)
+	defer fpArena.Put(invScratch)
 	m := 0
 
 	flush := func() {
@@ -152,59 +275,74 @@ func bucketSum(points []G1Affine, digit []uint32, c int) G1Jac {
 		m = 0
 	}
 
-	// minAmortize is the queue length below which a flush would waste the
-	// batch inversion; conflicting additions on a short queue go through a
-	// lazily-allocated Jacobian overflow bucket instead. Narrow windows
-	// (buckets ≪ batch) degrade gracefully to the plain Jacobian method.
+	// minAmortize is the queue length below which a conflicting addition is
+	// not worth deferring: a near-empty queue right after a flush means the
+	// window is degenerate (buckets ≪ batch, or adversarially repeated
+	// points), and those additions go through a lazily-allocated Jacobian
+	// overflow bucket instead. Healthy queues defer conflicts to `pend` so
+	// the batch inversion always amortizes over a full maxBatch — with 2^15
+	// buckets the first collision lands at ~√(2·2^15) ≈ 250 queued adds, so
+	// flushing on conflict would amortize the field inversion 16× worse.
 	const minAmortize = 192
 	var jacOverflow []G1Jac
+	pend := pendArena.Get(maxBatch)
+	nPend := 0
 
-	enqueue := func(b int32, p *G1Affine) {
+	// enqueue adds ±(px, py) to bucket b; py is already sign-adjusted by the
+	// caller. px/py may point into pend[nPend] itself during a drain — the
+	// only write through pend in here is the self-assignment re-pend, which
+	// is harmless. The outer loops keep nPend < maxBatch−1 so the deferred
+	// append never overflows.
+	enqueue := func(b int32, px, py *fp.Element) {
 		if !full[b] {
-			buckets[b] = *p
+			buckets[b].X = *px
+			buckets[b].Y = *py
 			full[b] = true
 			return
 		}
 		if inQueue[b] {
 			if m >= minAmortize {
-				flush()
-			} else {
-				if jacOverflow == nil {
-					jacOverflow = make([]G1Jac, numBuckets)
-					for i := range jacOverflow {
-						jacOverflow[i].SetInfinity()
-					}
-				}
-				jacOverflow[b].AddMixed(p)
+				pend[nPend] = pendOp{x: *px, y: *py, b: b}
+				nPend++
 				return
 			}
+			if jacOverflow == nil {
+				jacOverflow = jacArena.Get(numBuckets)
+				for i := range jacOverflow {
+					jacOverflow[i].SetInfinity()
+				}
+			}
+			var aff G1Affine
+			aff.X, aff.Y = *px, *py
+			jacOverflow[b].AddMixed(&aff)
+			return
 		}
 		bk := &buckets[b]
 		var num, den fp.Element
-		if bk.X.Equal(&p.X) {
-			if !bk.Y.Equal(&p.Y) {
+		if bk.X.Equal(px) {
+			if !bk.Y.Equal(py) {
 				// P + (−P): the bucket empties.
 				full[b] = false
 				return
 			}
 			// Doubling: λ = 3x² / 2y.
-			den.Double(&p.Y)
+			den.Double(py)
 			if den.IsZero() {
 				// 2-torsion input (not reachable from subgroup points).
 				full[b] = false
 				return
 			}
-			num.Square(&p.X)
+			num.Square(px)
 			var twoX2 fp.Element
 			twoX2.Double(&num)
 			num.Add(&num, &twoX2)
 		} else {
 			// Chord: λ = (y2−y1)/(x2−x1).
-			num.Sub(&p.Y, &bk.Y)
-			den.Sub(&p.X, &bk.X)
+			num.Sub(py, &bk.Y)
+			den.Sub(px, &bk.X)
 		}
 		opBucket[m] = b
-		opX[m] = p.X
+		opX[m] = *px
 		opNum[m] = num
 		opDen[m] = den
 		inQueue[b] = true
@@ -214,35 +352,82 @@ func bucketSum(points []G1Affine, digit []uint32, c int) G1Jac {
 		}
 	}
 
-	for i := range points {
-		d := digit[i]
-		if d == 0 {
-			continue
+	// drainLoop flushes the queue and re-runs the deferred adds until none
+	// remain parked. Two deferred adds to one bucket can re-conflict and
+	// re-park, but every round lands at least one (the queue is empty right
+	// after a flush), so the loop terminates.
+	drainLoop := func() {
+		for nPend > 0 {
+			flush()
+			cnt := nPend
+			nPend = 0
+			for i := 0; i < cnt; i++ {
+				enqueue(pend[i].b, &pend[i].x, &pend[i].y)
+			}
+		}
+	}
+
+	var yTmp fp.Element
+	for i := range splits {
+		s := &splits[i]
+		if nPend >= maxBatch-2 {
+			drainLoop()
 		}
 		if points[i].Infinity {
 			continue
 		}
-		enqueue(int32(d-1), &points[i])
+		if d := glvDigit(&s.k1, wi, c); d != 0 {
+			neg := s.neg1
+			if d < 0 {
+				d, neg = -d, !neg
+			}
+			py := &points[i].Y
+			if neg {
+				yTmp.Neg(py)
+				py = &yTmp
+			}
+			enqueue(int32(d-1), &points[i].X, py)
+		}
+		// The φ half shares y with the base point; only x differs (βx).
+		if d := glvDigit(&s.k2, wi, c); d != 0 {
+			neg := s.neg2
+			if d < 0 {
+				d, neg = -d, !neg
+			}
+			py := &points[i].Y
+			if neg {
+				yTmp.Neg(py)
+				py = &yTmp
+			}
+			enqueue(int32(d-1), &endoX[i], py)
+		}
 	}
+	drainLoop()
 	flush()
+	pendArena.Put(pend)
 
 	var running, sum G1Jac
+	var aff G1Affine
 	running.SetInfinity()
 	sum.SetInfinity()
 	for b := numBuckets - 1; b >= 0; b-- {
 		if full[b] {
-			running.AddMixed(&buckets[b])
+			aff.X, aff.Y = buckets[b].X, buckets[b].Y
+			running.AddMixed(&aff)
 		}
 		if jacOverflow != nil && !jacOverflow[b].IsInfinity() {
 			running.AddAssign(&jacOverflow[b])
 		}
 		sum.AddAssign(&running)
 	}
+	if jacOverflow != nil {
+		jacArena.Put(jacOverflow)
+	}
 	return sum
 }
 
 // extractDigit reads a width-bit window starting at bit `bit` from
-// little-endian limbs.
+// little-endian limbs (unsigned; the fixed-base table path uses it).
 func extractDigit(words *[ff.Limbs]uint64, bit, width int) uint32 {
 	const wordBits = 64
 	wordIdx := bit / wordBits
@@ -257,31 +442,34 @@ func extractDigit(words *[ff.Limbs]uint64, bit, width int) uint32 {
 	return uint32(v & ((1 << uint(width)) - 1))
 }
 
-// windowSize picks the Pippenger window width for n points. The cost model
-// is numWindows·(n·costAffine + 2·2^c·costJac) with numWindows =
-// ceil(255/c); larger inputs amortize bigger windows (fewer passes over all
-// points). The large-n tiers were measured with BenchmarkMSMWindowSweep on
-// the batch-affine bucket path (c=13 beats c=9 by ~25% at 2^16, c=14–15 by
-// ~50% at 2^18); past c≈15 the bucket array falls out of cache and the
-// curve turns back up.
+// windowSize picks the Pippenger window width for n points (2n point pairs
+// after the GLV doubling). The cost model is
+// numWindows·(2n·costAffine + 2·2^(c−1)·costJac) with numWindows =
+// ceil(128/c): versus the pre-GLV model both the window count (255→128
+// bits) and the bucket count (2^c−1 → 2^(c−1)) are halved, so the same
+// cache footprint carries a one-bit-wider window and the reduction term
+// shrinks ~4×. Tiers measured with BenchmarkMSMWindowSweep on the 1-core
+// runner (c=16 beats c=13 by ~8% at 2^20 and keeps the bucket array at
+// 3 MiB; past that the array falls out of cache and the curve turns back
+// up).
 func windowSize(n int) int {
 	switch {
 	case n < 32:
-		return 3
+		return 4
 	case n < 256:
-		return 5
+		return 6
 	case n < 4096:
-		return 7
+		return 8
 	case n < 1<<14:
-		return 9
+		return 10
 	case n < 1<<15:
-		return 11
+		return 12
 	case n < 1<<17:
 		return 13
-	case n < 1<<19:
-		return 14
-	default:
+	case n < 1<<18:
 		return 15
+	default:
+		return 16
 	}
 }
 
@@ -307,20 +495,30 @@ func SparseMSM(points []G1Affine, scalars []ff.Element) G1Jac {
 	return SparseMSMWorkers(points, scalars, 0)
 }
 
+// SparseMSMWorkers is SparseMSM with an explicit worker budget; the dense
+// remainder's φ-points are computed on the fly.
+func SparseMSMWorkers(points []G1Affine, scalars []ff.Element, workers int) G1Jac {
+	return SparseMSMEndoWorkers(points, nil, scalars, workers)
+}
+
 // sparsePart is one chunk's contribution to a sparse MSM: the sum of the
 // one-scalar points plus the dense remainder, collected in index order.
 type sparsePart struct {
 	ones         G1Jac
 	densePoints  []G1Affine
+	denseEndoX   []fp.Element
 	denseScalars []ff.Element
 }
 
-// SparseMSMWorkers is SparseMSM with an explicit worker budget. The 0/1/dense
+// SparseMSMEndoWorkers is SparseMSM with an explicit worker budget and an
+// optional precomputed φ-table (endo may be nil). The 0/1/dense
 // classification runs chunked; chunk results merge in ascending index order,
 // so the dense remainder reaches Pippenger in the same order as the serial
-// scan and the result is budget-independent.
-func SparseMSMWorkers(points []G1Affine, scalars []ff.Element, workers int) G1Jac {
-	if len(points) != len(scalars) {
+// scan and the result is budget-independent. The 0/1 fast path never touches
+// the GLV machinery — adding P directly is already cheaper than any
+// decomposition.
+func SparseMSMEndoWorkers(points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers int) G1Jac {
+	if len(points) != len(scalars) || (endoX != nil && len(endoX) != len(points)) {
 		panic("curve: MSM length mismatch")
 	}
 	if len(points) == 0 {
@@ -340,6 +538,9 @@ func SparseMSMWorkers(points []G1Affine, scalars []ff.Element, workers int) G1Ja
 				p.ones.AddMixed(&points[i])
 			default:
 				p.densePoints = append(p.densePoints, points[i])
+				if endoX != nil {
+					p.denseEndoX = append(p.denseEndoX, endoX[i])
+				}
 				p.denseScalars = append(p.denseScalars, scalars[i])
 			}
 		}
@@ -347,10 +548,16 @@ func SparseMSMWorkers(points []G1Affine, scalars []ff.Element, workers int) G1Ja
 	}, func(a, b sparsePart) sparsePart {
 		a.ones.AddAssign(&b.ones)
 		a.densePoints = append(a.densePoints, b.densePoints...)
+		a.denseEndoX = append(a.denseEndoX, b.denseEndoX...)
 		a.denseScalars = append(a.denseScalars, b.denseScalars...)
 		return a
 	})
-	dense := MSMWorkers(part.densePoints, part.denseScalars, workers)
+	var dense G1Jac
+	if endoX != nil {
+		dense = msmGLV(part.densePoints, part.denseEndoX, part.denseScalars, workers, windowSize(len(part.densePoints)))
+	} else {
+		dense = msmGLV(part.densePoints, nil, part.denseScalars, workers, windowSize(len(part.densePoints)))
+	}
 	part.ones.AddAssign(&dense)
 	return part.ones
 }

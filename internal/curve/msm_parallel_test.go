@@ -98,7 +98,7 @@ func TestMSMBatchAffineEdgeCases(t *testing.T) {
 
 	want := MSMNaive(points, scalars)
 	for _, c := range []int{3, 5, 8, 13} {
-		got := msmWindow(points, scalars, 1, c)
+		got := msmGLV(points, nil, scalars, 1, c)
 		if !got.Equal(&want) {
 			t.Fatalf("c=%d: batch-affine MSM disagrees with naive", c)
 		}
@@ -110,7 +110,7 @@ func TestMSMBatchAffineEdgeCases(t *testing.T) {
 	want = MSMNaive(pts, sc)
 	for _, c := range []int{4, 9, 12} {
 		for _, w := range []int{1, 4} {
-			got := msmWindow(pts, sc, w, c)
+			got := msmGLV(pts, nil, sc, w, c)
 			if !got.Equal(&want) {
 				t.Fatalf("c=%d w=%d: MSM mismatch", c, w)
 			}
@@ -138,9 +138,9 @@ func TestMSMFlushPathsAtScale(t *testing.T) {
 	points := BatchFromJacobian(jacs)
 	scalars := rng.Elements(n)
 
-	ref := msmWindow(points, scalars, 1, 5) // overflow-heavy narrow windows
-	for _, c := range []int{9, 13} {        // 13: queue reaches maxBatch
-		got := msmWindow(points, scalars, 1, c)
+	ref := msmGLV(points, nil, scalars, 1, 5) // overflow-heavy narrow windows
+	for _, c := range []int{9, 13} {          // 13: queue reaches maxBatch
+		got := msmGLV(points, nil, scalars, 1, c)
 		if !got.Equal(&ref) {
 			t.Fatalf("c=%d disagrees with c=5 on the same sum", c)
 		}

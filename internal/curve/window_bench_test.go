@@ -24,10 +24,10 @@ func BenchmarkMSMWindowSweep(b *testing.B) {
 	points := BatchFromJacobian(jacs)
 	for _, lg := range []int{16, 18} {
 		scalars := rng.Elements(1 << lg)
-		for _, c := range []int{9, 11, 13, 14, 15} {
+		for _, c := range []int{13, 14, 15, 16, 17} {
 			b.Run(fmt.Sprintf("2^%d/c=%d", lg, c), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					msmWindow(points[:1<<lg], scalars, 1, c)
+					msmGLV(points[:1<<lg], nil, scalars, 1, c)
 				}
 			})
 		}

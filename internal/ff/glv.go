@@ -1,0 +1,225 @@
+package ff
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// GLV λ-eigenvalue scalar decomposition.
+//
+// Fr admits a primitive cube root of unity λ (λ² + λ + 1 ≡ 0 mod r) whose
+// canonical value is only ~2^127.4 — for BLS12-381, λ = z²−1 for the curve
+// parameter z. The curve endomorphism φ(x, y) = (βx, y) acts on the G1
+// subgroup as multiplication by λ, so any scalar k can be traded for the
+// half-width pair (k₁, k₂) with
+//
+//	k ≡ k₁ + λ·k₂ (mod r),  |k₁|, |k₂| < 2^127.
+//
+// The pair comes from Babai rounding against the short lattice basis
+//
+//	v₁ = (λ, −1),  v₂ = (1, λ+1),  det = λ² + λ + 1 = r,
+//
+// which is exact for this field: both basis vectors have norm ≈ √r. All
+// constants below are derived at init from the modulus (the only trusted
+// literal); nothing about the curve parameter z is hard-coded.
+var (
+	// lambdaBig is λ as an integer; lambdaLimbs/lambdaP1Limbs are λ and λ+1
+	// as two little-endian 64-bit limbs (λ < 2^128).
+	lambdaBig     *big.Int
+	lambdaElement Element
+	lambdaLimbs   [2]uint64
+	lambdaP1Limbs [2]uint64
+	// glvG1 = ⌊(λ+1)·2^384 / r⌋, the fixed-point reciprocal used to compute
+	// c₁ = round(k·(λ+1)/r) with limb arithmetic only. 257 bits → 5 limbs.
+	glvG1 [5]uint64
+	// rHalfUp = (r+1)/2; c₂ = round(k/r) is 1 iff k ≥ rHalfUp (k < r always,
+	// and r is odd so there is no tie).
+	rHalfUp [Limbs]uint64
+)
+
+func init() {
+	// λ = the smaller primitive cube root of unity mod r. The two roots are
+	// w and w² = −1−w; their canonical values sum to r−1, so exactly one is
+	// below √r-scale — for BLS12-381 that is z²−1 ≈ 2^127.4.
+	exp := new(big.Int).Sub(qBig, big.NewInt(1))
+	if new(big.Int).Mod(exp, big.NewInt(3)).Sign() != 0 {
+		panic("ff: r−1 not divisible by 3; no GLV endomorphism")
+	}
+	exp.Div(exp, big.NewInt(3))
+	var w *big.Int
+	for g := int64(2); ; g++ {
+		w = new(big.Int).Exp(big.NewInt(g), exp, qBig)
+		if w.Cmp(big.NewInt(1)) != 0 {
+			break
+		}
+	}
+	w2 := new(big.Int).Mul(w, w)
+	w2.Mod(w2, qBig)
+	lam := w
+	if w2.Cmp(w) < 0 {
+		lam = w2
+	}
+	// Sanity: λ² + λ + 1 ≡ 0 (mod r) and λ fits 128 bits.
+	check := new(big.Int).Mul(lam, lam)
+	check.Add(check, lam)
+	check.Add(check, big.NewInt(1))
+	if new(big.Int).Mod(check, qBig).Sign() != 0 {
+		panic("ff: derived λ is not a primitive cube root of unity")
+	}
+	if lam.BitLen() > 128 {
+		panic("ff: derived λ does not fit 128 bits")
+	}
+	lambdaBig = lam
+	lambdaElement.SetBigInt(lam)
+
+	var lamLimbs [Limbs]uint64
+	bigToLimbs(lam, &lamLimbs)
+	lambdaLimbs = [2]uint64{lamLimbs[0], lamLimbs[1]}
+	var carry uint64
+	lambdaP1Limbs[0], carry = bits.Add64(lambdaLimbs[0], 1, 0)
+	lambdaP1Limbs[1] = lambdaLimbs[1] + carry
+
+	g1 := new(big.Int).Add(lam, big.NewInt(1))
+	g1.Lsh(g1, 384)
+	g1.Div(g1, qBig)
+	if g1.BitLen() > 64*len(glvG1) {
+		panic("ff: GLV reciprocal overflows its limbs")
+	}
+	var g1Limbs [5]uint64
+	for i := range g1Limbs {
+		g1Limbs[i] = g1.Uint64()
+		g1.Rsh(g1, 64)
+	}
+	glvG1 = g1Limbs
+
+	rh := new(big.Int).Add(qBig, big.NewInt(1))
+	rh.Rsh(rh, 1)
+	bigToLimbs(rh, &rHalfUp)
+}
+
+// Lambda returns λ, the canonical value of the primitive cube root of unity
+// mod r that SplitGLV decomposes against, as a fresh big.Int.
+func Lambda() *big.Int { return new(big.Int).Set(lambdaBig) }
+
+// LambdaElement returns λ as a field element.
+func LambdaElement() Element { return lambdaElement }
+
+// SplitGLV decomposes the canonical value k of z into half-width signed
+// halves k = (±k₁) + λ·(±k₂) (mod r) with k₁, k₂ < 2^127. neg1/neg2 report
+// the signs. It is the scalar-side half of the GLV endomorphism: the MSM
+// trades each 255-bit scalar for two 128-bit scalars on the doubled point
+// set {P, φ(P)}, halving the Pippenger window count.
+//
+// The whole decomposition is limb arithmetic on the Regular() value — no
+// big.Int — so it is cheap enough to run once per scalar inside the MSM.
+func (z *Element) SplitGLV() (k1, k2 [2]uint64, neg1, neg2 bool) {
+	k := z.Regular()
+
+	// c₁ = round(k·(λ+1)/r) = (glvG1·k + 2^383) >> 384, exact to within
+	// 2^-129 of the true quotient — far below the rounding granularity the
+	// bound |kᵢ| < 2^127 needs.
+	var prod [9]uint64 // glvG1 (5 limbs) × k (4 limbs)
+	for i := 0; i < 4; i++ {
+		var carry uint64
+		ki := k[i]
+		for j := 0; j < 5; j++ {
+			hi, lo := bits.Mul64(ki, glvG1[j])
+			var c uint64
+			lo, c = bits.Add64(lo, prod[i+j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			prod[i+j] = lo
+			carry = hi
+		}
+		prod[i+5] = carry
+	}
+	var c uint64
+	prod[5], c = bits.Add64(prod[5], 1<<63, 0) // +2^383 to round
+	for i := 6; c != 0 && i < 9; i++ {
+		prod[i], c = bits.Add64(prod[i], 0, c)
+	}
+	c1 := [2]uint64{prod[6], prod[7]} // c₁ < 2^128, so prod[8] is 0
+
+	// c₂ = round(k/r) ∈ {0, 1}: k < r, so it is 1 iff k ≥ (r+1)/2.
+	c2 := uint64(0)
+	if !lessThan4(&k, &rHalfUp) {
+		c2 = 1
+	}
+
+	// t = c₁·λ + c₂ (4 limbs; c₁, λ < 2^128 so no overflow).
+	var t [4]uint64
+	{
+		hi00, lo00 := bits.Mul64(c1[0], lambdaLimbs[0])
+		hi01, lo01 := bits.Mul64(c1[0], lambdaLimbs[1])
+		hi10, lo10 := bits.Mul64(c1[1], lambdaLimbs[0])
+		hi11, lo11 := bits.Mul64(c1[1], lambdaLimbs[1])
+		t[0] = lo00
+		var cc uint64
+		t[1], cc = bits.Add64(hi00, lo01, 0)
+		t[2], cc = bits.Add64(hi01, lo11, cc)
+		t[3] = hi11 + cc
+		t[1], cc = bits.Add64(t[1], lo10, 0)
+		t[2], cc = bits.Add64(t[2], hi10, cc)
+		t[3] += cc
+		t[0], cc = bits.Add64(t[0], c2, 0)
+		t[1], cc = bits.Add64(t[1], 0, cc)
+		t[2], cc = bits.Add64(t[2], 0, cc)
+		t[3] += cc
+	}
+
+	// k₁ = k − t, as sign + magnitude.
+	var d [4]uint64
+	var borrow uint64
+	d[0], borrow = bits.Sub64(k[0], t[0], 0)
+	d[1], borrow = bits.Sub64(k[1], t[1], borrow)
+	d[2], borrow = bits.Sub64(k[2], t[2], borrow)
+	d[3], borrow = bits.Sub64(k[3], t[3], borrow)
+	if borrow != 0 {
+		neg1 = true
+		negate4(&d)
+	}
+	k1 = [2]uint64{d[0], d[1]} // |k₁| < 2^127: d[2], d[3] are 0
+
+	// k₂ = c₁ − c₂·(λ+1), as sign + magnitude (2-limb values).
+	if c2 == 0 {
+		k2 = c1
+	} else {
+		var b uint64
+		k2[0], b = bits.Sub64(c1[0], lambdaP1Limbs[0], 0)
+		k2[1], b = bits.Sub64(c1[1], lambdaP1Limbs[1], b)
+		if b != 0 {
+			neg2 = true
+			var cc uint64
+			k2[0], cc = bits.Add64(^k2[0], 1, 0)
+			k2[1] = ^k2[1] + cc
+		}
+	}
+	if k1[0]|k1[1] == 0 {
+		neg1 = false
+	}
+	if k2[0]|k2[1] == 0 {
+		neg2 = false
+	}
+	return k1, k2, neg1, neg2
+}
+
+// lessThan4 reports a < b for little-endian 4-limb values.
+func lessThan4(a, b *[4]uint64) bool {
+	for i := 3; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// negate4 replaces d with its two's-complement negation (|d| for a borrowed
+// subtraction result).
+func negate4(d *[4]uint64) {
+	var c uint64
+	d[0], c = bits.Add64(^d[0], 1, 0)
+	d[1], c = bits.Add64(^d[1], 0, c)
+	d[2], c = bits.Add64(^d[2], 0, c)
+	d[3], _ = bits.Add64(^d[3], 0, c)
+}

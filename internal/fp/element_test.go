@@ -64,6 +64,54 @@ func TestArithmeticAgainstBig(t *testing.T) {
 	}
 }
 
+// TestSquareMatchesMul pins the dedicated SOS squaring to the generic CIOS
+// multiplication over random elements and the values most likely to trip the
+// carry chains (0, 1, p−1, elements with saturated limbs).
+func TestSquareMatchesMul(t *testing.T) {
+	check := func(x *Element) {
+		var want, got Element
+		want.Mul(x, x)
+		got.Square(x)
+		if !want.Equal(&got) {
+			t.Fatalf("Square mismatch for %s", x.String())
+		}
+	}
+	var e Element
+	check(e.SetZero())
+	check(e.SetOne())
+	check(e.SetBigInt(new(big.Int).Sub(pBig, big.NewInt(1))))
+	check(e.SetBigInt(new(big.Int).Rsh(pBig, 1)))
+	check(e.SetHex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		e.SetBigInt(randBig(rng))
+		check(&e)
+		// Also exercise the in-place aliasing path.
+		var alias Element
+		alias.Set(&e)
+		alias.Square(&alias)
+		var want Element
+		want.Mul(&e, &e)
+		if !alias.Equal(&want) {
+			t.Fatalf("aliased Square mismatch at %d", i)
+		}
+	}
+}
+
+// TestThirdRootOne checks the derived β: a nontrivial cube root of unity.
+func TestThirdRootOne(t *testing.T) {
+	beta := ThirdRootOne()
+	if beta.IsOne() || beta.IsZero() {
+		t.Fatal("β is trivial")
+	}
+	var cube Element
+	cube.Square(&beta)
+	cube.Mul(&cube, &beta)
+	if !cube.IsOne() {
+		t.Fatal("β³ != 1")
+	}
+}
+
 func TestInverse(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	for i := 0; i < 30; i++ {
@@ -151,5 +199,14 @@ func BenchmarkMul(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x.Mul(&x, &y)
+	}
+}
+
+func BenchmarkSquare(b *testing.B) {
+	var x Element
+	x.SetHex(modulusHex[:90])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Square(&x)
 	}
 }

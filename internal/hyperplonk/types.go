@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"zkphire/internal/ff"
+	"zkphire/internal/fp"
 	"zkphire/internal/gates"
 	"zkphire/internal/mle"
 	"zkphire/internal/parallel"
@@ -34,6 +35,14 @@ type Index struct {
 	SigmaComms    []pcs.Commitment
 	// Gate is the circuit's constraint composite (without the eq factor).
 	Gate *poly.Composite
+	// Endo pins the SRS GLV φ-tables (one per commitment-basis level the
+	// prover touches, x-coordinates only) in the preprocessed key.
+	// PreprocessWorkers warms them so no Prove on this key ever pays the
+	// lazy βx build; the prover itself reads the tables through the shared
+	// SRS cache (pcs.SRS.EndoPoints) — this reference only documents the
+	// dependency and keeps the set alive for as long as the key is cached.
+	// Not part of the verifying-key wire format.
+	Endo [][]fp.Element
 }
 
 // Proof is a complete HyperPlonk proof.
@@ -106,6 +115,12 @@ func PreprocessWorkers(srs *pcs.SRS, c *gates.Circuit, workers int) (*Index, err
 		return nil, fmt.Errorf("hyperplonk: SRS supports %d vars, circuit needs %d (+1 for the product tree)", srs.MaxVars, c.NumVars)
 	}
 	idx := &Index{NumVars: c.NumVars, Wires: len(c.Wires), Gate: c.Gate}
+
+	// Warm the GLV φ-tables for every SRS level this circuit's proofs use
+	// (wire/selector commitments at NumVars, the permutation product tree at
+	// NumVars+1, and the opening witness MSMs at every level below), and pin
+	// them in the key.
+	idx.Endo = srs.WarmEndo(c.NumVars+1, workers)
 
 	names := make([]string, 0, len(c.Selectors))
 	for n := range c.Selectors {

@@ -219,33 +219,41 @@ func Run(workers, k int, task func(i int)) {
 // --- scratch arena ---
 
 // maxPoolClass bounds the pooled buffer size at 2^maxPoolClass elements
-// (2^26 × 32 bytes = 2 GiB); anything larger is allocated directly.
+// (2^26 × 32 bytes = 2 GiB for ff.Element); anything larger is allocated
+// directly.
 const maxPoolClass = 26
 
-var scratchPools [maxPoolClass + 1]sync.Pool
+// Arena is a power-of-two-class sync.Pool of []T scratch buffers. The zero
+// value is ready to use. Each hot kernel declares one package-level Arena
+// per element type it recycles (field elements here, curve points and digit
+// buffers in internal/curve), so repeated proofs reuse the same table-sized
+// buffers instead of churning the GC.
+type Arena[T any] struct {
+	pools [maxPoolClass + 1]sync.Pool
+}
 
-// GetScratch returns a []ff.Element of length n from the arena. The
-// contents are arbitrary (not zeroed) — callers overwrite before reading.
-// Buffers are pooled by power-of-two capacity class.
-func GetScratch(n int) []ff.Element {
+// Get returns a []T of length n. The contents are arbitrary (not zeroed) —
+// callers overwrite (or explicitly clear) before reading. Buffers are pooled
+// by power-of-two capacity class.
+func (a *Arena[T]) Get(n int) []T {
 	if n <= 0 {
 		return nil
 	}
 	k := bits.Len(uint(n - 1)) // ceil(log2 n)
 	if k > maxPoolClass {
-		return make([]ff.Element, n)
+		return make([]T, n)
 	}
-	if v := scratchPools[k].Get(); v != nil {
-		buf := *(v.(*[]ff.Element))
+	if v := a.pools[k].Get(); v != nil {
+		buf := *(v.(*[]T))
 		return buf[:n]
 	}
-	return make([]ff.Element, n, 1<<k)
+	return make([]T, n, 1<<k)
 }
 
-// PutScratch returns a buffer obtained from GetScratch to the arena. It is
-// safe (a no-op) to pass buffers from other sources with non-power-of-two
-// capacity, and safe to pass nil.
-func PutScratch(buf []ff.Element) {
+// Put returns a buffer obtained from Get to the arena. It is safe (a no-op)
+// to pass buffers from other sources with non-power-of-two capacity, and
+// safe to pass nil.
+func (a *Arena[T]) Put(buf []T) {
 	c := cap(buf)
 	if c == 0 || c&(c-1) != 0 {
 		return
@@ -255,5 +263,16 @@ func PutScratch(buf []ff.Element) {
 		return
 	}
 	full := buf[:c]
-	scratchPools[k].Put(&full)
+	a.pools[k].Put(&full)
 }
+
+// scratchArena backs GetScratch/PutScratch, the field-element instance every
+// MLE/SumCheck/PCS kernel shares.
+var scratchArena Arena[ff.Element]
+
+// GetScratch returns a []ff.Element of length n from the shared arena. The
+// contents are arbitrary (not zeroed) — callers overwrite before reading.
+func GetScratch(n int) []ff.Element { return scratchArena.Get(n) }
+
+// PutScratch returns a buffer obtained from GetScratch to the arena.
+func PutScratch(buf []ff.Element) { scratchArena.Put(buf) }

@@ -113,3 +113,40 @@ func TestScratchArena(t *testing.T) {
 	PutScratch(nil)                     // must not panic
 	PutScratch(make([]ff.Element, 100)) // non-power-of-two cap: no-op
 }
+
+// TestGenericArena covers the typed Arena the curve layer instantiates for
+// points, digits, and occupancy maps: round-trip reuse, capacity classes,
+// and the degenerate inputs.
+func TestGenericArena(t *testing.T) {
+	var a Arena[[3]uint64]
+	buf := a.Get(100)
+	if len(buf) != 100 || cap(buf) != 128 {
+		t.Fatalf("len/cap = %d/%d, want 100/128", len(buf), cap(buf))
+	}
+	buf[0] = [3]uint64{1, 2, 3}
+	a.Put(buf)
+	again := a.Get(128)
+	if cap(again) != 128 {
+		t.Fatalf("recycled cap = %d", cap(again))
+	}
+	if got := a.Get(0); got != nil {
+		t.Fatalf("Get(0) = %v, want nil", got)
+	}
+	a.Put(nil)                    // must not panic
+	a.Put(make([][3]uint64, 100)) // non-power-of-two cap: no-op
+
+	var bools Arena[bool]
+	flags := bools.Get(10)
+	for i := range flags {
+		flags[i] = true
+	}
+	bools.Put(flags)
+	flags = bools.Get(10)
+	// Contents are arbitrary after a round trip; clear must make them usable.
+	clear(flags)
+	for i, f := range flags {
+		if f {
+			t.Fatalf("flag %d still set after clear", i)
+		}
+	}
+}

@@ -23,9 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"zkphire/internal/curve"
 	"zkphire/internal/ff"
+	"zkphire/internal/fp"
 	"zkphire/internal/mle"
 	"zkphire/internal/parallel"
 )
@@ -41,6 +43,45 @@ type SRS struct {
 	Tau []ff.Element
 	// G is the group generator.
 	G curve.G1Affine
+
+	// endo lazily caches, per level, the GLV φ-table of the commitment
+	// basis (x-coordinates only — φ(P) = (βx, y) shares y with P, see
+	// curve.EndoPoints). Every MSM in CommitWorkers/OpenWorkers runs
+	// against it, so βx is computed once per SRS level, not once per call;
+	// sessions and the serving layer share the SRS and therefore the
+	// tables.
+	endoMu sync.Mutex
+	endo   [][]fp.Element
+}
+
+// EndoPoints returns the φ-table for the k-variable commitment basis,
+// building and caching it on first use (single-flight under a mutex; the
+// build itself runs on the given worker budget). The returned slice is
+// shared and must be treated as read-only.
+func (s *SRS) EndoPoints(k, workers int) []fp.Element {
+	s.endoMu.Lock()
+	defer s.endoMu.Unlock()
+	if s.endo == nil {
+		s.endo = make([][]fp.Element, len(s.Levels))
+	}
+	if s.endo[k] == nil {
+		s.endo[k] = curve.EndoPointsWorkers(s.Levels[k], workers)
+	}
+	return s.endo[k]
+}
+
+// WarmEndo builds and returns the φ-tables for every level up to maxLevel.
+// Preprocessing calls it so a session's first Prove never pays the lazy
+// build; the returned set is the one stored in the preprocessed key.
+func (s *SRS) WarmEndo(maxLevel, workers int) [][]fp.Element {
+	if maxLevel > s.MaxVars {
+		maxLevel = s.MaxVars
+	}
+	out := make([][]fp.Element, maxLevel+1)
+	for k := 0; k <= maxLevel; k++ {
+		out[k] = s.EndoPoints(k, workers)
+	}
+	return out
 }
 
 // Commitment is a hiding-free binding commitment to an MLE.
@@ -78,7 +119,10 @@ func SetupDeterministic(maxVars int, seed int64) *SRS {
 
 func setupWithTau(maxVars int, tau []ff.Element) *SRS {
 	g := curve.Generator()
-	fb := curve.NewFixedBaseTable(g, 8)
+	// One fixed-base table serves every level; its window is sized for the
+	// Σ_k 2^k ≈ 2^{maxVars+1} scalar multiplications below, and MulMany
+	// fans the per-scalar work over the machine.
+	fb := curve.NewFixedBaseTableSized(g, 2<<uint(maxVars))
 	srs := &SRS{MaxVars: maxVars, Tau: tau, G: g, Levels: make([][]curve.G1Affine, maxVars+1)}
 	for k := 0; k <= maxVars; k++ {
 		suffix := tau[maxVars-k:]
@@ -106,12 +150,13 @@ func (s *SRS) CommitWorkers(t *mle.Table, workers int) (Commitment, error) {
 		return Commitment{}, fmt.Errorf("pcs: table has %d vars, SRS supports %d", k, s.MaxVars)
 	}
 	basis := s.Levels[k]
+	endoX := s.EndoPoints(k, workers)
 	sp := t.AnalyzeSparsityWorkers(workers)
 	var acc curve.G1Jac
 	if sp.DenseFraction() < 0.5 {
-		acc = curve.SparseMSMWorkers(basis, t.Evals, workers)
+		acc = curve.SparseMSMEndoWorkers(basis, endoX, t.Evals, workers)
 	} else {
-		acc = curve.MSMWorkers(basis, t.Evals, workers)
+		acc = curve.MSMEndoWorkers(basis, endoX, t.Evals, workers)
 	}
 	var aff curve.G1Affine
 	aff.FromJacobian(&acc)
@@ -161,7 +206,7 @@ func (s *SRS) OpenWorkers(t *mle.Table, z []ff.Element, workers int) (ff.Element
 				q[j].Sub(&evals[2*j+1], &evals[2*j])
 			}
 		})
-		acc := curve.MSMWorkers(s.Levels[k-i-1], q, workers)
+		acc := curve.MSMEndoWorkers(s.Levels[k-i-1], s.EndoPoints(k-i-1, workers), q, workers)
 		proof.Qs[i].FromJacobian(&acc)
 		cur.FoldWorkers(&z[i], workers)
 	}

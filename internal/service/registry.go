@@ -34,10 +34,13 @@ type flight struct {
 
 // Registry caches proving sessions by circuit content hash. It compiles
 // nothing itself — callers hand it compiled circuits — but it owns the
-// expensive step: preprocessing (selector + sigma commitments) runs at
-// most once per circuit, single-flighted across concurrent requests, and
-// the resulting sessions live in an LRU of fixed capacity so a long-running
-// service with heterogeneous circuits holds memory steady.
+// expensive step: preprocessing (selector + sigma commitments, plus warming
+// the SRS GLV φ-tables the endomorphism MSMs run against) runs at most once
+// per circuit, single-flighted across concurrent requests, and the
+// resulting sessions live in an LRU of fixed capacity so a long-running
+// service with heterogeneous circuits holds memory steady. The φ-tables
+// live on the server's shared SRS, so they survive even LRU eviction and
+// amortize across every circuit at the same size.
 type Registry struct {
 	srs     *zkphire.SRS
 	budget  *parallel.Budget

@@ -66,6 +66,50 @@ func TestProofBytesIdenticalAcrossWorkerBudgets(t *testing.T) {
 	}
 }
 
+// TestProofBytesIdenticalAcrossEndoCache extends the determinism criterion
+// to the GLV path's session state: a proof from a prover whose SRS has a
+// cold φ-table cache (fresh SetupDeterministic) must be byte-identical to
+// one from a warm, session-cached SRS — the endomorphism tables are pure
+// precomputation and must never influence proof bytes.
+func TestProofBytesIdenticalAcrossEndoCache(t *testing.T) {
+	ctx := context.Background()
+	b := NewBuilder(Vanilla)
+	buildWide(b)
+	compiled, err := Compile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reference []byte
+	// Two independently built SRSs from the same seed: the first proves
+	// twice (cold then warm cache), the second proves once (its own cold
+	// cache). All three proofs must serialize identically.
+	warmSRS := SetupDeterministic(12, 6)
+	coldSRS := SetupDeterministic(12, 6)
+	prove := func(srs *SRS, workers int) []byte {
+		prover, err := NewProver(srs, compiled, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := prover.Prove(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := proof.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	reference = prove(warmSRS, 1)
+	if got := prove(warmSRS, 2); !bytes.Equal(reference, got) {
+		t.Fatal("warm-cache proof bytes differ from cold-cache reference")
+	}
+	if got := prove(coldSRS, runtime.GOMAXPROCS(0)); !bytes.Equal(reference, got) {
+		t.Fatal("independent-SRS proof bytes differ from reference")
+	}
+}
+
 // TestBatchProveRaceAcrossBudgets exercises concurrent proofs that each use
 // internal parallelism — the combination the race detector must clear.
 func TestBatchProveRaceAcrossBudgets(t *testing.T) {

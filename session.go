@@ -119,6 +119,12 @@ type Prover struct {
 // NewProver preprocesses the compiled circuit against the SRS and returns a
 // session that can prove it any number of times. The WithWorkers budget (if
 // set) also caps the preprocessing commitments.
+//
+// Preprocessing also warms the SRS's GLV φ-tables (the βx coordinates every
+// endomorphism-accelerated MSM runs against) and pins them in the
+// preprocessed key, so Prove and BatchProve never pay that build; provers
+// sharing one SRS — and the serving layer's session cache — share the
+// tables.
 func NewProver(srs *SRS, compiled *CompiledCircuit, opts ...ProverOption) (*Prover, error) {
 	if compiled == nil || compiled.circ == nil {
 		return nil, fmt.Errorf("zkphire: nil compiled circuit")
