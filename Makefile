@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-msm fmt vet docs
+.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck fmt vet docs
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkMLEFold/2\^16|BenchmarkMLEEvaluate/2\^16|BenchmarkCurveMSM/2\^16|BenchmarkProveSession' -benchtime=1x .
 	$(GO) run ./cmd/benchjson -quick -o /tmp/bench_smoke.json
 	$(GO) run ./cmd/benchjson -quick -msm -o /tmp/bench_smoke_msm.json
+	$(GO) run ./cmd/benchjson -quick -sumcheck -o /tmp/bench_smoke_sumcheck.json
 
 # Full kernel measurement at the sizes the bench trajectory tracks
 # (2^16–2^20 MSMs; end-to-end Prove at logGates=16). Takes minutes.
@@ -41,3 +42,9 @@ bench-json:
 # by a 3-series run.
 bench-msm:
 	$(GO) run ./cmd/benchjson -msm -o BENCH_pr4_msm.json
+
+# The scalar-field (SumCheck fast path) record alone: per-round scan at
+# 2^16–2^20, eq-factorized ZeroCheck, perm.Build, mle.Evaluate, and the
+# end-to-end Prove, against the PR 4 serial baselines. Minutes.
+bench-sumcheck:
+	$(GO) run ./cmd/benchjson -sumcheck -o BENCH_pr5.json

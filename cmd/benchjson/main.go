@@ -1,18 +1,20 @@
 // Command benchjson measures the prover stack's key kernels — mle.Fold,
-// mle.Evaluate, perm.Build, curve.MSM, pcs.Commit, and the end-to-end
-// session Prove — with testing.Benchmark and writes the results as a JSON
-// record, continuing the repo's bench trajectory (BENCH_pr2.json →
-// BENCH_pr4.json).
+// mle.Evaluate, perm.Build, curve.MSM, pcs.Commit, the SumCheck scan, and
+// the end-to-end session Prove — with testing.Benchmark and writes the
+// results as a JSON record, continuing the repo's bench trajectory
+// (BENCH_pr2.json → BENCH_pr4.json → BENCH_pr5.json).
 //
 // Each kernel runs at worker budgets 1 and GOMAXPROCS through the shared
-// internal/parallel engine. Entries carry the pre-GLV serial numbers
-// recorded in BENCH_pr2.json on the same runner as baseline_ns_per_op, so
-// the record is a before/after of the endomorphism + signed-digit MSM work
-// (and of everything riding on it, pcs.Commit and Prove included).
+// internal/parallel engine. Entries carry the previous generation's serial
+// numbers on the same runner as baseline_ns_per_op: the default record
+// compares against BENCH_pr2.json (the pre-GLV state), and the -sumcheck
+// record compares against the PR 4 numbers (the pre-fast-path scalar-field
+// state).
 //
-//	go run ./cmd/benchjson -o BENCH_pr4.json        # full sizes (minutes)
-//	go run ./cmd/benchjson -msm -o BENCH_pr4.json   # MSM 2^16–2^20 only
-//	go run ./cmd/benchjson -quick -o /tmp/b.json    # CI smoke (seconds)
+//	go run ./cmd/benchjson -o BENCH_pr4.json           # full sizes (minutes)
+//	go run ./cmd/benchjson -msm -o BENCH_pr4.json      # MSM 2^16–2^20 only
+//	go run ./cmd/benchjson -sumcheck -o BENCH_pr5.json # scalar-field record
+//	go run ./cmd/benchjson -quick -o /tmp/b.json       # CI smoke (seconds)
 package main
 
 import (
@@ -32,6 +34,9 @@ import (
 	"zkphire/internal/mle"
 	"zkphire/internal/pcs"
 	"zkphire/internal/perm"
+	"zkphire/internal/poly"
+	"zkphire/internal/sumcheck"
+	"zkphire/internal/transcript"
 )
 
 type kernelResult struct {
@@ -74,11 +79,29 @@ var pr2Baselines = map[string]int64{
 	"session.Prove/logGates=16": 11_726_530_498,
 }
 
+// pr4Baselines holds the PR 4 serial timings (ns/op) on this runner — the
+// state of each scalar-field kernel before the SumCheck fast path (looped
+// CIOS ff.Mul, tree-walk composite evaluation, appended-eq ZeroCheck, full
+// d+1-point round scan). The sumcheck.Round and sumcheck.ProveZero numbers
+// were measured at commit a014b1b with a one-off round benchmark; the rest
+// are the serial rows of BENCH_pr4.json.
+var pr4Baselines = map[string]int64{
+	"sumcheck.Round/vanilla/2^16":     129_349_090,
+	"sumcheck.Round/vanilla/2^18":     526_742_290,
+	"sumcheck.Round/vanilla/2^20":     2_128_936_856,
+	"sumcheck.ProveZero/vanilla/2^16": 326_743_222,
+	"sumcheck.ProveZero/vanilla/2^18": 1_276_260_789,
+	"perm.Build/2^16/k=3":             61_203_560,
+	"mle.Evaluate/2^16":               4_840_794,
+	"session.Prove/logGates=16":       6_787_008_120,
+}
+
 func main() {
 	out := flag.String("o", "BENCH_pr4.json", "output path")
 	quick := flag.Bool("quick", false, "small sizes for a CI smoke pass")
 	sessions := flag.Bool("sessions", false, "only the PR 3 cold- vs cached-session prove benchmarks")
 	msmOnly := flag.Bool("msm", false, "only the curve.MSM series (the GLV before/after record)")
+	sumcheckOnly := flag.Bool("sumcheck", false, "the PR 5 scalar-field record: per-round SumCheck scan, eq-factorized ZeroCheck, perm.Build, mle.Evaluate, and end-to-end Prove against the PR 4 baselines")
 	flag.Parse()
 
 	rec := &record{
@@ -101,6 +124,13 @@ func main() {
 		budgets = append(budgets, runtime.GOMAXPROCS(0))
 	}
 
+	// Baselines only annotate full-size runs; quick-mode numbers are smoke
+	// signals at smaller sizes and would produce nonsense speedups.
+	pr2IfFull := pr2Baselines
+	if *quick {
+		pr2IfFull = nil
+	}
+
 	if *sessions {
 		// The sessions record is the PR 3 trajectory file: don't clobber
 		// the default kernel record unless the caller explicitly asked to.
@@ -117,6 +147,26 @@ func main() {
 			sessionLg = 8
 		}
 		benchSessions(rec, sessionLg, budgets)
+		writeRecord(rec, *out)
+		return
+	}
+
+	if *sumcheckOnly {
+		// The scalar-field record is the PR 5 trajectory file: don't clobber
+		// the committed PR 4 kernel record unless explicitly asked to (same
+		// guard as -sessions and -msm above).
+		if *out == "BENCH_pr4.json" {
+			*out = "BENCH_pr5.json"
+		}
+		rec.PR = 5
+		rec.Note = "PR 5 scalar-field record: baseline_ns_per_op is the PR 4 " +
+			"serial number on this runner (looped CIOS ff.Mul, tree-walk " +
+			"composite evaluation, appended-eq ZeroCheck, d+1-point round " +
+			"scan); speedup_vs_baseline is therefore the SumCheck fast-path " +
+			"win — unrolled field arithmetic, compiled straight-line " +
+			"evaluation, compressed-point scan, eq factorization, and the " +
+			"lazy-reduction vector kernels together."
+		benchSumcheck(rec, budgets, *quick)
 		writeRecord(rec, *out)
 		return
 	}
@@ -149,7 +199,7 @@ func main() {
 						curve.MSMWorkers(points[:n], scalars, w)
 					}
 				})
-				add(rec, fmt.Sprintf("curve.MSM/2^%d", lg), w, res, !*quick)
+				add(rec, fmt.Sprintf("curve.MSM/2^%d", lg), w, res, pr2IfFull)
 			}
 		}
 		writeRecord(rec, *out)
@@ -173,7 +223,7 @@ func main() {
 					tab.FoldWorkers(&r, w)
 				}
 			})
-			add(rec, fmt.Sprintf("mle.Fold/2^%d", foldLg), w, res, !*quick)
+			add(rec, fmt.Sprintf("mle.Fold/2^%d", foldLg), w, res, pr2IfFull)
 		}
 	}
 
@@ -189,7 +239,7 @@ func main() {
 					tab.EvaluateWorkers(point, w)
 				}
 			})
-			add(rec, fmt.Sprintf("mle.Evaluate/2^%d", evalLg), w, res, !*quick)
+			add(rec, fmt.Sprintf("mle.Evaluate/2^%d", evalLg), w, res, pr2IfFull)
 		}
 	}
 
@@ -210,7 +260,7 @@ func main() {
 					perm.BuildWorkers(wires, sigma, beta, gamma, w)
 				}
 			})
-			add(rec, fmt.Sprintf("perm.Build/2^%d/k=3", permLg), w, res, !*quick)
+			add(rec, fmt.Sprintf("perm.Build/2^%d/k=3", permLg), w, res, pr2IfFull)
 		}
 	}
 
@@ -233,7 +283,7 @@ func main() {
 					curve.MSMWorkers(points[:n], scalars, w)
 				}
 			})
-			add(rec, fmt.Sprintf("curve.MSM/2^%d", lg), w, res, !*quick)
+			add(rec, fmt.Sprintf("curve.MSM/2^%d", lg), w, res, pr2IfFull)
 		}
 	}
 	{
@@ -250,7 +300,7 @@ func main() {
 					}
 				}
 			})
-			add(rec, fmt.Sprintf("pcs.Commit/dense/2^%d", commitLg), w, res, !*quick)
+			add(rec, fmt.Sprintf("pcs.Commit/dense/2^%d", commitLg), w, res, pr2IfFull)
 		}
 	}
 
@@ -291,11 +341,180 @@ func main() {
 					}
 				}
 			})
-			add(rec, fmt.Sprintf("session.Prove/logGates=%d", proveLg), w, res, !*quick)
+			add(rec, fmt.Sprintf("session.Prove/logGates=%d", proveLg), w, res, pr2IfFull)
 		}
 	}
 
 	writeRecord(rec, *out)
+}
+
+// buildRoleTables materializes constituent tables matching the composite's
+// roles (selectors 0/1, witnesses sparse, eq a proper eq table, dense
+// random), mirroring the SumCheck test harness so the record measures the
+// same value distributions the protocol sees.
+func buildRoleTables(c *poly.Composite, numVars int, rng *ff.Rand) []*mle.Table {
+	n := 1 << uint(numVars)
+	tables := make([]*mle.Table, c.NumVars())
+	for i := range tables {
+		switch c.Roles[i] {
+		case poly.RoleSelector:
+			evals := make([]ff.Element, n)
+			for j := range evals {
+				if rng.Intn(2) == 1 {
+					evals[j] = ff.One()
+				}
+			}
+			tables[i] = mle.FromEvals(evals)
+		case poly.RoleWitness:
+			tables[i] = mle.FromEvals(rng.SparseElements(n, 0.1))
+		case poly.RoleEq:
+			tables[i] = mle.Eq(rng.Elements(numVars))
+		default:
+			tables[i] = mle.FromEvals(rng.Elements(n))
+		}
+	}
+	return tables
+}
+
+// benchSumcheck measures the scalar-field side of the prover: the
+// compressed round-polynomial scan (on the appended-eq assignment shape the
+// PR 4 baseline was captured on), the full eq-factorized ZeroCheck prover,
+// perm.Build, mle.Evaluate, and the end-to-end session Prove.
+func benchSumcheck(rec *record, budgets []int, quick bool) {
+	roundLgs, proveLgs := []int{16, 18, 20}, []int{16, 18}
+	permLg, evalLg, e2eLg := 16, 16, 16
+	if quick {
+		roundLgs, proveLgs = []int{12}, []int{12}
+		permLg, evalLg, e2eLg = 12, 12, 8
+	}
+	gate := poly.VanillaGate()
+
+	// sumcheck.Round: one compressed round polynomial over the wrapped
+	// (gate × eq) assignment — the dominant per-round kernel.
+	for _, lg := range roundLgs {
+		rng := ff.NewRand(1)
+		tabs := buildRoleTables(gate, lg, rng)
+		base, err := sumcheck.NewAssignment(gate, tabs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tau := rng.Elements(lg)
+		wrapped, _ := sumcheck.BuildZeroCheckAssignment(base, tau, 0)
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sumcheck.RoundPolynomial(wrapped, w)
+				}
+			})
+			add(rec, fmt.Sprintf("sumcheck.Round/vanilla/2^%d", lg), w, res, pr4Baselines)
+		}
+	}
+
+	// sumcheck.ProveZero: the full eq-factorized ZeroCheck prover, all µ
+	// rounds including folds and transcript traffic.
+	for _, lg := range proveLgs {
+		rng := ff.NewRand(1)
+		tabs := buildRoleTables(gate, lg, rng)
+		base, err := sumcheck.NewAssignment(gate, tabs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tr := transcript.New("bench")
+					if _, _, err := sumcheck.ProveZero(tr, base, sumcheck.Config{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			add(rec, fmt.Sprintf("sumcheck.ProveZero/vanilla/2^%d", lg), w, res, pr4Baselines)
+		}
+	}
+
+	// perm.Build rides along: its table build and batched inversion now run
+	// on the fused and scratch-backed kernels.
+	{
+		rng := ff.NewRand(71)
+		k := 3
+		wires := make([]*mle.Table, k)
+		for j := range wires {
+			wires[j] = mle.FromEvals(rng.Elements(1 << permLg))
+		}
+		sigma := perm.SigmaTables(perm.Identity(k, 1<<permLg), permLg)
+		beta, gamma := rng.Element(), rng.Element()
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					perm.BuildWorkers(wires, sigma, beta, gamma, w)
+				}
+			})
+			add(rec, fmt.Sprintf("perm.Build/2^%d/k=3", permLg), w, res, pr4Baselines)
+		}
+	}
+
+	// mle.Evaluate: now zero-alloc on the serial path.
+	{
+		rng := ff.NewRand(71)
+		tab := mle.FromEvals(rng.Elements(1 << evalLg))
+		point := rng.Elements(evalLg)
+		for _, w := range budgets {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tab.EvaluateWorkers(point, w)
+				}
+			})
+			add(rec, fmt.Sprintf("mle.Evaluate/2^%d", evalLg), w, res, pr4Baselines)
+		}
+	}
+
+	// End-to-end session Prove: everything between the circuit tables and
+	// the transcript now runs on the fast paths.
+	{
+		log.Printf("setting up SRS for logGates=%d (one-time)", e2eLg)
+		srs := zkphire.SetupDeterministic(e2eLg+1, 42)
+		cb := zkphire.NewCircuitBuilder()
+		x := cb.Secret(3)
+		acc := x
+		gateTarget := 40000
+		if quick {
+			gateTarget = (1 << e2eLg) * 3 / 5
+		}
+		for i := 0; i < gateTarget; i++ {
+			if i%2 == 0 {
+				acc = cb.Mul(acc, x)
+			} else {
+				acc = cb.Add(acc, x)
+			}
+		}
+		compiled, err := zkphire.Compile(cb, zkphire.WithLogGates(e2eLg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, w := range budgets {
+			prover, err := zkphire.NewProver(srs, compiled, zkphire.WithWorkers(w))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := prover.Prove(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			add(rec, fmt.Sprintf("session.Prove/logGates=%d", e2eLg), w, res, pr4Baselines)
+		}
+	}
 }
 
 // benchSessions measures what the serving layer's session cache buys: the
@@ -331,7 +550,7 @@ func benchSessions(rec *record, lg int, budgets []int) {
 				}
 			}
 		})
-		add(rec, fmt.Sprintf("session.ProveCold/logGates=%d", lg), w, res, false)
+		add(rec, fmt.Sprintf("session.ProveCold/logGates=%d", lg), w, res, nil)
 	}
 	for _, w := range budgets {
 		w := w
@@ -347,7 +566,7 @@ func benchSessions(rec *record, lg int, budgets []int) {
 				}
 			}
 		})
-		add(rec, fmt.Sprintf("session.ProveCached/logGates=%d", lg), w, res, false)
+		add(rec, fmt.Sprintf("session.ProveCached/logGates=%d", lg), w, res, nil)
 	}
 	// The component the cache amortizes, on its own: selector + sigma
 	// commitments (8 tables for Vanilla).
@@ -361,7 +580,7 @@ func benchSessions(rec *record, lg int, budgets []int) {
 				}
 			}
 		})
-		add(rec, fmt.Sprintf("session.Preprocess/logGates=%d", lg), w, res, false)
+		add(rec, fmt.Sprintf("session.Preprocess/logGates=%d", lg), w, res, nil)
 	}
 }
 
@@ -378,7 +597,7 @@ func writeRecord(rec *record, path string) {
 	log.Printf("wrote %s (%d kernel rows)", path, len(rec.Kernels))
 }
 
-func add(rec *record, name string, workers int, res testing.BenchmarkResult, withBaseline bool) {
+func add(rec *record, name string, workers int, res testing.BenchmarkResult, baselines map[string]int64) {
 	kr := kernelResult{
 		Name:        name,
 		Workers:     workers,
@@ -386,12 +605,10 @@ func add(rec *record, name string, workers int, res testing.BenchmarkResult, wit
 		AllocsPerOp: res.AllocsPerOp(),
 		BytesPerOp:  res.AllocedBytesPerOp(),
 	}
-	if withBaseline {
-		if base, ok := pr2Baselines[name]; ok {
-			kr.BaselineNsPerOp = base
-			if kr.NsPerOp > 0 {
-				kr.Speedup = float64(base) / float64(kr.NsPerOp)
-			}
+	if base, ok := baselines[name]; ok && workers == 1 {
+		kr.BaselineNsPerOp = base
+		if kr.NsPerOp > 0 {
+			kr.Speedup = float64(base) / float64(kr.NsPerOp)
 		}
 	}
 	rec.Kernels = append(rec.Kernels, kr)

@@ -38,10 +38,16 @@ var (
 // pendOp is a deferred bucket addition: an add that found its bucket already
 // in the batch-affine queue parks here (with its sign-adjusted coordinates)
 // until the next flush empties the queue, so a collision never forces an
-// early flush of a short batch.
+// early flush of a short batch. During a drain round two parked additions
+// aimed at the same bucket are PAIR-MERGED — summed with each other through
+// the same shared batch inversion, since P₁+P₂ needs no bucket state — so a
+// cluster of k same-bucket additions tree-reduces in ⌈log₂k⌉ rounds instead
+// of limping through one per round. dead marks an entry annihilated by a
+// P + (−P) merge.
 type pendOp struct {
 	x, y fp.Element
 	b    int32
+	dead bool
 }
 
 // glvSplit is one scalar's GLV decomposition: the two half-width magnitudes
@@ -245,48 +251,68 @@ func bucketSumGLV(points []G1Affine, endoX []fp.Element, splits []glvSplit, wi, 
 	defer boolArena.Put(inQueue)
 
 	const maxBatch = 4096
-	opBucket := int32Arena.Get(maxBatch)
-	opX := fpArena.Get(maxBatch)   // addend x (needed for x3)
-	opNum := fpArena.Get(maxBatch) // slope numerator
-	opDen := fpArena.Get(maxBatch) // slope denominator → batch inverted
+	opBucket := int32Arena.Get(maxBatch) // dst: bucket b, or pend slot −s−1 for pair merges
+	opX := fpArena.Get(maxBatch)         // addend x₂ (needed for x3)
+	opX1 := fpArena.Get(maxBatch)        // pair merges: first operand x₁
+	opY1 := fpArena.Get(maxBatch)        // pair merges: first operand y₁
+	opNum := fpArena.Get(maxBatch)       // slope numerator
+	opDen := fpArena.Get(maxBatch)       // slope denominator → batch inverted
 	invScratch := fpArena.Get(maxBatch)
 	defer int32Arena.Put(opBucket)
 	defer fpArena.Put(opX)
+	defer fpArena.Put(opX1)
+	defer fpArena.Put(opY1)
 	defer fpArena.Put(opNum)
 	defer fpArena.Put(opDen)
 	defer fpArena.Put(invScratch)
 	m := 0
 
+	pend := pendArena.Get(maxBatch)
+	nPend := 0
+
 	flush := func() {
 		batchInvertFpScratch(opDen[:m], invScratch)
 		var lambda, t, x3, y3 fp.Element
 		for i := 0; i < m; i++ {
-			bk := &buckets[opBucket[i]]
 			lambda.Mul(&opNum[i], &opDen[i])
 			x3.Square(&lambda)
-			x3.Sub(&x3, &bk.X)
-			x3.Sub(&x3, &opX[i])
-			t.Sub(&bk.X, &x3)
-			y3.Mul(&lambda, &t)
-			y3.Sub(&y3, &bk.Y)
-			bk.X, bk.Y = x3, y3
-			inQueue[opBucket[i]] = false
+			if b := opBucket[i]; b >= 0 {
+				bk := &buckets[b]
+				x3.Sub(&x3, &bk.X)
+				x3.Sub(&x3, &opX[i])
+				t.Sub(&bk.X, &x3)
+				y3.Mul(&lambda, &t)
+				y3.Sub(&y3, &bk.Y)
+				bk.X, bk.Y = x3, y3
+				inQueue[b] = false
+			} else {
+				// Pair merge: the sum of two parked same-bucket additions
+				// lands back in the first operand's pend slot.
+				dst := &pend[-b-1]
+				x3.Sub(&x3, &opX1[i])
+				x3.Sub(&x3, &opX[i])
+				t.Sub(&opX1[i], &x3)
+				y3.Mul(&lambda, &t)
+				y3.Sub(&y3, &opY1[i])
+				dst.x, dst.y = x3, y3
+			}
 		}
 		m = 0
 	}
 
-	// minAmortize is the queue length below which a conflicting addition is
-	// not worth deferring: a near-empty queue right after a flush means the
-	// window is degenerate (buckets ≪ batch, or adversarially repeated
-	// points), and those additions go through a lazily-allocated Jacobian
-	// overflow bucket instead. Healthy queues defer conflicts to `pend` so
-	// the batch inversion always amortizes over a full maxBatch — with 2^15
-	// buckets the first collision lands at ~√(2·2^15) ≈ 250 queued adds, so
-	// flushing on conflict would amortize the field inversion 16× worse.
+	// minAmortize is the batch size below which a flush wastes the shared
+	// field inversion; the drain loop's degenerate guard below dumps what is
+	// left into Jacobian overflow buckets rather than flushing nearly-empty
+	// batches. Conflicting additions themselves ALWAYS defer to `pend`: the
+	// earlier scheme sent every conflict that arrived while the batch was
+	// short through full Jacobian arithmetic, and because the signed-digit
+	// bucket count (2^(c−1)) no longer exceeds maxBatch, queue occupancy —
+	// and with it the conflict rate — is high at every window width; the
+	// profile showed ~25% of all bucket additions taking that slow path.
+	// Pair-merging in the drain loop handles the conflicts at amortized
+	// batch-affine cost instead.
 	const minAmortize = 192
 	var jacOverflow []G1Jac
-	pend := pendArena.Get(maxBatch)
-	nPend := 0
 
 	// enqueue adds ±(px, py) to bucket b; py is already sign-adjusted by the
 	// caller. px/py may point into pend[nPend] itself during a drain — the
@@ -301,20 +327,8 @@ func bucketSumGLV(points []G1Affine, endoX []fp.Element, splits []glvSplit, wi, 
 			return
 		}
 		if inQueue[b] {
-			if m >= minAmortize {
-				pend[nPend] = pendOp{x: *px, y: *py, b: b}
-				nPend++
-				return
-			}
-			if jacOverflow == nil {
-				jacOverflow = jacArena.Get(numBuckets)
-				for i := range jacOverflow {
-					jacOverflow[i].SetInfinity()
-				}
-			}
-			var aff G1Affine
-			aff.X, aff.Y = *px, *py
-			jacOverflow[b].AddMixed(&aff)
+			pend[nPend] = pendOp{x: *px, y: *py, b: b}
+			nPend++
 			return
 		}
 		bk := &buckets[b]
@@ -352,17 +366,101 @@ func bucketSumGLV(points []G1Affine, endoX []fp.Element, splits []glvSplit, wi, 
 		}
 	}
 
-	// drainLoop flushes the queue and re-runs the deferred adds until none
-	// remain parked. Two deferred adds to one bucket can re-conflict and
-	// re-park, but every round lands at least one (the queue is empty right
-	// after a flush), so the loop terminates.
+	// pairMerge queues e + pend[h] (two parked additions for the same
+	// bucket) as an independent batch-affine addition whose result replaces
+	// pend[h]. The caller clears head[b] so nothing pairs with the in-flight
+	// slot before the next flush finalizes it.
+	pairMerge := func(h int32, e *pendOp) {
+		e1 := &pend[h]
+		var num, den fp.Element
+		if e1.x.Equal(&e.x) {
+			if !e1.y.Equal(&e.y) {
+				// P + (−P): both entries annihilate.
+				e1.dead = true
+				return
+			}
+			den.Double(&e1.y)
+			if den.IsZero() {
+				e1.dead = true
+				return
+			}
+			num.Square(&e1.x)
+			var twoX2 fp.Element
+			twoX2.Double(&num)
+			num.Add(&num, &twoX2)
+		} else {
+			num.Sub(&e.y, &e1.y)
+			den.Sub(&e.x, &e1.x)
+		}
+		opBucket[m] = -h - 1
+		opX[m] = e.x
+		opX1[m] = e1.x
+		opY1[m] = e1.y
+		opNum[m] = num
+		opDen[m] = den
+		m++
+		if m == maxBatch {
+			flush()
+		}
+	}
+
+	// head[b] is the slot of the one parked-and-not-in-flight entry for
+	// bucket b in the current drain round, or −1.
+	head := int32Arena.Get(numBuckets)
+	defer int32Arena.Put(head)
+
+	// drainLoop re-runs the deferred adds until none remain parked. Each
+	// round: entries whose bucket is free enter the batch; the first still-
+	// conflicting entry per bucket stays parked; every further entry for
+	// that bucket pair-merges with the parked one. A k-deep cluster thus
+	// tree-reduces in ⌈log₂k⌉ rounds at batch-affine cost. Every round
+	// consumes at least one entry (the queue is empty right after a flush),
+	// so the loop terminates; if a round still cannot assemble a batch worth
+	// inverting, the remnant is genuinely degenerate and goes through the
+	// Jacobian overflow buckets.
 	drainLoop := func() {
 		for nPend > 0 {
 			flush()
+			for i := range head[:numBuckets] {
+				head[i] = -1
+			}
 			cnt := nPend
 			nPend = 0
 			for i := 0; i < cnt; i++ {
-				enqueue(pend[i].b, &pend[i].x, &pend[i].y)
+				e := pend[i]
+				if e.dead {
+					continue
+				}
+				if !inQueue[e.b] {
+					enqueue(e.b, &e.x, &e.y)
+					continue
+				}
+				if h := head[e.b]; h >= 0 {
+					pairMerge(h, &e)
+					head[e.b] = -1
+					continue
+				}
+				pend[nPend] = e
+				head[e.b] = int32(nPend)
+				nPend++
+			}
+			if nPend > 0 && nPend < minAmortize && m < minAmortize {
+				if jacOverflow == nil {
+					jacOverflow = jacArena.Get(numBuckets)
+					for i := range jacOverflow {
+						jacOverflow[i].SetInfinity()
+					}
+				}
+				flush() // finalize in-flight pair merges before reading pend
+				var aff G1Affine
+				for i := 0; i < nPend; i++ {
+					if pend[i].dead {
+						continue
+					}
+					aff.X, aff.Y = pend[i].x, pend[i].y
+					jacOverflow[pend[i].b].AddMixed(&aff)
+				}
+				nPend = 0
 			}
 		}
 	}

@@ -41,6 +41,19 @@ var q = Element{
 // Modulus string in hex, the single trusted constant.
 const modulusHex = "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
 
+// Modulus limbs and the Montgomery constant as untyped constants so the
+// unrolled Mul/Square/Add/Sub/Neg below fold them into immediates instead of
+// burning four registers; init cross-checks them against modulusHex (the
+// single trusted literal) and panics on mismatch.
+const (
+	qc0 = 0xffffffff00000001
+	qc1 = 0x53bda402fffe5bfe
+	qc2 = 0x3339d80809a1d805
+	qc3 = 0x73eda753299d7d48
+	// qInvNegC = -q^{-1} mod 2^64.
+	qInvNegC = 0xfffffffeffffffff
+)
+
 var (
 	qBig *big.Int // modulus
 	// qInvNeg = -q^{-1} mod 2^64
@@ -71,6 +84,10 @@ func init() {
 		inv *= 2 - q[0]*inv
 	}
 	qInvNeg = -inv
+
+	if q != (Element{qc0, qc1, qc2, qc3}) || qInvNeg != qInvNegC {
+		panic("ff: unrolled-arithmetic constants disagree with the modulus")
+	}
 
 	r := new(big.Int).Lsh(big.NewInt(1), 256)
 	r.Mod(r, qBig)
@@ -258,9 +275,11 @@ func (z *Element) IsOne() bool {
 	return *z == one
 }
 
-// Equal reports whether z == x.
+// Equal reports whether z == x. The limb-wise chain (rather than array ==)
+// lets the comparison inline and exit on the first differing limb — in the
+// sparsity scans virtually every call fails at limb 0.
 func (z *Element) Equal(x *Element) bool {
-	return *z == *x
+	return z[0] == x[0] && z[1] == x[1] && z[2] == x[2] && z[3] == x[3]
 }
 
 // smallerThanModulus reports whether z (as plain limbs) < q.
@@ -276,24 +295,28 @@ func smallerThanModulus(z *Element) bool {
 	return false // equal
 }
 
-// Add sets z = x + y mod q and returns z.
+// Add sets z = x + y mod q and returns z. The body is unrolled with the
+// modulus limbs as immediates and a branch-free conditional subtraction —
+// the SumCheck scan and every MLE fold run through it.
 func (z *Element) Add(x, y *Element) *Element {
-	var t Element
-	var carry uint64
-	t[0], carry = bits.Add64(x[0], y[0], 0)
-	t[1], carry = bits.Add64(x[1], y[1], carry)
-	t[2], carry = bits.Add64(x[2], y[2], carry)
-	t[3], carry = bits.Add64(x[3], y[3], carry)
-	// 2q < 2^256, so carry is always 0 for reduced inputs; reduce if >= q.
-	_ = carry
-	if !smallerThanModulus(&t) {
-		var b uint64
-		t[0], b = bits.Sub64(t[0], q[0], 0)
-		t[1], b = bits.Sub64(t[1], q[1], b)
-		t[2], b = bits.Sub64(t[2], q[2], b)
-		t[3], _ = bits.Sub64(t[3], q[3], b)
+	var t0, t1, t2, t3, carry uint64
+	t0, carry = bits.Add64(x[0], y[0], 0)
+	t1, carry = bits.Add64(x[1], y[1], carry)
+	t2, carry = bits.Add64(x[2], y[2], carry)
+	t3, _ = bits.Add64(x[3], y[3], carry)
+	// 2q < 2^256, so the carry out is always 0 for reduced inputs; reduce by
+	// computing t - q and selecting on the borrow.
+	var b uint64
+	var s0, s1, s2, s3 uint64
+	s0, b = bits.Sub64(t0, qc0, 0)
+	s1, b = bits.Sub64(t1, qc1, b)
+	s2, b = bits.Sub64(t2, qc2, b)
+	s3, b = bits.Sub64(t3, qc3, b)
+	if b == 0 { // t >= q
+		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
 	}
-	*z = t
 	return z
 }
 
@@ -304,20 +327,19 @@ func (z *Element) Double(x *Element) *Element {
 
 // Sub sets z = x - y mod q and returns z.
 func (z *Element) Sub(x, y *Element) *Element {
-	var t Element
-	var borrow uint64
-	t[0], borrow = bits.Sub64(x[0], y[0], 0)
-	t[1], borrow = bits.Sub64(x[1], y[1], borrow)
-	t[2], borrow = bits.Sub64(x[2], y[2], borrow)
-	t[3], borrow = bits.Sub64(x[3], y[3], borrow)
+	var t0, t1, t2, t3, borrow uint64
+	t0, borrow = bits.Sub64(x[0], y[0], 0)
+	t1, borrow = bits.Sub64(x[1], y[1], borrow)
+	t2, borrow = bits.Sub64(x[2], y[2], borrow)
+	t3, borrow = bits.Sub64(x[3], y[3], borrow)
 	if borrow != 0 {
 		var c uint64
-		t[0], c = bits.Add64(t[0], q[0], 0)
-		t[1], c = bits.Add64(t[1], q[1], c)
-		t[2], c = bits.Add64(t[2], q[2], c)
-		t[3], _ = bits.Add64(t[3], q[3], c)
+		t0, c = bits.Add64(t0, qc0, 0)
+		t1, c = bits.Add64(t1, qc1, c)
+		t2, c = bits.Add64(t2, qc2, c)
+		t3, _ = bits.Add64(t3, qc3, c)
 	}
-	*z = t
+	z[0], z[1], z[2], z[3] = t0, t1, t2, t3
 	return z
 }
 
@@ -326,13 +348,12 @@ func (z *Element) Neg(x *Element) *Element {
 	if x.IsZero() {
 		return z.SetZero()
 	}
-	var t Element
-	var borrow uint64
-	t[0], borrow = bits.Sub64(q[0], x[0], 0)
-	t[1], borrow = bits.Sub64(q[1], x[1], borrow)
-	t[2], borrow = bits.Sub64(q[2], x[2], borrow)
-	t[3], _ = bits.Sub64(q[3], x[3], borrow)
-	*z = t
+	var t0, t1, t2, t3, borrow uint64
+	t0, borrow = bits.Sub64(qc0, x[0], 0)
+	t1, borrow = bits.Sub64(qc1, x[1], borrow)
+	t2, borrow = bits.Sub64(qc2, x[2], borrow)
+	t3, _ = bits.Sub64(qc3, x[3], borrow)
+	z[0], z[1], z[2], z[3] = t0, t1, t2, t3
 	return z
 }
 
@@ -358,43 +379,188 @@ func madd0(a, b, c uint64) uint64 {
 // Mul sets z = x*y mod q (Montgomery CIOS, fused "no-carry" variant) and
 // returns z. The top limb of q is < 2^63, so the accumulator never
 // overflows the Limbs+1st word and the multiplication and Montgomery
-// reduction interleave in one unrolled pass held in scalar locals — the hot
+// reduction interleave in a single fully unrolled pass held in scalar
+// locals, with the modulus limbs folded in as immediates — the hot
 // instruction sequence of the SumCheck scan and every MLE fold.
 func (z *Element) Mul(x, y *Element) *Element {
 	var t0, t1, t2, t3 uint64
 	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
-	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
 
-	for i := 0; i < Limbs; i++ {
-		yi := y[i]
+	{
+		// round 0
+		v := y[0]
 		var A, C uint64
-		A, t0 = madd(x0, yi, t0, 0)
-		m := t0 * qInvNeg
-		C = madd0(m, q0, t0)
-		A, t1 = madd(x1, yi, t1, A)
-		C, t0 = madd(m, q1, t1, C)
-		A, t2 = madd(x2, yi, t2, A)
-		C, t1 = madd(m, q2, t2, C)
-		A, t3 = madd(x3, yi, t3, A)
-		C, t2 = madd(m, q3, t3, C)
+		A, t0 = bits.Mul64(x0, v)
+		m := t0 * qInvNegC
+		C = madd0(m, qc0, t0)
+		A, t1 = madd(x1, v, 0, A)
+		C, t0 = madd(m, qc1, t1, C)
+		A, t2 = madd(x2, v, 0, A)
+		C, t1 = madd(m, qc2, t2, C)
+		A, t3 = madd(x3, v, 0, A)
+		C, t2 = madd(m, qc3, t3, C)
+		t3 = C + A
+	}
+	{
+		// round 1
+		v := y[1]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * qInvNegC
+		C = madd0(m, qc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, qc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, qc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, qc3, t3, C)
+		t3 = C + A
+	}
+	{
+		// round 2
+		v := y[2]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * qInvNegC
+		C = madd0(m, qc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, qc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, qc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, qc3, t3, C)
+		t3 = C + A
+	}
+	{
+		// round 3
+		v := y[3]
+		var A, C uint64
+		A, t0 = madd(x0, v, t0, 0)
+		m := t0 * qInvNegC
+		C = madd0(m, qc0, t0)
+		A, t1 = madd(x1, v, t1, A)
+		C, t0 = madd(m, qc1, t1, C)
+		A, t2 = madd(x2, v, t2, A)
+		C, t1 = madd(m, qc2, t2, C)
+		A, t3 = madd(x3, v, t3, A)
+		C, t2 = madd(m, qc3, t3, C)
 		t3 = C + A
 	}
 
-	r := Element{t0, t1, t2, t3}
-	if !smallerThanModulus(&r) {
-		var b uint64
-		r[0], b = bits.Sub64(r[0], q0, 0)
-		r[1], b = bits.Sub64(r[1], q1, b)
-		r[2], b = bits.Sub64(r[2], q2, b)
-		r[3], _ = bits.Sub64(r[3], q3, b)
+	// Final conditional subtraction, branch-free: compute r - q and select.
+	var b uint64
+	var s0, s1, s2, s3 uint64
+	s0, b = bits.Sub64(t0, qc0, 0)
+	s1, b = bits.Sub64(t1, qc1, b)
+	s2, b = bits.Sub64(t2, qc2, b)
+	s3, b = bits.Sub64(t3, qc3, b)
+	if b == 0 { // t >= q
+		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
 	}
-	*z = r
 	return z
 }
 
-// Square sets z = x² mod q and returns z.
+// Square sets z = x² mod q and returns z. Dedicated SOS squaring: the 8-word
+// square needs only 10 word products (6 doubled cross terms + 4 diagonals)
+// against Mul's 16, followed by a 4-round Montgomery reduction — the power
+// chains of the compiled composite evaluator and the Fermat inversion ladder
+// run through it.
 func (z *Element) Square(x *Element) *Element {
-	return z.Mul(x, x)
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+
+	// Upper-triangle products Σ_{i<j} x_i·x_j·2^{64(i+j)} in w1..w6, all in
+	// scalar locals so the whole square stays in registers.
+	var w0, w1, w2, w3, w4, w5, w6, w7 uint64
+	var hi, lo, c uint64
+
+	// row i=0: x0·x1..x0·x3 → w1..w3, top into w4
+	hi, w1 = bits.Mul64(x0, x1)
+	hi, w2 = madd(x0, x2, hi, 0)
+	hi, w3 = madd(x0, x3, hi, 0)
+	w4 = hi
+	// row i=1: x1·x2, x1·x3 added at w3..w4, carry into w5
+	hi, lo = bits.Mul64(x1, x2)
+	w3, c = bits.Add64(w3, lo, 0)
+	hi, lo = madd(x1, x3, hi, c)
+	w4, c = bits.Add64(w4, lo, 0)
+	w5 = hi + c
+	// row i=2: x2·x3 added at w5..w6
+	hi, lo = bits.Mul64(x2, x3)
+	w5, c = bits.Add64(w5, lo, 0)
+	w6 = hi + c
+
+	// Double the triangle and add the diagonals x_i²·2^{128i}.
+	w7 = w6 >> 63
+	w6 = w6<<1 | w5>>63
+	w5 = w5<<1 | w4>>63
+	w4 = w4<<1 | w3>>63
+	w3 = w3<<1 | w2>>63
+	w2 = w2<<1 | w1>>63
+	w1 <<= 1
+	hi, w0 = bits.Mul64(x0, x0)
+	w1, c = bits.Add64(w1, hi, 0)
+	hi, lo = bits.Mul64(x1, x1)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w2, c = bits.Add64(w2, lo, 0)
+	w3, c = bits.Add64(w3, hi, c)
+	hi, lo = bits.Mul64(x2, x2)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w4, c = bits.Add64(w4, lo, 0)
+	w5, c = bits.Add64(w5, hi, c)
+	hi, lo = bits.Mul64(x3, x3)
+	lo, c = bits.Add64(lo, 0, c)
+	hi += c
+	w6, c = bits.Add64(w6, lo, 0)
+	w7, _ = bits.Add64(w7, hi, c)
+
+	// Montgomery reduction: four rounds of w += m·q·2^{64i} with
+	// m = w_i·(−q⁻¹), then shift down by 2^256. The per-round carry out of
+	// word i+4 is accumulated separately (the m of later rounds never reads
+	// a word a deferred carry lands on, so adding them at the end commutes).
+	var cr0, cr1, cr2, cr3 uint64
+	m := w0 * qInvNegC
+	cr0 = madd0(m, qc0, w0)
+	cr0, w1 = madd(m, qc1, w1, cr0)
+	cr0, w2 = madd(m, qc2, w2, cr0)
+	cr0, w3 = madd(m, qc3, w3, cr0)
+	m = w1 * qInvNegC
+	cr1 = madd0(m, qc0, w1)
+	cr1, w2 = madd(m, qc1, w2, cr1)
+	cr1, w3 = madd(m, qc2, w3, cr1)
+	cr1, w4 = madd(m, qc3, w4, cr1)
+	m = w2 * qInvNegC
+	cr2 = madd0(m, qc0, w2)
+	cr2, w3 = madd(m, qc1, w3, cr2)
+	cr2, w4 = madd(m, qc2, w4, cr2)
+	cr2, w5 = madd(m, qc3, w5, cr2)
+	m = w3 * qInvNegC
+	cr3 = madd0(m, qc0, w3)
+	cr3, w4 = madd(m, qc1, w4, cr3)
+	cr3, w5 = madd(m, qc2, w5, cr3)
+	cr3, w6 = madd(m, qc3, w6, cr3)
+	// Fold the deferred carries into the top half: carry i lands at word i+4.
+	var t0, t1, t2, t3 uint64
+	t0, c = bits.Add64(w4, cr0, 0)
+	t1, c = bits.Add64(w5, cr1, c)
+	t2, c = bits.Add64(w6, cr2, c)
+	t3, _ = bits.Add64(w7, cr3, c)
+
+	var b uint64
+	var s0, s1, s2, s3 uint64
+	s0, b = bits.Sub64(t0, qc0, 0)
+	s1, b = bits.Sub64(t1, qc1, b)
+	s2, b = bits.Sub64(t2, qc2, b)
+	s3, b = bits.Sub64(t3, qc3, b)
+	if b == 0 { // t >= q
+		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	}
+	return z
 }
 
 // Exp sets z = x^e mod q (e as a big.Int, e >= 0) and returns z.

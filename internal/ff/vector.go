@@ -11,26 +11,16 @@ type Vector []Element
 // NewVector returns a zeroed vector of length n.
 func NewVector(n int) Vector { return make(Vector, n) }
 
-// Sum returns the sum of all entries.
+// Sum returns the sum of all entries (lazy-reduction kernel, one boundary
+// reduction per call).
 func (v Vector) Sum() Element {
-	var s Element
-	for i := range v {
-		s.Add(&s, &v[i])
-	}
-	return s
+	return SumVec(v)
 }
 
-// InnerProduct returns Σ v[i]*w[i]. It panics if lengths differ.
+// InnerProduct returns Σ v[i]*w[i] (lazy-reduction kernel, one boundary
+// reduction per call). It panics if lengths differ.
 func (v Vector) InnerProduct(w Vector) Element {
-	if len(v) != len(w) {
-		panic("ff: inner product length mismatch")
-	}
-	var s, t Element
-	for i := range v {
-		t.Mul(&v[i], &w[i])
-		s.Add(&s, &t)
-	}
-	return s
+	return InnerProductVec(v, w)
 }
 
 // ScaleInPlace multiplies every entry by c.

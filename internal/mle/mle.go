@@ -88,29 +88,24 @@ func (t *Table) FoldWorkers(r *ff.Element, workers int) {
 }
 
 // foldSerialInPlace performs the fold of evals (length 2m) into its own
-// first half.
+// first half (ff.FoldVec supports exactly this aliasing).
 func foldSerialInPlace(evals []ff.Element, r *ff.Element) {
-	half := len(evals) / 2
-	var diff ff.Element
-	for j := 0; j < half; j++ {
-		a0 := evals[2*j]
-		diff.Sub(&evals[2*j+1], &a0)
-		diff.Mul(&diff, r)
-		evals[j].Add(&a0, &diff)
-	}
+	ff.FoldVec(evals[:len(evals)/2], evals, r)
 }
 
 // foldInto writes the r-fold of src (length 2m) into dst (length m):
-// dst[j] = src[2j] + r·(src[2j+1] − src[2j]). dst must not alias src.
+// dst[j] = src[2j] + r·(src[2j+1] − src[2j]), through the fused
+// multiply-add fold kernel. dst must not alias src (except as the first
+// half of src, which the serial path permits). The serial case calls the
+// kernel directly rather than through parallel.For so that no closure is
+// materialized — this is what keeps EvaluateWorkers allocation-free.
 func foldInto(dst, src []ff.Element, r *ff.Element, workers int) {
+	if parallel.Workers(workers) == 1 || !parallel.WorthSplitting(len(dst)) {
+		ff.FoldVec(dst, src, r)
+		return
+	}
 	parallel.For(workers, len(dst), func(lo, hi int) {
-		var diff ff.Element
-		for j := lo; j < hi; j++ {
-			a0 := src[2*j]
-			diff.Sub(&src[2*j+1], &a0)
-			diff.Mul(&diff, r)
-			dst[j].Add(&a0, &diff)
-		}
+		ff.FoldVec(dst[lo:hi], src[2*lo:2*hi], r)
 	})
 }
 

@@ -80,3 +80,25 @@ func TestAnalyzeSparsityWorkersMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluateWorkersZeroAlloc pins the serial EvaluateWorkers at zero
+// steady-state allocations: ping-pong buffers come from the arena (whose
+// Get/Put cycle recycles its slice-header boxes), and the serial fold path
+// never materializes a parallel closure. Skipped under -race, where
+// sync.Pool deliberately drops entries.
+func TestEvaluateWorkersZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool reuse is randomized under the race detector")
+	}
+	rng := ff.NewRand(26)
+	tab := FromEvals(rng.Elements(1 << 12))
+	point := rng.Elements(12)
+	// Warm the arena classes once.
+	tab.EvaluateWorkers(point, 1)
+	allocs := testing.AllocsPerRun(50, func() {
+		tab.EvaluateWorkers(point, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("EvaluateWorkers allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package mle
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions are skipped under -race because sync.Pool intentionally drops
+// entries there, making steady-state reuse non-deterministic.
+const raceEnabled = false

@@ -230,6 +230,12 @@ const maxPoolClass = 26
 // buffers instead of churning the GC.
 type Arena[T any] struct {
 	pools [maxPoolClass + 1]sync.Pool
+	// boxes recycles the *[]T headers the pools traffic in. sync.Pool stores
+	// interfaces, so Put must hand it a pointer; allocating a fresh header
+	// per Put would make every Get/Put cycle cost one heap allocation, which
+	// is exactly what the arena exists to avoid. Boxes parked here hold nil
+	// slices.
+	boxes sync.Pool
 }
 
 // Get returns a []T of length n. The contents are arbitrary (not zeroed) —
@@ -244,7 +250,10 @@ func (a *Arena[T]) Get(n int) []T {
 		return make([]T, n)
 	}
 	if v := a.pools[k].Get(); v != nil {
-		buf := *(v.(*[]T))
+		box := v.(*[]T)
+		buf := *box
+		*box = nil
+		a.boxes.Put(box)
 		return buf[:n]
 	}
 	return make([]T, n, 1<<k)
@@ -252,7 +261,8 @@ func (a *Arena[T]) Get(n int) []T {
 
 // Put returns a buffer obtained from Get to the arena. It is safe (a no-op)
 // to pass buffers from other sources with non-power-of-two capacity, and
-// safe to pass nil.
+// safe to pass nil. Steady-state Get/Put cycles allocate nothing: the slice
+// header box travels between the class pool and the box pool.
 func (a *Arena[T]) Put(buf []T) {
 	c := cap(buf)
 	if c == 0 || c&(c-1) != 0 {
@@ -262,8 +272,14 @@ func (a *Arena[T]) Put(buf []T) {
 	if k > maxPoolClass {
 		return
 	}
-	full := buf[:c]
-	a.pools[k].Put(&full)
+	var box *[]T
+	if v := a.boxes.Get(); v != nil {
+		box = v.(*[]T)
+	} else {
+		box = new([]T)
+	}
+	*box = buf[:c]
+	a.pools[k].Put(box)
 }
 
 // scratchArena backs GetScratch/PutScratch, the field-element instance every

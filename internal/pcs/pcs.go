@@ -274,7 +274,11 @@ func CombineTables(tables []*mle.Table, coeffs []ff.Element) (*mle.Table, error)
 }
 
 // CombineTablesWorkers is CombineTables with a worker budget; entries are
-// independent, so the combination chunks over the evaluation index.
+// independent, so the combination chunks over the evaluation index. Within a
+// chunk each output entry is one lazy-reduction inner product across the
+// tables: the raw 512-bit products Σᵢ coeffsᵢ·tablesᵢ[j] accumulate
+// unreduced and pay a single Montgomery reduction per entry instead of one
+// per (table, entry) pair.
 func CombineTablesWorkers(tables []*mle.Table, coeffs []ff.Element, workers int) (*mle.Table, error) {
 	if len(tables) == 0 || len(tables) != len(coeffs) {
 		return nil, fmt.Errorf("pcs: bad combination arity")
@@ -286,12 +290,16 @@ func CombineTablesWorkers(tables []*mle.Table, coeffs []ff.Element, workers int)
 		}
 	}
 	parallel.For(workers, out.Size(), func(lo, hi int) {
-		var tmp ff.Element
+		cols := make([][]ff.Element, len(tables))
 		for i, t := range tables {
-			for j := lo; j < hi; j++ {
-				tmp.Mul(&t.Evals[j], &coeffs[i])
-				out.Evals[j].Add(&out.Evals[j], &tmp)
+			cols[i] = t.Evals
+		}
+		for j := lo; j < hi; j++ {
+			var acc ff.LazyAcc
+			for i := range cols {
+				acc.MulAcc(&coeffs[i], &cols[i][j])
 			}
+			out.Evals[j] = acc.Reduce()
 		}
 	})
 	return out, nil

@@ -168,30 +168,32 @@ func BuildWorkers(wires, sigmaTabs []*mle.Table, beta, gamma ff.Element, workers
 		a.DTabs[j] = mle.New(nv)
 	}
 	parallel.For(workers, n, func(lo, hi int) {
-		var tmp, id ff.Element
+		var base, id ff.Element
 		for j := 0; j < k; j++ {
 			wj, sj := wires[j].Evals, sigmaTabs[j].Evals
 			nt, dt := a.NTabs[j].Evals, a.DTabs[j].Evals
 			for x := lo; x < hi; x++ {
 				// id_j(x) = j·N + x, computed inline instead of
-				// materializing the identity table.
+				// materializing the identity table. Both β·id + (w+γ) and
+				// β·σ + (w+γ) run through the fused multiply-add, halving
+				// the reduction count of the table build.
 				id.SetUint64(uint64(j*n + x))
-				tmp.Mul(&beta, &id)
-				nt[x].Add(&wj[x], &tmp)
-				nt[x].Add(&nt[x], &gamma)
-
-				tmp.Mul(&beta, &sj[x])
-				dt[x].Add(&wj[x], &tmp)
-				dt[x].Add(&dt[x], &gamma)
+				base.Add(&wj[x], &gamma)
+				nt[x].MulAdd(&beta, &id, &base)
+				dt[x].MulAdd(&beta, &sj[x], &base)
 			}
 		}
 	})
 
-	// ϕ = ΠN / ΠD; the inversion runs one Montgomery batch per chunk.
+	// ϕ = ΠN / ΠD; the inversion runs one Montgomery batch per chunk, with
+	// its prefix-product table in arena scratch instead of a per-chunk
+	// allocation.
 	num := parallel.GetScratch(n)
 	den := parallel.GetScratch(n)
+	inv := parallel.GetScratch(n)
 	defer parallel.PutScratch(num)
 	defer parallel.PutScratch(den)
+	defer parallel.PutScratch(inv)
 	phi := mle.New(nv)
 	parallel.For(workers, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
@@ -202,7 +204,7 @@ func BuildWorkers(wires, sigmaTabs []*mle.Table, beta, gamma ff.Element, workers
 				den[x].Mul(&den[x], &a.DTabs[j].Evals[x])
 			}
 		}
-		ff.BatchInvert(den[lo:hi])
+		ff.BatchInvertScratch(den[lo:hi], inv[lo:hi])
 		for x := lo; x < hi; x++ {
 			phi.Evals[x].Mul(&num[x], &den[x])
 		}

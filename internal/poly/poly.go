@@ -78,6 +78,10 @@ type Composite struct {
 	VarNames []string
 	Roles    []Role
 	Terms    []Term
+
+	// prog caches the compiled straight-line evaluator (see compile.go).
+	// Terms must not be mutated after the first Compile call.
+	prog progCache
 }
 
 // NumVars returns the number of constituent MLEs.

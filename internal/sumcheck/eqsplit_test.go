@@ -1,0 +1,194 @@
+package sumcheck
+
+// Equivalence coverage for the PR 5 fast paths: the eq-factorized ZeroCheck
+// against the appended-table reference, and the compiled compressed round
+// polynomial against a naive tree-walk evaluation.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+	"zkphire/internal/poly"
+	"zkphire/internal/transcript"
+)
+
+func proofsEqual(t *testing.T, label string, a, b *Proof) {
+	t.Helper()
+	if !a.Claim.Equal(&b.Claim) {
+		t.Fatalf("%s: claims differ", label)
+	}
+	if len(a.RoundEvals) != len(b.RoundEvals) {
+		t.Fatalf("%s: round counts differ (%d vs %d)", label, len(a.RoundEvals), len(b.RoundEvals))
+	}
+	for i := range a.RoundEvals {
+		if len(a.RoundEvals[i]) != len(b.RoundEvals[i]) {
+			t.Fatalf("%s: round %d lengths differ", label, i)
+		}
+		for j := range a.RoundEvals[i] {
+			if !a.RoundEvals[i][j].Equal(&b.RoundEvals[i][j]) {
+				t.Fatalf("%s: round %d eval %d differs", label, i, j)
+			}
+		}
+	}
+	if len(a.FinalEvals) != len(b.FinalEvals) {
+		t.Fatalf("%s: final eval counts differ", label)
+	}
+	for i := range a.FinalEvals {
+		if !a.FinalEvals[i].Equal(&b.FinalEvals[i]) {
+			t.Fatalf("%s: final eval %d differs", label, i)
+		}
+	}
+}
+
+// TestEqFactoredMatchesAppended pins the eq-factorized ZeroCheck prover to
+// the appended-table reference: identical round polynomials, challenges, and
+// final evaluations — hence byte-identical proofs — at worker budgets 1, 2,
+// and GOMAXPROCS, across gate shapes and sizes.
+func TestEqFactoredMatchesAppended(t *testing.T) {
+	budgets := []int{1, 2, runtime.GOMAXPROCS(0)}
+	cases := []struct {
+		name string
+		comp *poly.Composite
+		nv   int
+	}{
+		{"vanilla/small", poly.VanillaGate(), 4},
+		{"vanilla/mid", poly.VanillaGate(), 8},
+		{"jellyfish", poly.JellyfishGate(), 6},
+		{"highdegree", poly.HighDegree(7), 5},
+		{"onevar", poly.VanillaGate(), 1},
+	}
+	for _, tc := range cases {
+		for _, w := range budgets {
+			t.Run(fmt.Sprintf("%s/w=%d", tc.name, w), func(t *testing.T) {
+				rng := ff.NewRand(int64(tc.nv)*100 + int64(w))
+				a := buildAssignment(t, tc.comp, tc.nv, rng)
+
+				trFast := transcript.New("eqsplit")
+				fast, chalFast, err := ProveZero(trFast, a, Config{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				trRef := transcript.New("eqsplit")
+				ref, chalRef, err := ProveZeroAppended(trRef, a, Config{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				proofsEqual(t, "fast vs appended", fast.Inner, ref.Inner)
+				if len(chalFast) != len(chalRef) {
+					t.Fatal("challenge counts differ")
+				}
+				for i := range chalFast {
+					if !chalFast[i].Equal(&chalRef[i]) {
+						t.Fatalf("challenge %d differs", i)
+					}
+				}
+				// Both transcripts must end in the same state.
+				f1 := trFast.ChallengeScalar("post")
+				f2 := trRef.ChallengeScalar("post")
+				if !f1.Equal(&f2) {
+					t.Fatal("transcript states diverged")
+				}
+			})
+		}
+	}
+}
+
+// TestEqFactoredVerifies runs the full round trip: fast-path prover,
+// standard verifier.
+func TestEqFactoredVerifies(t *testing.T) {
+	// Satisfied Vanilla circuit: qM=1, qO=1, w3=w1·w2 everywhere.
+	c := poly.VanillaGate()
+	numVars := 6
+	n := 1 << uint(numVars)
+	rng := ff.NewRand(707)
+	tables := make([]*mle.Table, c.NumVars())
+	for i := range tables {
+		tables[i] = mle.New(numVars)
+	}
+	get := func(name string) *mle.Table { return tables[c.VarIndex(name)] }
+	for j := 0; j < n; j++ {
+		w1, w2 := rng.Element(), rng.Element()
+		var w3 ff.Element
+		w3.Mul(&w1, &w2)
+		get("qM").Evals[j] = ff.One()
+		get("qO").Evals[j] = ff.One()
+		get("w1").Evals[j] = w1
+		get("w2").Evals[j] = w2
+		get("w3").Evals[j] = w3
+	}
+	a, err := NewAssignment(c, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3} {
+		trP := transcript.New("zc-fast")
+		proof, _, err := ProveZero(trP, a, Config{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trV := transcript.New("zc-fast")
+		point, want, eqVal, err := VerifyZero(trV, c, numVars, proof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finals := proof.Inner.FinalEvals[:c.NumVars()]
+		if err := FinalCheckZero(c, finals, &eqVal, &want); err != nil {
+			t.Fatal(err)
+		}
+		// The trailing final eval is eq(r, τ), which the prover derives from
+		// the bound prefix instead of a folded table; it must match the
+		// verifier's direct computation.
+		if !proof.Inner.FinalEvals[c.NumVars()].Equal(&eqVal) {
+			t.Fatal("prefix-derived eq(r, τ) disagrees with the verifier")
+		}
+		_ = point
+	}
+}
+
+// TestRoundPolynomialMatchesNaive checks the compiled compressed scan
+// against a from-scratch tree-walk computation of s(t) at t = 0, 2, .., d.
+func TestRoundPolynomialMatchesNaive(t *testing.T) {
+	comps := []*poly.Composite{poly.VanillaGate(), poly.JellyfishGate(), poly.HighDegree(5)}
+	for ci, c := range comps {
+		rng := ff.NewRand(int64(800 + ci))
+		a := buildAssignment(t, c, 5, rng)
+		d := c.Degree()
+		got := RoundPolynomial(a, 2)
+
+		// Naive: s(t) = Σ_j f(tab₀(t,j), ..) with each constituent extended
+		// linearly and the composite interpreted per point.
+		half := a.Tables[0].Size() / 2
+		nv := len(a.Tables)
+		ts := []int{0}
+		for tt := 2; tt <= d; tt++ {
+			ts = append(ts, tt)
+		}
+		want := make([]ff.Element, len(ts))
+		assign := make([]ff.Element, nv)
+		var diff, step ff.Element
+		for j := 0; j < half; j++ {
+			for ti, tt := range ts {
+				for v := 0; v < nv; v++ {
+					evals := a.Tables[v].Evals
+					diff.Sub(&evals[2*j+1], &evals[2*j])
+					step.SetUint64(uint64(tt))
+					step.Mul(&step, &diff)
+					assign[v].Add(&evals[2*j], &step)
+				}
+				val := c.Evaluate(assign)
+				want[ti].Add(&want[ti], &val)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: compressed length %d, want %d", c.Name, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(&want[i]) {
+				t.Fatalf("%s: s(%d) mismatch", c.Name, ts[i])
+			}
+		}
+	}
+}

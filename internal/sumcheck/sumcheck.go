@@ -106,27 +106,12 @@ func (c Config) workers() int { return parallel.Workers(c.Workers) }
 // reuse the same table-sized buffers.
 func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Config) (*Proof, []ff.Element, error) {
 	w := cfg.workers()
-	n := a.Tables[0].Size()
-	scratch := make([][]ff.Element, len(a.Tables))
-	work := &Assignment{Composite: a.Composite, Tables: make([]*mle.Table, len(a.Tables))}
-	for i, t := range a.Tables {
-		buf := parallel.GetScratch(n)
-		scratch[i] = buf
-		src := t.Evals
-		parallel.For(w, n, func(lo, hi int) {
-			copy(buf[lo:hi], src[lo:hi])
-		})
-		work.Tables[i] = mle.FromEvals(buf)
-	}
-	defer func() {
-		for _, buf := range scratch {
-			parallel.PutScratch(buf)
-		}
-	}()
+	work, release := workingCopy(a, w)
+	defer release()
 
 	mu := work.NumVars()
 	d := work.Composite.Degree()
-	k := d + 1
+	prog := work.Composite.Compile()
 
 	proof := &Proof{Claim: claim, RoundEvals: make([][]ff.Element, 0, mu)}
 	challenges := make([]ff.Element, 0, mu)
@@ -136,8 +121,7 @@ func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Confi
 	tr.AppendScalar("sumcheck/claim", &claim)
 
 	for round := 0; round < mu; round++ {
-		evals := roundPolynomial(work, k, w)
-		compressed := CompressRound(evals)
+		compressed := roundPolynomialCompressed(work, prog, d, nil, w)
 		tr.AppendScalars("sumcheck/round", compressed)
 		r := tr.ChallengeScalar("sumcheck/challenge")
 		challenges = append(challenges, r)
@@ -154,54 +138,118 @@ func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Confi
 	return proof, challenges, nil
 }
 
-// roundPolynomial computes s(t) for t = 0..k-1 over the current tables: the
-// paper's Fig. 1 dataflow (extend each constituent to k points per pair,
-// multiply across terms, accumulate), chunked over the pair index through
-// the shared engine. The merge adds partial accumulators in ascending chunk
-// order, so the round polynomial is identical for every budget.
-func roundPolynomial(a *Assignment, k, workers int) []ff.Element {
+// workingCopy clones the assignment's tables into arena scratch so the
+// prover can fold destructively; release returns every buffer to the pool.
+// Repeated proofs of same-sized circuits therefore reuse the same
+// table-sized buffers instead of allocating clones.
+func workingCopy(a *Assignment, workers int) (work *Assignment, release func()) {
+	n := a.Tables[0].Size()
+	scratch := make([][]ff.Element, len(a.Tables))
+	work = &Assignment{Composite: a.Composite, Tables: make([]*mle.Table, len(a.Tables))}
+	for i, t := range a.Tables {
+		buf := parallel.GetScratch(n)
+		scratch[i] = buf
+		src := t.Evals
+		parallel.For(workers, n, func(lo, hi int) {
+			copy(buf[lo:hi], src[lo:hi])
+		})
+		work.Tables[i] = mle.FromEvals(buf)
+	}
+	return work, func() {
+		for _, buf := range scratch {
+			parallel.PutScratch(buf)
+		}
+	}
+}
+
+// roundPolynomialCompressed computes the COMPRESSED round polynomial
+// [s(0), s(2), ..., s(d)] over the current tables — s(1) is never computed,
+// because the wire format drops it (the verifier reconstructs it from the
+// running claim), which saves one of the d+1 composite evaluations per pair.
+//
+// Per pair the constituents' extensions advance incrementally from the table
+// deltas (ext(t+1) = ext(t) + diff; the skipped t=1 point is bridged by
+// adding the delta twice) and each point is evaluated with the composite's
+// compiled straight-line program — the paper's Fig. 1 dataflow with the
+// expression-tree interpreter replaced by a register machine. The scan is
+// chunked over the pair index through the shared engine, and the merge adds
+// partial accumulators in ascending chunk order, so the round polynomial is
+// identical for every budget (and bit-identical to the tree-walk evaluation,
+// since field arithmetic is exact).
+//
+// When weights is non-nil (the eq-factorized ZeroCheck's suffix table,
+// indexed by pair), every program value is multiplied by weights[j] before
+// accumulating, and d may exceed the program's own degree (the eq factor
+// raises the round polynomial's degree by one, so one extra point is
+// evaluated).
+func roundPolynomialCompressed(a *Assignment, prog *poly.Program, d int, weights []ff.Element, workers int) []ff.Element {
 	half := a.Tables[0].Size() / 2
-	comp := a.Composite
 	nv := len(a.Tables)
+	nPts := d // t = 0, 2, ..., d
+	if nPts < 1 {
+		nPts = 1
+	}
 
 	return parallel.MapReduce(workers, half, func(lo, hi int) []ff.Element {
-		acc := make([]ff.Element, k)
-		// ext[v*k+t] is the extension of constituent v at point t for the
-		// current pair, in one flat arena buffer.
-		ext := parallel.GetScratch(nv * k)
-		defer parallel.PutScratch(ext)
-		var diff, term, pw ff.Element
+		acc := make([]ff.Element, nPts)
+		// One flat arena buffer: the program's register file followed by the
+		// per-constituent deltas.
+		scratch := parallel.GetScratch(prog.NumRegs + nv)
+		defer parallel.PutScratch(scratch)
+		regs := scratch[:prog.NumRegs]
+		diffs := scratch[prog.NumRegs:]
+		evs := make([][]ff.Element, nv)
+		for v := range evs {
+			evs[v] = a.Tables[v].Evals
+		}
+		var val ff.Element
+		accumulate := func(j, slot int) {
+			val = prog.Eval(regs)
+			if weights != nil {
+				val.Mul(&val, &weights[j])
+			}
+			acc[slot].Add(&acc[slot], &val)
+		}
 		for j := lo; j < hi; j++ {
 			for v := 0; v < nv; v++ {
-				evals := a.Tables[v].Evals
-				a0 := evals[2*j]
-				diff.Sub(&evals[2*j+1], &a0)
-				ext[v*k] = a0
-				for t := 1; t < k; t++ {
-					ext[v*k+t].Add(&ext[v*k+t-1], &diff)
-				}
+				e := evs[v]
+				a0 := e[2*j]
+				regs[v] = a0
+				diffs[v].Sub(&e[2*j+1], &a0)
 			}
-			for _, tm := range comp.Terms {
-				for t := 0; t < k; t++ {
-					term = tm.Coeff
-					for _, f := range tm.Factors {
-						pw = ext[f.Var*k+t]
-						for p := 1; p < f.Power; p++ {
-							pw.Mul(&pw, &ext[f.Var*k+t])
-						}
-						term.Mul(&term, &pw)
+			accumulate(j, 0) // t = 0
+			if d >= 2 {
+				// Bridge over the skipped t=1 by stepping the delta twice.
+				for v := 0; v < nv; v++ {
+					regs[v].Add(&regs[v], &diffs[v])
+					regs[v].Add(&regs[v], &diffs[v])
+				}
+				accumulate(j, 1) // t = 2
+				for t := 3; t <= d; t++ {
+					for v := 0; v < nv; v++ {
+						regs[v].Add(&regs[v], &diffs[v])
 					}
-					acc[t].Add(&acc[t], &term)
+					accumulate(j, t-1)
 				}
 			}
 		}
 		return acc
 	}, func(a, b []ff.Element) []ff.Element {
-		for t := 0; t < k; t++ {
+		for t := range a {
 			a[t].Add(&a[t], &b[t])
 		}
 		return a
 	})
+}
+
+// RoundPolynomial computes the compressed round polynomial
+// [s(0), s(2), ..., s(d)] for the assignment's current tables on the given
+// worker budget, compiling the composite on first use. Exposed for the
+// kernel benchmarks (cmd/benchjson -sumcheck) and the hardware-model
+// experiment harness; the prover calls the same scan internally.
+func RoundPolynomial(a *Assignment, workers int) []ff.Element {
+	prog := a.Composite.Compile()
+	return roundPolynomialCompressed(a, prog, a.Composite.Degree(), nil, parallel.Workers(workers))
 }
 
 // Verify replays the verifier side of the transcript. It checks each round's

@@ -5,6 +5,7 @@ import (
 
 	"zkphire/internal/ff"
 	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
 	"zkphire/internal/poly"
 	"zkphire/internal/transcript"
 )
@@ -16,8 +17,23 @@ import (
 // product is proven to be zero (Section III-F).
 //
 // The returned proof is an ordinary SumCheck proof over the wrapped
-// composite; the eq constituent is appended as the LAST table, which the
+// composite; logically the eq constituent is the LAST table, which the
 // hardware builds on the fly during round 1 with a dedicated product lane.
+//
+// EQ FACTORIZATION (DESIGN.md §5): the prover never materializes or folds
+// that 2^µ eq table. Because eq is a product over coordinates,
+//
+//	eq((r₁..r_{ℓ-1}, t, x), τ) = [Π_{i<ℓ} eq(r_i, τ_i)] · eq(t, τ_ℓ) · eq(x, τ_{>ℓ}),
+//
+// round ℓ's polynomial factors into a running bound-prefix SCALAR, a cheap
+// per-point univariate factor, and a half-width suffix table eq(x, τ_{>ℓ})
+// that weights each pair of the scan. The suffix tables for all rounds are
+// built once, smallest first (2^{µ-1}+…+1 ≈ 2^µ multiplications total),
+// replacing the appended path's 2·2^µ build+fold multiplications AND the
+// extra eq extension/product work inside every scan. Field arithmetic is
+// exact, so every round polynomial — and therefore every proof byte — is
+// identical to the appended-table construction (tested against
+// ProveZeroAppended).
 
 // ZeroCheckProof bundles the inner SumCheck proof with the τ vector the
 // verifier re-derives.
@@ -26,8 +42,11 @@ type ZeroCheckProof struct {
 }
 
 // BuildZeroCheckAssignment wraps the composite with an eq factor bound to
-// eq(X, tau). The eq table expansion (the paper's Build MLE kernel) runs on
-// the given worker budget.
+// eq(X, tau), materializing the full eq table as the last constituent. The
+// fast prover path no longer uses this — it survives as the reference
+// construction (ProveZeroAppended) and for callers that need the explicit
+// wrapped assignment. The eq table expansion (the paper's Build MLE kernel)
+// runs on the given worker budget.
 func BuildZeroCheckAssignment(a *Assignment, tau []ff.Element, workers int) (*Assignment, *poly.Composite) {
 	wrapped := a.Composite.MulByEq("fr")
 	tables := make([]*mle.Table, 0, len(a.Tables)+1)
@@ -37,8 +56,22 @@ func BuildZeroCheckAssignment(a *Assignment, tau []ff.Element, workers int) (*As
 }
 
 // ProveZero runs a ZeroCheck on the assignment (claiming f ≡ 0 on the
-// hypercube).
+// hypercube) through the eq-factorized fast path.
 func ProveZero(tr *transcript.Transcript, a *Assignment, cfg Config) (*ZeroCheckProof, []ff.Element, error) {
+	mu := a.NumVars()
+	tau := tr.ChallengeScalars("zerocheck/tau", mu)
+	inner, challenges, err := proveEqFactored(tr, a, tau, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ZeroCheckProof{Inner: inner}, challenges, nil
+}
+
+// ProveZeroAppended is the reference ZeroCheck prover: it materializes the
+// full eq table, appends it as a constituent, and runs the generic SumCheck.
+// It produces byte-identical proofs to ProveZero at ~2× the eq cost; the
+// equivalence tests pin the two paths against each other.
+func ProveZeroAppended(tr *transcript.Transcript, a *Assignment, cfg Config) (*ZeroCheckProof, []ff.Element, error) {
 	mu := a.NumVars()
 	tau := tr.ChallengeScalars("zerocheck/tau", mu)
 	wrappedAssign, _ := BuildZeroCheckAssignment(a, tau, cfg.workers())
@@ -47,6 +80,110 @@ func ProveZero(tr *transcript.Transcript, a *Assignment, cfg Config) (*ZeroCheck
 		return nil, nil, err
 	}
 	return &ZeroCheckProof{Inner: inner}, challenges, nil
+}
+
+// proveEqFactored runs the SumCheck over f·eq(·, τ) without ever holding an
+// eq table: the wrapped composite exists only as protocol metadata (degree,
+// claim layout), while the scan evaluates the CORE composite's compiled
+// program and weights each pair with the round's eq suffix table.
+func proveEqFactored(tr *transcript.Transcript, a *Assignment, tau []ff.Element, cfg Config) (*Proof, []ff.Element, error) {
+	w := cfg.workers()
+	n := a.Tables[0].Size()
+
+	// Working copies of the core tables in arena scratch, exactly as Prove.
+	work, release := workingCopy(a, w)
+	defer release()
+
+	mu := len(tau)
+	prog := a.Composite.Compile()
+	d := a.Composite.Degree() + 1 // wrapped degree: every term carries eq
+
+	// Suffix tables for every round in one flat buffer: S_i = eq-table of
+	// τ[i+1:], size n>>(i+1), at offset n − (n>>i). Built smallest-first;
+	// level i doubles level i+1 by splitting on τ[i+1].
+	eqBuf := parallel.GetScratch(n)
+	defer parallel.PutScratch(eqBuf)
+	offset := func(i int) int { return n - (n >> uint(i)) }
+	if mu > 0 {
+		eqBuf[offset(mu-1)] = ff.One()
+		oneE := ff.One()
+		for i := mu - 2; i >= 0; i-- {
+			srcOff, dstOff := offset(i+1), offset(i)
+			srcLen := n >> uint(i+2)
+			ti := tau[i+1]
+			var om ff.Element
+			om.Sub(&oneE, &ti)
+			src, dst := eqBuf[srcOff:srcOff+srcLen], eqBuf[dstOff:dstOff+2*srcLen]
+			parallel.For(w, srcLen, func(lo, hi int) {
+				for y := lo; y < hi; y++ {
+					v := src[y]
+					dst[2*y].Mul(&v, &om)
+					dst[2*y+1].Mul(&v, &ti)
+				}
+			})
+		}
+	}
+
+	claim := ff.Zero()
+	proof := &Proof{Claim: claim, RoundEvals: make([][]ff.Element, 0, mu)}
+	challenges := make([]ff.Element, 0, mu)
+
+	tr.AppendUint64("sumcheck/numvars", uint64(mu))
+	tr.AppendUint64("sumcheck/degree", uint64(d))
+	tr.AppendScalar("sumcheck/claim", &claim)
+
+	oneE := ff.One()
+	prefix := ff.One() // Π_{i<round} eq(r_i, τ_i)
+	for round := 0; round < mu; round++ {
+		half := work.Tables[0].Size() / 2
+		sfx := eqBuf[offset(round) : offset(round)+half]
+		compressed := roundPolynomialCompressed(work, prog, d, sfx, w)
+
+		// Scale the inner sums by prefix·eq(t, τ_round), stepping the linear
+		// eq factor across the compressed points t = 0, 2, .., d.
+		tr1 := tau[round]
+		var e, step ff.Element
+		e.Sub(&oneE, &tr1) // eq(0, τ) = 1−τ
+		step.Sub(&tr1, &e) // eq(t+1,τ) − eq(t,τ) = 2τ−1
+		var scale ff.Element
+		scale.Mul(&prefix, &e)
+		compressed[0].Mul(&compressed[0], &scale)
+		for t := 2; t <= d; t++ {
+			e.Add(&e, &step)
+			if t == 2 {
+				e.Add(&e, &step)
+			}
+			scale.Mul(&prefix, &e)
+			compressed[t-1].Mul(&compressed[t-1], &scale)
+		}
+
+		tr.AppendScalars("sumcheck/round", compressed)
+		r := tr.ChallengeScalar("sumcheck/challenge")
+		challenges = append(challenges, r)
+		for _, t := range work.Tables {
+			t.FoldWorkers(&r, w)
+		}
+		// prefix ← prefix · eq(r, τ_round).
+		var er ff.Element
+		er.Sub(&oneE, &tau[round])
+		var st ff.Element
+		st.Sub(&tau[round], &er)
+		st.Mul(&st, &r)
+		er.Add(&er, &st)
+		prefix.Mul(&prefix, &er)
+
+		proof.RoundEvals = append(proof.RoundEvals, compressed)
+	}
+
+	// Final evaluations follow the wrapped composite's layout: the core
+	// constituents, then the eq constituent — whose fully-bound value is
+	// exactly the prefix Π eq(r_i, τ_i) = eq(r, τ).
+	proof.FinalEvals = make([]ff.Element, len(work.Tables)+1)
+	for i, t := range work.Tables {
+		proof.FinalEvals[i] = t.Evals[0]
+	}
+	proof.FinalEvals[len(work.Tables)] = prefix
+	return proof, challenges, nil
 }
 
 // VerifyZero replays the ZeroCheck. It returns the challenge point and the
