@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck fmt vet docs
+.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck fmt vet lint fuzz-smoke docs
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,19 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Invariant gate: gofmt + go vet + the zkvet analyzer suite
+# (internal/analysis) over the whole module — proof-path determinism,
+# lazy-reduction window guards, arena Get/Put pairing, raw goroutines,
+# error paths. See DESIGN.md §6.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/zkvet ./...
+
+# Run every Fuzz target in the tree for FUZZTIME (default 10s) each.
+fuzz-smoke:
+	sh scripts/fuzzsmoke.sh
 
 # Documentation gate: every package must carry a godoc package comment.
 docs:
@@ -33,18 +46,21 @@ bench-smoke:
 
 # Full kernel measurement at the sizes the bench trajectory tracks
 # (2^16–2^20 MSMs; end-to-end Prove at logGates=16). Takes minutes.
+# Override the output record per PR: `make bench-json OUT=BENCH_pr6.json`
+# (the default preserves the PR 4 record name for continuity).
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -o $(or $(OUT),BENCH_pr4.json)
 
 # The GLV before/after record alone: curve.MSM at 2^16–2^20 against the
 # BENCH_pr2.json serial numbers. Minutes, not tens of minutes. Writes a
-# separate file so the full-kernel BENCH_pr4.json record is never clobbered
-# by a 3-series run.
+# separate file (override with OUT=...) so the full-kernel record is
+# never clobbered by a 3-series run.
 bench-msm:
-	$(GO) run ./cmd/benchjson -msm -o BENCH_pr4_msm.json
+	$(GO) run ./cmd/benchjson -msm -o $(or $(OUT),BENCH_pr4_msm.json)
 
 # The scalar-field (SumCheck fast path) record alone: per-round scan at
 # 2^16–2^20, eq-factorized ZeroCheck, perm.Build, mle.Evaluate, and the
 # end-to-end Prove, against the PR 4 serial baselines. Minutes.
+# Override the output record with OUT=... as above.
 bench-sumcheck:
-	$(GO) run ./cmd/benchjson -sumcheck -o BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -sumcheck -o $(or $(OUT),BENCH_pr5.json)

@@ -105,6 +105,7 @@ func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache i
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	//zkvet:ignore norawgo daemon lifecycle: the HTTP listener is not prover concurrency and must outlive any worker budget
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	budget := workers
 	if budget <= 0 {

@@ -41,6 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//zkvet:ignore norawgo example harness runs the service in-process; the listener is lifecycle, not prover concurrency
 	go http.Serve(ln, svc.Handler())
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("service listening on %s\n\n", base)

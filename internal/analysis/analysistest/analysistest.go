@@ -1,0 +1,148 @@
+// Package analysistest runs zkvet analyzers over testdata fixture
+// packages and checks their findings against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library alone.
+//
+// A fixture directory is one package, loaded "as" an arbitrary import
+// path so that path-scoped analyzers (determinism's proof-path set,
+// errorpath's service-layer rule) can be pointed at or away from the
+// fixture. Every flagged line carries a trailing comment
+//
+//	x := GetScratch(n) // want "never returned to the arena"
+//
+// with one Go-quoted regexp per expected finding on that line. A
+// diagnostic with no matching want, or a want with no matching
+// diagnostic, fails the test. //zkvet:ignore suppression and its
+// malformed-directive findings run exactly as in cmd/zkvet, so
+// fixtures can assert both sides of the suppression contract.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"zkphire/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+// sharedLoader memoizes one Loader per test process: the module's real
+// packages (ff, parallel, …) and the stdlib are then type-checked once
+// across all fixtures.
+func sharedLoader() (*analysis.Loader, error) {
+	loaderOnce.Do(func() {
+		root, err := analysis.FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = analysis.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+// Load parses and type-checks the fixture package in dir under the
+// import path asPath, sharing the process-wide loader. Tests that
+// assert on raw diagnostics (path scoping, directive validation) use
+// it directly with analysis.Run.
+func Load(t *testing.T, dir, asPath string) *analysis.Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// Run loads the fixture package in dir under the import path asPath,
+// runs the analyzers (suppressions included), and compares findings
+// with the fixture's want comments.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg := Load(t, dir, asPath)
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("unexpected finding at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing finding at %s: no diagnostic matched %q", key, w.re.String())
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantPattern extracts the Go-quoted regexps of a want comment.
+var wantPattern = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantPattern.FindAllString(rest, -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, s, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func cutWant(comment string) (string, bool) {
+	const prefix = "// want "
+	if len(comment) > len(prefix) && comment[:len(prefix)] == prefix {
+		return comment[len(prefix):], true
+	}
+	return "", false
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags constructs that can change proof bytes between two
+// runs of the same witness in proof-path packages (ProofPathPackages):
+//
+//   - ranging over a map — Go randomizes iteration order per run, so any
+//     map walk that feeds the transcript, a table, or a serialized form
+//     reorders bytes nondeterministically;
+//   - reading wall-clock time (time.Now/Since/Until) — timestamps must
+//     never influence field elements or transcript absorption;
+//   - ambient randomness: package-level math/rand or math/rand/v2
+//     functions (rand.Intn, rand.Shuffle, …) and anything from
+//     crypto/rand — randomness in the proof path belongs to the
+//     transcript's Fiat–Shamir challenges. Constructing an explicit
+//     seeded source (rand.New, rand.NewSource, rand.NewPCG) and calling
+//     methods on it is setup, not ambient randomness: the seed is
+//     injected by the caller, so the stream is deterministic — that is
+//     how ff.Rand and pcs.SetupDeterministic stay reproducible;
+//   - select over channels — when several cases are ready the runtime
+//     picks pseudo-randomly, so transcript-ordered code must not
+//     sequence work through select.
+//
+// The golden proof pins (TestProofBytesGoldenPR4) catch a regression
+// only on the circuits they pin; this analyzer catches the construct
+// everywhere. See DESIGN.md §6.1.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag nondeterministic constructs (map range, clock, ambient randomness, select) in proof-path packages",
+	Run:  runDeterminism,
+}
+
+// randPackages are the ambient-randomness packages banned outside setup.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// sourceConstructors are the math/rand entry points that build an
+// explicit seeded source — the dependency-injection seam that keeps
+// test and setup randomness deterministic. Methods on the returned
+// source are likewise exempt (they are resolved as method objects, see
+// isAmbientRand).
+var sourceConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// clockFuncs are the wall-clock reads banned in the proof path.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) error {
+	if !ProofPathPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if n.X != nil {
+					if t := pass.Info.TypeOf(n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(n.Pos(), "range over map has nondeterministic iteration order in a proof-path package; iterate a sorted key slice instead")
+						}
+					}
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select chooses among ready cases pseudo-randomly; transcript-ordered code must not sequence work through select")
+			case *ast.CallExpr:
+				obj := calleeObj(pass.Info, n)
+				switch pkg := objPkgPath(obj); {
+				case pkg == "time" && clockFuncs[obj.Name()]:
+					pass.Reportf(n.Pos(), "time.%s in a proof-path package: wall-clock reads must never influence proof bytes", obj.Name())
+				case isAmbientRand(obj, pkg):
+					pass.Reportf(n.Pos(), "%s.%s in a proof-path package: ambient randomness breaks byte-identical proofs; randomness belongs to the transcript (or to an injected seeded source)", pkg, obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAmbientRand reports whether obj is a banned randomness entry point:
+// everything in crypto/rand, and package-level math/rand functions that
+// draw from the shared global source. Seeded-source constructors and
+// methods on an explicit source value (*rand.Rand, *rand.PCG, …) are
+// setup, not ambient randomness.
+func isAmbientRand(obj types.Object, pkg string) bool {
+	if !randPackages[pkg] {
+		return false
+	}
+	if pkg == "crypto/rand" {
+		return true
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Signature().Recv() != nil {
+		return false // method on an explicit source value
+	}
+	return !sourceConstructors[fn.Name()]
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// servicePath is the zkphired service layer, where errors cross an API
+// boundary and must stay inspectable with errors.Is/As.
+const servicePath = Module + "/internal/service"
+
+// ErrorPath encodes two error-handling contracts:
+//
+//  1. Never-panic deserialization. Unmarshal entry points
+//     (Unmarshal*, *.UnmarshalBinary, *.UnmarshalJSON) consume
+//     attacker-controlled bytes — the zkphired service feeds them
+//     request bodies directly — so every malformed input must surface
+//     as an error, never a panic. The analyzer builds the package-local
+//     static call graph and reports any panic, log.Fatal*, or os.Exit
+//     call reachable from an Unmarshal root. (Cross-package calls are
+//     out of reach of a per-package pass; each layer's own Unmarshal
+//     roots cover its own helpers, which in practice is where the
+//     length-check-free indexing lives.)
+//
+//  2. Wrapped errors in the service layer. fmt.Errorf("...: %v", err)
+//     severs the error chain right where callers of the proving service
+//     need errors.Is to distinguish admission-control rejections from
+//     prover failures. An error-typed argument to fmt.Errorf whose
+//     format string has no %w verb is a finding.
+//
+// See DESIGN.md §6.5.
+var ErrorPath = &Analyzer{
+	Name: "errorpath",
+	Doc:  "flag panics reachable from Unmarshal entry points and unwrapped errors in the service layer",
+	Run:  runErrorPath,
+}
+
+func runErrorPath(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, Module+"/") && path != Module {
+		return nil
+	}
+	checkUnmarshalPanics(pass)
+	if path == servicePath || path == Module {
+		checkErrorWrapping(pass)
+	}
+	return nil
+}
+
+// fatalSite is one statically unacceptable exit in a function body.
+type fatalSite struct {
+	fn   *types.Func
+	call *ast.CallExpr
+	what string
+}
+
+// checkUnmarshalPanics walks the package-local call graph from
+// Unmarshal roots to panic/log.Fatal/os.Exit sites.
+func checkUnmarshalPanics(pass *Pass) {
+	info := pass.Info
+
+	calls := map[*types.Func][]*types.Func{} // caller -> same-package callees
+	var sites []fatalSite
+	declOf := map[*types.Func]*ast.FuncDecl{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			declOf[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && isBuiltin(info, id) {
+					sites = append(sites, fatalSite{fn, call, "panic"})
+					return true
+				}
+				obj := calleeObj(info, call)
+				switch pkg := objPkgPath(obj); {
+				case pkg == "log" && strings.HasPrefix(obj.Name(), "Fatal"):
+					sites = append(sites, fatalSite{fn, call, "log." + obj.Name()})
+				case pkg == "os" && obj.Name() == "Exit":
+					sites = append(sites, fatalSite{fn, call, "os.Exit"})
+				case obj != nil && obj.Pkg() == pass.Pkg:
+					if callee, ok := obj.(*types.Func); ok {
+						calls[fn] = append(calls[fn], callee)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// BFS from each Unmarshal root; remember the shortest call chain so
+	// the diagnostic can say how the panic is reached.
+	var roots []*types.Func
+	for fn := range declOf {
+		if strings.HasPrefix(fn.Name(), "Unmarshal") {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	reachable := map[*types.Func]string{} // fn -> root it is reachable from
+	for _, root := range roots {
+		queue := []*types.Func{root}
+		seen := map[*types.Func]bool{root: true}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			if _, ok := reachable[fn]; !ok {
+				reachable[fn] = root.FullName()
+			}
+			for _, callee := range calls[fn] {
+				if !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+
+	for _, s := range sites {
+		root, ok := reachable[s.fn]
+		if !ok {
+			continue
+		}
+		pass.Reportf(s.call.Pos(), "%s is reachable from %s: deserialization of untrusted bytes must return an error, never crash the prover", s.what, root)
+	}
+}
+
+// checkErrorWrapping flags fmt.Errorf calls that stringify an error
+// argument without %w.
+func checkErrorWrapping(pass *Pass) {
+	info := pass.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if !objIsFunc(obj, "fmt", "", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				if strings.Contains(constant.StringVal(tv.Value), "%w") {
+					return true
+				}
+			} else {
+				return true // non-constant format string: nothing to prove
+			}
+			for _, a := range call.Args[1:] {
+				if t := info.TypeOf(a); t != nil && isErrorType(t) {
+					pass.Reportf(a.Pos(), "error argument is stringified by fmt.Errorf without %%w: the chain is severed and errors.Is/As stop working at the service boundary")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

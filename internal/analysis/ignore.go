@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreKey identifies a suppression scope: one analyzer at one line of
+// one file.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// matches reports whether d is suppressed by a directive on the same
+// line or on the line directly above it.
+func (s ignoreSet) matches(d Diagnostic) bool {
+	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+}
+
+const ignorePrefix = "//zkvet:ignore"
+
+// collectIgnores scans every comment of the package for
+// //zkvet:ignore directives. Malformed directives — a missing or
+// unknown analyzer name, or an empty reason — are returned as
+// diagnostics under the pseudo-analyzer name "zkvet" so they fail the
+// build rather than silently suppressing nothing.
+func collectIgnores(pkg *Package, known map[string]bool) (ignoreSet, []Diagnostic) {
+	ignores := ignoreSet{}
+	var bad []Diagnostic
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{Pos: pos, Analyzer: "zkvet", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //zkvet:ignoreXYZ — not a directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "zkvet:ignore needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(pos, "zkvet:ignore names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, "zkvet:ignore "+name+" needs a non-empty reason")
+					continue
+				}
+				ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return ignores, bad
+}

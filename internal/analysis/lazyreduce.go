@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ffPath is the scalar-field package that owns the lazy-reduction
+// kernels and their overflow-window constants.
+const ffPath = Module + "/internal/ff"
+
+// LazyReduce polices the lazy-reduction overflow windows of DESIGN.md
+// §5. ff.SumVec adds raw 4-limb Montgomery representations into a
+// 5-limb accumulator — sound only while the element count stays below
+// the 2^65-add window; ff.InnerProductVec and ff.LazyAcc.MulAcc
+// accumulate full 512-bit products into 9 limbs — sound below the
+// 2^66-product window. Nothing at the call site enforces either bound:
+// a future caller that feeds an unbounded length silently wraps the top
+// limb and corrupts field arithmetic without any test noticing (the
+// result is still a valid-looking element).
+//
+// The analyzer therefore requires every package that calls a windowed
+// kernel (outside ff itself) to carry a compile-time guard constant
+// tying its maximum chunk length to the window:
+//
+//	// 2^26 table entries stay far below the 2^65-add window.
+//	const _ = uint(ff.SumWindowLog2 - maxTableLog2)
+//
+// The uint conversion is the teeth: if the package's bound ever grows
+// past the window, the constant goes negative and the conversion is a
+// compile error. A call in a package with no such guard for the
+// matching window is a finding. See DESIGN.md §6.2.
+var LazyReduce = &Analyzer{
+	Name: "lazyreduce",
+	Doc:  "require a compile-time window guard in every package calling the ff lazy-reduction kernels",
+	Run:  runLazyReduce,
+}
+
+// windowedKernels maps each windowed ff API to the guard constant its
+// callers must check against. Key: "Name" for package functions,
+// "Recv.Name" for methods.
+var windowedKernels = map[string]string{
+	"SumVec":              "SumWindowLog2",
+	"Vector.Sum":          "SumWindowLog2",
+	"InnerProductVec":     "ProductWindowLog2",
+	"Vector.InnerProduct": "ProductWindowLog2",
+	"LazyAcc.MulAcc":      "ProductWindowLog2",
+}
+
+func runLazyReduce(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path == ffPath || (!strings.HasPrefix(path, Module+"/") && path != Module) {
+		return nil
+	}
+
+	guarded := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					collectWindowGuards(pass.Info, v, false, guarded)
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kernel, window := windowedCallee(pass.Info, call)
+			if kernel == "" || guarded[window] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "ff.%s accumulates unreduced limbs (sound below the 2^%s window, DESIGN.md §5); this package needs a compile-time guard like `const _ = uint(ff.%s - log2(maxLen))`",
+				kernel, windowBits(window), window)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectWindowGuards walks a constant initializer expression and
+// records which ff window constants appear under a conversion to an
+// unsigned integer type — the shape that turns a window overflow into a
+// compile error.
+func collectWindowGuards(info *types.Info, e ast.Expr, unsigned bool, out map[string]bool) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		// A conversion T(x) parses as a call whose Fun is a type.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsUnsigned != 0 {
+				collectWindowGuards(info, e.Args[0], true, out)
+				return
+			}
+		}
+		for _, a := range e.Args {
+			collectWindowGuards(info, a, unsigned, out)
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; unsigned && objPkgPath(obj) == ffPath {
+			if name := obj.Name(); name == "SumWindowLog2" || name == "ProductWindowLog2" {
+				out[name] = true
+			}
+		}
+	case *ast.BinaryExpr:
+		collectWindowGuards(info, e.X, unsigned, out)
+		collectWindowGuards(info, e.Y, unsigned, out)
+	case *ast.ParenExpr:
+		collectWindowGuards(info, e.X, unsigned, out)
+	case *ast.UnaryExpr:
+		collectWindowGuards(info, e.X, unsigned, out)
+	}
+}
+
+// windowedCallee reports which windowed kernel (if any) a call invokes
+// and the guard constant it requires.
+func windowedCallee(info *types.Info, call *ast.CallExpr) (kernel, window string) {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || objPkgPath(fn) != ffPath {
+		return "", ""
+	}
+	name := fn.Name()
+	if recv := fn.Signature().Recv(); recv != nil {
+		rt := recv.Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	window, ok = windowedKernels[name]
+	if !ok {
+		return "", ""
+	}
+	return name, window
+}
+
+func windowBits(window string) string {
+	if window == "SumWindowLog2" {
+		return "65-add"
+	}
+	return "66-product"
+}

@@ -1,0 +1,80 @@
+// Package fixture holds the release patterns the arenapair analyzer
+// must accept: defer pairing, branch-scoped pairs, nil-guarded
+// lazy Get/Put, alias releases, panic guards, and ownership transfers.
+package fixture
+
+import "zkphire/internal/parallel"
+
+var pool parallel.Arena[uint64]
+
+// deferred releases on every exit, early returns included.
+func deferred(n int) int {
+	buf := parallel.GetScratch(n)
+	defer parallel.PutScratch(buf)
+	m := len(buf)
+	if m > 4 {
+		return 4
+	}
+	return m
+}
+
+// branchScoped gets and puts entirely inside one branch.
+func branchScoped(n int, have []uint64) int {
+	total := len(have)
+	if total < n {
+		buf := pool.Get(n)
+		copy(buf, have)
+		total = len(buf)
+		pool.Put(buf)
+	}
+	return total
+}
+
+// lazy is the MSM Jacobian-overflow idiom: a conditionally obtained
+// buffer released behind the matching nil guard.
+func lazy(n int, need bool) {
+	var buf []uint64
+	if need {
+		buf = pool.Get(n)
+	}
+	if buf != nil {
+		buf[0] = 1
+	}
+	if buf != nil {
+		pool.Put(buf)
+	}
+}
+
+// aliasPut releases through a reslice alias of the buffer.
+func aliasPut(n int) {
+	buf := pool.Get(n)
+	cur := buf[:0]
+	for i := 0; i < n; i++ {
+		cur = append(cur, uint64(i))
+	}
+	pool.Put(cur)
+}
+
+// guarded panics on a bound violation before the release; panic is a
+// terminator, not a leak.
+func guarded(n int) {
+	buf := pool.Get(n)
+	if n > 1<<30 {
+		panic("bound")
+	}
+	pool.Put(buf)
+}
+
+type holder struct{ buf []uint64 }
+
+// transfer stores the buffer into a field: ownership moves to the
+// holder, which is responsible for the Put.
+func transfer(h *holder, n int) {
+	h.buf = pool.Get(n)
+}
+
+// handoff returns the buffer to the caller, who now owns the Put.
+func handoff(n int) []uint64 {
+	buf := pool.Get(n)
+	return buf
+}

@@ -1,0 +1,35 @@
+// Package fixture contains every arena-pairing violation class the
+// arenapair analyzer reports.
+package fixture
+
+import "zkphire/internal/parallel"
+
+var pool parallel.Arena[uint64]
+
+func earlyReturn(n int) {
+	buf := parallel.GetScratch(n)
+	if n > 1<<20 {
+		return // want "return leaks buf"
+	}
+	parallel.PutScratch(buf)
+}
+
+func neverPut(n int) {
+	buf := parallel.GetScratch(n) // want "never returned to the arena in neverPut"
+	_ = buf[0]
+}
+
+func dropped(n int) {
+	_ = parallel.GetScratch(n) // want "assigned to _ is never returned to the pool"
+}
+
+func unassigned(n int) int {
+	return len(parallel.GetScratch(n)) // want "not assigned to a variable"
+}
+
+func fallThrough(n int, flush bool) {
+	buf := pool.Get(n) // want "may reach the end of fallThrough"
+	if flush {
+		pool.Put(buf)
+	}
+}

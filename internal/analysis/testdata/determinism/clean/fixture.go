@@ -1,0 +1,23 @@
+// Package fixture holds constructs the determinism analyzer must NOT
+// flag even inside a proof-path package: injected seeded sources and
+// ordered iteration.
+package fixture
+
+import "math/rand"
+
+// seeded builds an explicit source from a caller-owned seed — the
+// dependency-injection seam ff.Rand uses. Methods on the source are
+// deterministic and exempt.
+func seeded(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Uint64()
+}
+
+// overSlice iterates a slice, which has a defined order.
+func overSlice(keys []string) int {
+	n := 0
+	for range keys {
+		n++
+	}
+	return n
+}

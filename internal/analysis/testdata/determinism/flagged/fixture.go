@@ -1,0 +1,36 @@
+// Package fixture exercises every construct the determinism analyzer
+// bans. The test loads it under a proof-path import path.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func mapOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "range over map has nondeterministic iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func clock() int64 {
+	t := time.Now() // want "wall-clock reads must never influence proof bytes"
+	return t.Unix()
+}
+
+func ambient(buf []byte) uint64 {
+	crand.Read(buf)      // want "crypto/rand.Read in a proof-path package"
+	return rand.Uint64() // want "math/rand.Uint64 in a proof-path package"
+}
+
+func racy(a, b chan int) int {
+	select { // want "select chooses among ready cases pseudo-randomly"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

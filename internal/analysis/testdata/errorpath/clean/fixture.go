@@ -1,0 +1,28 @@
+// Package fixture satisfies both errorpath contracts: Unmarshal paths
+// return errors, service errors wrap with %w, and the one panic lives
+// in a helper no Unmarshal root reaches.
+package fixture
+
+import "fmt"
+
+type Blob struct{ b []byte }
+
+func (d *Blob) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("blob: short buffer: %d bytes", len(data))
+	}
+	d.b = data
+	return nil
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("rejected: %w", err)
+}
+
+// mustSize panics, but nothing on an Unmarshal path calls it.
+func mustSize(n int) int {
+	if n < 0 {
+		panic("negative size")
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+// Package fixture violates both errorpath contracts: panics reachable
+// from Unmarshal entry points, and fmt.Errorf stringifying an error
+// without %w. The test loads it as the service-layer import path.
+package fixture
+
+import (
+	"fmt"
+	"log"
+)
+
+type Blob struct{ b []byte }
+
+func (d *Blob) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		panic("blob: short buffer") // want "panic is reachable from .*UnmarshalBinary"
+	}
+	d.b = data
+	return nil
+}
+
+func UnmarshalHeader(data []byte) (int, error) {
+	return headerLen(data), nil
+}
+
+func headerLen(data []byte) int {
+	if len(data) == 0 {
+		panic("empty header") // want "panic is reachable from .*UnmarshalHeader"
+	}
+	return int(data[0])
+}
+
+func UnmarshalStrict(data []byte) error {
+	if len(data) == 0 {
+		log.Fatal("no data") // want "log.Fatal is reachable from"
+	}
+	return nil
+}
+
+func reject(err error) error {
+	return fmt.Errorf("rejected: %v", err) // want "stringified by fmt.Errorf without %w"
+}

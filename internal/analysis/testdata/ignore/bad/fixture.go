@@ -1,0 +1,19 @@
+// Package fixture holds malformed //zkvet:ignore directives. Each is
+// itself a finding, and none of them suppresses the go statement it
+// precedes.
+package fixture
+
+func spawnNoReason(done chan struct{}) {
+	//zkvet:ignore norawgo
+	go func() { close(done) }()
+}
+
+func spawnUnknown(done chan struct{}) {
+	//zkvet:ignore nosuchpass the analyzer name does not exist
+	go func() { close(done) }()
+}
+
+func spawnBare(done chan struct{}) {
+	//zkvet:ignore
+	go func() { close(done) }()
+}

@@ -1,0 +1,9 @@
+// Package fixture suppresses a norawgo finding with a well-formed
+// directive: analyzer name plus a non-empty reason. Running the full
+// suite over it must produce zero diagnostics.
+package fixture
+
+func spawn(done chan struct{}) {
+	//zkvet:ignore norawgo fixture demonstrates a suppression carrying its mandatory reason
+	go func() { close(done) }()
+}

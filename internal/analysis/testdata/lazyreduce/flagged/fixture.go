@@ -1,0 +1,21 @@
+// Package fixture calls the windowed ff kernels without any
+// compile-time window guard, so every call is a finding.
+package fixture
+
+import "zkphire/internal/ff"
+
+func total(v []ff.Element) ff.Element {
+	return ff.SumVec(v) // want "SumVec accumulates unreduced limbs"
+}
+
+func dot(a, b ff.Vector) ff.Element {
+	return a.InnerProduct(b) // want "Vector.InnerProduct accumulates unreduced limbs"
+}
+
+func accumulate(a, b []ff.Element) ff.Element {
+	var acc ff.LazyAcc
+	for i := range a {
+		acc.MulAcc(&a[i], &b[i]) // want "LazyAcc.MulAcc accumulates unreduced limbs"
+	}
+	return acc.Reduce()
+}

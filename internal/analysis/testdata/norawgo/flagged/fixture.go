@@ -1,0 +1,13 @@
+// Package fixture spawns raw goroutines outside internal/parallel;
+// both the loop and non-loop forms are findings.
+package fixture
+
+func spawn(done chan struct{}) {
+	go func() { close(done) }() // want "raw go statement outside internal/parallel"
+}
+
+func spawnLoop(ch chan int) {
+	for i := 0; i < 4; i++ {
+		go func() { ch <- i }() // want "goroutine spawned in a loop outside internal/parallel"
+	}
+}

@@ -1,0 +1,143 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"zkphire/internal/analysis"
+	"zkphire/internal/analysis/analysistest"
+)
+
+// fixturePath is a module-internal import path that is neither a
+// proof-path package, internal/parallel, internal/ff, nor the service
+// layer — the "anywhere else in the module" vantage point.
+const fixturePath = "zkphire/internal/fixture"
+
+func one(a *analysis.Analyzer) []*analysis.Analyzer { return []*analysis.Analyzer{a} }
+
+func TestDeterminismFlagged(t *testing.T) {
+	analysistest.Run(t, one(analysis.Determinism), "testdata/determinism/flagged", "zkphire/internal/transcript")
+}
+
+func TestDeterminismClean(t *testing.T) {
+	analysistest.Run(t, one(analysis.Determinism), "testdata/determinism/clean", "zkphire/internal/transcript")
+}
+
+// TestDeterminismScope loads the flagged fixture outside the proof
+// path, where none of its constructs matter for proof bytes.
+func TestDeterminismScope(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/determinism/flagged", fixturePath)
+	diags, err := analysis.Run(pkg, one(analysis.Determinism))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("determinism fired outside the proof path: %s", d)
+	}
+}
+
+func TestLazyReduceFlagged(t *testing.T) {
+	analysistest.Run(t, one(analysis.LazyReduce), "testdata/lazyreduce/flagged", fixturePath)
+}
+
+func TestLazyReduceClean(t *testing.T) {
+	analysistest.Run(t, one(analysis.LazyReduce), "testdata/lazyreduce/clean", fixturePath)
+}
+
+func TestArenaPairFlagged(t *testing.T) {
+	analysistest.Run(t, one(analysis.ArenaPair), "testdata/arenapair/flagged", fixturePath)
+}
+
+func TestArenaPairClean(t *testing.T) {
+	analysistest.Run(t, one(analysis.ArenaPair), "testdata/arenapair/clean", fixturePath)
+}
+
+func TestNoRawGoFlagged(t *testing.T) {
+	analysistest.Run(t, one(analysis.NoRawGo), "testdata/norawgo/flagged", fixturePath)
+}
+
+// TestNoRawGoScope loads the same fixture as internal/parallel itself,
+// the one package allowed to own goroutines.
+func TestNoRawGoScope(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/norawgo/flagged", "zkphire/internal/parallel")
+	diags, err := analysis.Run(pkg, one(analysis.NoRawGo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("norawgo fired inside internal/parallel: %s", d)
+	}
+}
+
+func TestErrorPathFlagged(t *testing.T) {
+	analysistest.Run(t, one(analysis.ErrorPath), "testdata/errorpath/flagged", "zkphire/internal/service")
+}
+
+func TestErrorPathClean(t *testing.T) {
+	analysistest.Run(t, one(analysis.ErrorPath), "testdata/errorpath/clean", "zkphire/internal/service")
+}
+
+// TestErrorWrapScope checks the %w rule stays confined to the service
+// layer: the same fixture elsewhere keeps its Unmarshal findings but
+// loses the wrapping ones.
+func TestErrorWrapScope(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/errorpath/flagged", fixturePath)
+	diags, err := analysis.Run(pkg, one(analysis.ErrorPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawUnmarshal := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "%w") {
+			t.Errorf("wrapping rule fired outside the service layer: %s", d)
+		}
+		if strings.Contains(d.Message, "reachable from") {
+			sawUnmarshal = true
+		}
+	}
+	if !sawUnmarshal {
+		t.Error("Unmarshal panic rule should apply module-wide, found nothing")
+	}
+}
+
+// TestIgnoreSuppressed: a well-formed directive silences its finding
+// and produces no diagnostics of its own.
+func TestIgnoreSuppressed(t *testing.T) {
+	analysistest.Run(t, analysis.All(), "testdata/ignore/suppressed", fixturePath)
+}
+
+// TestIgnoreMalformed: a directive missing its reason (or naming an
+// unknown analyzer, or naming nothing) is itself a finding AND fails to
+// suppress the diagnostic it precedes.
+func TestIgnoreMalformed(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/ignore/bad", fixturePath)
+	diags, err := analysis.Run(pkg, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"needs a non-empty reason",
+		"names unknown analyzer nosuchpass",
+		"needs an analyzer name and a reason",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "zkvet" && strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no zkvet directive diagnostic containing %q in %v", want, diags)
+		}
+	}
+	suppressed := 0
+	for _, d := range diags {
+		if d.Analyzer == "norawgo" {
+			suppressed++
+		}
+	}
+	if suppressed != 3 {
+		t.Errorf("malformed directives must not suppress: want 3 norawgo findings, got %d in %v", suppressed, diags)
+	}
+}

@@ -36,6 +36,23 @@ import (
 // that both the 2-step (sums) and 6-step (products) paths land back on the
 // representation they started from.
 
+// Overflow windows of the lazy-reduction accumulators (DESIGN.md §5).
+// Each addend of SumVec is < q < 2^255, so the 320-bit sum accumulator
+// holds ~2^65 raw adds before its fifth limb could overflow; each
+// product fed to LazyAcc/InnerProductVec is < q² < 2^510, so the
+// 576-bit product accumulator holds ~2^66 products. Callers outside
+// this package must tie their maximum chunk length to these constants
+// with a compile-time guard — `const _ = uint(ff.SumWindowLog2 - maxLog2)`
+// goes negative (and stops compiling) the moment a bound outgrows the
+// window. The zkvet lazyreduce analyzer enforces the guard's presence
+// (DESIGN.md §6.2).
+const (
+	// SumWindowLog2 bounds raw 4-limb adds per SumVec/Vector.Sum call.
+	SumWindowLog2 = 65
+	// ProductWindowLog2 bounds 512-bit products per LazyAcc before Reduce.
+	ProductWindowLog2 = 66
+)
+
 // shrinkFix = 2^384 mod q as plain limbs, derived at init. For a sum
 // accumulator shrunk by 2 steps, Mul(r, shrinkFix) = r·2^384·2^{-256} =
 // r·2^128 undoes the 2^{-128}; for a product accumulator shrunk by 6 steps

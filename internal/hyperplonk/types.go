@@ -123,6 +123,7 @@ func PreprocessWorkers(srs *pcs.SRS, c *gates.Circuit, workers int) (*Index, err
 	idx.Endo = srs.WarmEndo(c.NumVars+1, workers)
 
 	names := make([]string, 0, len(c.Selectors))
+	//zkvet:ignore determinism keys are collected then sorted two lines below; only the sorted order reaches the index and the transcript
 	for n := range c.Selectors {
 		names = append(names, n)
 	}

@@ -268,6 +268,15 @@ func CombineCommitments(cs []Commitment, coeffs []ff.Element) (Commitment, error
 	return Commitment{Point: aff, NumVars: k}, nil
 }
 
+// CombineTablesWorkers' per-entry ff.LazyAcc gathers one 512-bit
+// product per table before reducing, sound below ff's 2^66-product
+// window (DESIGN.md §5). tables is a single Go slice, so the count is
+// below 2^63; if the window ever shrinks under that bound this constant
+// goes negative and the package stops compiling. zkvet's lazyreduce
+// analyzer requires this guard in every package calling a windowed
+// kernel.
+const _ = uint(ff.ProductWindowLog2 - 63)
+
 // CombineTables returns Σ coeffs[i]·tables[i] as a new table.
 func CombineTables(tables []*mle.Table, coeffs []ff.Element) (*mle.Table, error) {
 	return CombineTablesWorkers(tables, coeffs, 1)
@@ -295,6 +304,10 @@ func CombineTablesWorkers(tables []*mle.Table, coeffs []ff.Element, workers int)
 			cols[i] = t.Evals
 		}
 		for j := lo; j < hi; j++ {
+			// One accumulator gathers len(tables) 512-bit products
+			// before its single Reduce; tables is a Go slice, so the
+			// count stays below 2^63 — inside the 2^66-product window
+			// the guard above ties to DESIGN.md §5.
 			var acc ff.LazyAcc
 			for i := range cols {
 				acc.MulAcc(&coeffs[i], &cols[i][j])

@@ -180,6 +180,7 @@ func FromExpr(name string, id int, e expr.Expr, roleOverride map[string]Role) *C
 		}
 	}
 	varNames := make([]string, 0, len(nameSet))
+	//zkvet:ignore determinism keys are collected then sorted two lines below; VarNames is deterministic for every expression
 	for v := range nameSet {
 		varNames = append(varNames, v)
 	}

@@ -70,6 +70,7 @@ func NewQueue(budget *parallel.Budget, inflight, depth int, m *Metrics) *Queue {
 	}
 	q.wg.Add(inflight)
 	for i := 0; i < inflight; i++ {
+		//zkvet:ignore norawgo fixed-size dispatcher pool bounded by the admission-control inflight cap; per-job workers still lease from parallel.Budget
 		go q.dispatch()
 	}
 	return q

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Fuzz smoke: run every Fuzz target in the tree briefly (FUZZTIME each,
+# default 10s). This is not a fuzzing campaign — it is a CI regression
+# check that the fuzz harnesses still build, their seed corpora still
+# pass, and ten seconds of coverage-guided input finds nothing.
+#
+# Targets are discovered by scanning test files, so adding a Fuzz
+# function anywhere picks it up automatically.
+set -eu
+
+GO="${GO:-go}"
+FUZZTIME="${FUZZTIME:-10s}"
+
+found=0
+for file in $(grep -rl --include='*_test.go' '^func Fuzz' .); do
+	dir=$(dirname "$file")
+	for target in $(grep -ho '^func Fuzz[A-Za-z0-9_]*' "$file" | sed 's/^func //'); do
+		found=$((found + 1))
+		echo "fuzz-smoke: $target in $dir ($FUZZTIME)"
+		"$GO" test -run='^$' -fuzz="^${target}"'$' -fuzztime="$FUZZTIME" "$dir"
+	done
+done
+
+if [ "$found" -eq 0 ]; then
+	echo "fuzz-smoke: no Fuzz targets found" >&2
+	exit 1
+fi
+echo "fuzz-smoke: $found target(s) green"

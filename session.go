@@ -211,6 +211,7 @@ func (p *Prover) BatchProve(ctx context.Context, n, workers int) ([]*Proof, erro
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//zkvet:ignore norawgo coarse ctx-aware job pool, bounded by the workers budget; each job leases its split share through parallel
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
