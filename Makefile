@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck fmt vet lint fuzz-smoke docs
+.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck bench-pipeline fmt vet lint fuzz-smoke docs
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -quick -o /tmp/bench_smoke.json
 	$(GO) run ./cmd/benchjson -quick -msm -o /tmp/bench_smoke_msm.json
 	$(GO) run ./cmd/benchjson -quick -sumcheck -o /tmp/bench_smoke_sumcheck.json
+	$(GO) run ./cmd/benchjson -quick -pipeline -o /tmp/bench_smoke_pipeline.json
 
 # Full kernel measurement at the sizes the bench trajectory tracks
 # (2^16–2^20 MSMs; end-to-end Prove at logGates=16). Takes minutes.
@@ -64,3 +65,11 @@ bench-msm:
 # Override the output record with OUT=... as above.
 bench-sumcheck:
 	$(GO) run ./cmd/benchjson -sumcheck -o $(or $(OUT),BENCH_pr5.json)
+
+# The schedule (pipelined stage-DAG) record: the PR 5 kernel set plus the
+# end-to-end Prove under both the pipelined and the strict sequential
+# schedule at workers=1 and GOMAXPROCS, against the PR 5 serial baselines.
+# Compare the two schedules' rows of the same record at equal budgets for
+# the overlap win. Minutes. Override the output with OUT=... as above.
+bench-pipeline:
+	$(GO) run ./cmd/benchjson -pipeline -o $(or $(OUT),BENCH_pr7.json)

@@ -29,8 +29,10 @@ const parallelPath = Module + "/internal/parallel"
 //     released only if every non-terminating branch released it.
 //
 // Ownership transfers are exempt: a buffer stored into a struct field,
-// slice, or map, returned to the caller, or appended into another
-// collection is someone else's to Put. See DESIGN.md §6.3.
+// slice, or map, returned to the caller, appended into another
+// collection, or sent over a channel (the streamed-commit chunk
+// hand-off: the consumer stage Puts after feeding the committer) is
+// someone else's to Put. See DESIGN.md §6.3.
 var ArenaPair = &Analyzer{
 	Name: "arenapair",
 	Doc:  "flag arena Get calls whose buffer is not Put on every path (early returns included)",
@@ -259,6 +261,12 @@ func escapes(info *types.Info, body *ast.BlockStmt, set map[types.Object]bool) b
 				if usesTracked(info, el, set) {
 					esc = true
 				}
+			}
+		case *ast.SendStmt:
+			// A channel send hands the buffer to the receiver (the
+			// streamed V-chunk pattern); the consumer owns the Put.
+			if usesTracked(info, n.Value, set) {
+				esc = true
 			}
 		case *ast.CallExpr:
 			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(info, id) {

@@ -78,3 +78,42 @@ func handoff(n int) []uint64 {
 	buf := pool.Get(n)
 	return buf
 }
+
+// streamHandoff is the streamed-commit chunk pattern: each scratch
+// buffer is sent to a consumer stage over a channel, transferring
+// ownership; the consumer Puts after feeding the committer.
+func streamHandoff(ch chan<- []uint64, n, chunks int) {
+	for i := 0; i < chunks; i++ {
+		buf := pool.Get(n)
+		for j := range buf {
+			buf[j] = uint64(i)
+		}
+		ch <- buf
+	}
+	close(ch)
+}
+
+type chunk struct {
+	off int
+	buf []uint64
+}
+
+// streamHandoffWrapped transfers ownership inside a chunk descriptor —
+// the composite literal is the escape, the send just carries it.
+func streamHandoffWrapped(ch chan<- chunk, n, off int) {
+	buf := pool.Get(n)
+	ch <- chunk{off: off, buf: buf}
+}
+
+// streamConsume is the receiving half: the loop owns each received
+// buffer and returns it to the arena once consumed.
+func streamConsume(ch <-chan []uint64) uint64 {
+	var total uint64
+	for buf := range ch {
+		for _, v := range buf {
+			total += v
+		}
+		pool.Put(buf)
+	}
+	return total
+}

@@ -1,6 +1,10 @@
 // Package fixture spawns raw goroutines outside internal/parallel;
-// both the loop and non-loop forms are findings.
+// both the loop and non-loop forms are findings, and resolving a
+// parallel.Future from a hand-rolled goroutine is no exemption — the
+// future is a result slot, the spawn still escapes the worker budget.
 package fixture
+
+import "zkphire/internal/parallel"
 
 func spawn(done chan struct{}) {
 	go func() { close(done) }() // want "raw go statement outside internal/parallel"
@@ -10,4 +14,20 @@ func spawnLoop(ch chan int) {
 	for i := 0; i < 4; i++ {
 		go func() { ch <- i }() // want "goroutine spawned in a loop outside internal/parallel"
 	}
+}
+
+func handRolledFuture(v int) *parallel.Future[int] {
+	f, resolve := parallel.NewFuture[int]()
+	go func() { resolve(v, nil) }() // want "raw go statement outside internal/parallel"
+	return f
+}
+
+func handRolledFanOut(vs []int) []*parallel.Future[int] {
+	futs := make([]*parallel.Future[int], len(vs))
+	for i, v := range vs {
+		f, resolve := parallel.NewFuture[int]()
+		go func() { resolve(v, nil) }() // want "goroutine spawned in a loop outside internal/parallel"
+		futs[i] = f
+	}
+	return futs
 }

@@ -56,6 +56,12 @@ func TestNoRawGoFlagged(t *testing.T) {
 	analysistest.Run(t, one(analysis.NoRawGo), "testdata/norawgo/flagged", fixturePath)
 }
 
+// TestNoRawGoClean: stage DAGs, budget fan-out, and externally resolved
+// futures route every spawn through internal/parallel — no findings.
+func TestNoRawGoClean(t *testing.T) {
+	analysistest.Run(t, one(analysis.NoRawGo), "testdata/norawgo/clean", fixturePath)
+}
+
 // TestNoRawGoScope loads the same fixture as internal/parallel itself,
 // the one package allowed to own goroutines.
 func TestNoRawGoScope(t *testing.T) {

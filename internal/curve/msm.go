@@ -1,6 +1,8 @@
 package curve
 
 import (
+	"context"
+
 	"zkphire/internal/ff"
 	"zkphire/internal/fp"
 	"zkphire/internal/parallel"
@@ -102,6 +104,22 @@ func MSMEndoWorkers(points []G1Affine, endoX []fp.Element, scalars []ff.Element,
 	return msmGLV(points, endoX, scalars, workers, windowSize(len(points)))
 }
 
+// MSMEndoWorkersCtx is MSMEndoWorkers with mid-MSM cancellation: the bucket
+// accumulation checks ctx every few thousand point visits, so a cancel lands
+// in milliseconds instead of waiting out a multi-second MSM. On cancellation
+// it returns ctx's error; the partial sum is discarded. The successful result
+// is identical to MSMEndoWorkers.
+func MSMEndoWorkersCtx(ctx context.Context, points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers int) (G1Jac, error) {
+	if len(points) != len(scalars) || len(endoX) != len(points) {
+		panic("curve: MSM length mismatch")
+	}
+	res := msmGLVCtx(ctx, points, endoX, scalars, workers, windowSize(len(points)))
+	if ctx != nil && ctx.Err() != nil {
+		return G1Jac{}, ctx.Err()
+	}
+	return res, nil
+}
+
 // glvScalarBits is the bit capacity of one decomposed scalar half: the
 // magnitudes are < 2^127 and signed-digit recoding can carry one bit past
 // the top, so windows must cover 128 bits.
@@ -112,6 +130,14 @@ const glvScalarBits = 128
 // case the φ-table is materialized from the arena for the duration of the
 // call (one fp.Mul per point).
 func msmGLV(points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers, c int) G1Jac {
+	return msmGLVCtx(nil, points, endoX, scalars, workers, c)
+}
+
+// msmGLVCtx is msmGLV with an optional cancellation context (nil means never
+// cancelled). When ctx fires, in-flight bucket accumulations bail out at
+// their next poll and the returned sum is garbage — callers must check
+// ctx.Err() and discard it (MSMEndoWorkersCtx does).
+func msmGLVCtx(ctx context.Context, points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers, c int) G1Jac {
 	var res G1Jac
 	res.SetInfinity()
 	n := len(points)
@@ -164,11 +190,11 @@ func msmGLV(points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
+		if lo >= hi || (ctx != nil && ctx.Err() != nil) {
 			partials[task].SetInfinity()
 			return
 		}
-		partials[task] = bucketSumGLV(points[lo:hi], endoX[lo:hi], splits[lo:hi], wi, c)
+		partials[task] = bucketSumGLV(ctx, points[lo:hi], endoX[lo:hi], splits[lo:hi], wi, c)
 	})
 
 	// Merge chunk sums per window (ascending chunk order), then combine
@@ -236,7 +262,7 @@ func glvDigit(k *[2]uint64, wi, c int) int {
 // queued slope reads the bucket value at queue time); a second addition to
 // the same bucket is deferred to a follow-up pass instead of flushing, so
 // the inversion stays amortized over full batches even for narrow windows.
-func bucketSumGLV(points []G1Affine, endoX []fp.Element, splits []glvSplit, wi, c int) G1Jac {
+func bucketSumGLV(ctx context.Context, points []G1Affine, endoX []fp.Element, splits []glvSplit, wi, c int) G1Jac {
 	numBuckets := 1 << uint(c-1)
 	// The bucket table stores bare (X, Y) pairs — 96 bytes per bucket, no
 	// Infinity-flag padding — so at c=16 the accumulation loop's random
@@ -467,6 +493,13 @@ func bucketSumGLV(points []G1Affine, endoX []fp.Element, splits []glvSplit, wi, 
 
 	var yTmp fp.Element
 	for i := range splits {
+		// Cancellation poll: ~4k point pairs between checks keeps the
+		// mid-MSM cancel latency in the low milliseconds at zero measurable
+		// cost. The partial sum returned after a break is discarded by the
+		// ctx-aware entry points.
+		if i&4095 == 0 && ctx != nil && ctx.Err() != nil {
+			break
+		}
 		s := &splits[i]
 		if nPend >= maxBatch-2 {
 			drainLoop()
@@ -616,13 +649,25 @@ type sparsePart struct {
 // the GLV machinery — adding P directly is already cheaper than any
 // decomposition.
 func SparseMSMEndoWorkers(points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers int) G1Jac {
+	res, _ := sparseMSMEndoCtx(nil, points, endoX, scalars, workers)
+	return res
+}
+
+// SparseMSMEndoWorkersCtx is SparseMSMEndoWorkers with mid-MSM cancellation
+// (see MSMEndoWorkersCtx): the 0/1/dense classification is cheap and runs to
+// completion, the dense Pippenger remainder polls ctx.
+func SparseMSMEndoWorkersCtx(ctx context.Context, points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers int) (G1Jac, error) {
+	return sparseMSMEndoCtx(ctx, points, endoX, scalars, workers)
+}
+
+func sparseMSMEndoCtx(ctx context.Context, points []G1Affine, endoX []fp.Element, scalars []ff.Element, workers int) (G1Jac, error) {
 	if len(points) != len(scalars) || (endoX != nil && len(endoX) != len(points)) {
 		panic("curve: MSM length mismatch")
 	}
 	if len(points) == 0 {
 		var res G1Jac
 		res.SetInfinity()
-		return res
+		return res, nil
 	}
 	part := parallel.MapReduce(workers, len(scalars), func(lo, hi int) sparsePart {
 		var p sparsePart
@@ -652,10 +697,13 @@ func SparseMSMEndoWorkers(points []G1Affine, endoX []fp.Element, scalars []ff.El
 	})
 	var dense G1Jac
 	if endoX != nil {
-		dense = msmGLV(part.densePoints, part.denseEndoX, part.denseScalars, workers, windowSize(len(part.densePoints)))
+		dense = msmGLVCtx(ctx, part.densePoints, part.denseEndoX, part.denseScalars, workers, windowSize(len(part.densePoints)))
 	} else {
-		dense = msmGLV(part.densePoints, nil, part.denseScalars, workers, windowSize(len(part.densePoints)))
+		dense = msmGLVCtx(ctx, part.densePoints, nil, part.denseScalars, workers, windowSize(len(part.densePoints)))
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return G1Jac{}, ctx.Err()
 	}
 	part.ones.AddAssign(&dense)
-	return part.ones
+	return part.ones, nil
 }

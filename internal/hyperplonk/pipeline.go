@@ -1,0 +1,420 @@
+package hyperplonk
+
+import (
+	"context"
+	"fmt"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
+	"zkphire/internal/pcs"
+	"zkphire/internal/perm"
+	"zkphire/internal/sumcheck"
+	"zkphire/internal/transcript"
+)
+
+// The pipelined prover (DESIGN.md §7).
+//
+// The five protocol steps of proveSequential are separated by Fiat-Shamir
+// barriers, but most of the compute inside each step does not depend on the
+// challenge that opens it. This file re-expresses the prover as an explicit
+// dependency DAG of stages executed by parallel.Graph, with transcript
+// traffic routed through a transcript.Sequencer so stages absorb out of
+// completion order while the byte stream stays exactly the sequential
+// schedule's. The legal overlaps:
+//
+//   - the per-wire witness MSMs run concurrently with the gate-assignment
+//     binding and with perm.Prepare (the permutation build's challenge-free
+//     allocation prefix);
+//   - the product-tree commitment streams: perm's Run emits each finished
+//     V segment, a consumer stage feeds it into pcs.CommitStream, so the
+//     commit's Pippenger work overlaps the tree build level by level;
+//   - the 4+2k batch evaluations run as independent single-worker stages
+//     the moment rPerm lands;
+//   - both OpenChecks split into a transcript-interactive stream and a
+//     deferred witness stage (openDeferred): open/main's witness MSM chain
+//     — the single largest serial tail — overlaps open/v's entire SumCheck.
+//
+// Worker discipline: every stage leases from the graph's one Budget
+// (parallel.AcquireUpTo — at least MinWorkers, topped up to what is free),
+// so overlapping stages never oversubscribe the machine and workers=1
+// degenerates to the sequential schedule's cost.
+//
+// Deadlock discipline: a stage that acquires a Sequencer slot interactively
+// (Slot.Transcript) declares dependencies on the stages that close every
+// earlier slot, so headship is immediate by the time the stage runs and no
+// stage ever holds a worker lease while blocked on the transcript.
+
+// vChunk is one finished product-tree segment in flight from perm.Run to
+// the streaming commit consumer. vals aliases the argument's V table —
+// final by the emission contract, so reading it concurrently with the
+// build of later segments is safe.
+type vChunk struct {
+	off  int
+	vals []ff.Element
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func provePipelined(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, error) {
+	tr := newTranscript(idx)
+	seq := transcript.NewSequencer(tr)
+	proof := &Proof{
+		WirePermEvals:  make([]ff.Element, idx.Wires),
+		SigmaPermEvals: make([]ff.Element, idx.Wires),
+	}
+	w := parallel.Workers(cfg.Workers)
+	g := parallel.NewGraph(ctx, w)
+	numWires := len(c.Wires)
+
+	// Slot reservations, in the sequential schedule's transcript order.
+	slotWire := make([]*transcript.Slot, numWires)
+	for j := range slotWire {
+		slotWire[j] = seq.Reserve(fmt.Sprintf("wire%d", j))
+	}
+	slotGate := seq.Reserve("gate-zerocheck")
+	slotBG := seq.Reserve("perm-challenges")
+	slotV := seq.Reserve("perm-v-comm")
+	slotPermZC := seq.Reserve("perm-zerocheck")
+	slotEvals := seq.Reserve("batch-evals")
+	slotOpenMain := seq.Reserve("open-main")
+	slotOpenV := seq.Reserve("open-v")
+
+	// ---- Step 1: per-wire witness MSMs (independent stages). ----
+	// Each wire leases ~1/k of the budget so the k MSMs genuinely overlap;
+	// the elastic top-up widens the last ones as siblings drain.
+	perWire := maxInt(1, w/maxInt(1, numWires))
+	wireFuts := make([]*parallel.Future[pcs.Commitment], numWires)
+	wireDeps := make([]parallel.Awaitable, numWires)
+	for j := 0; j < numWires; j++ {
+		j := j
+		wireFuts[j] = parallel.Stage(g, fmt.Sprintf("wire-commit:%d", j), parallel.Span(1, perWire),
+			func(ctx context.Context, wk int) (pcs.Commitment, error) {
+				comm, err := srs.CommitCtx(ctx, c.Wires[j], wk)
+				if err != nil {
+					return pcs.Commitment{}, fmt.Errorf("wire %d commit: %w", j, err)
+				}
+				slotWire[j].AppendBytes("wire", commBytes(comm))
+				slotWire[j].Close()
+				return comm, nil
+			})
+		wireDeps[j] = wireFuts[j]
+	}
+
+	// ---- Challenge-free setup stages (overlap the wire MSMs). ----
+	stGateBind := parallel.Stage(g, "gate-bind", parallel.Coordinate(),
+		func(ctx context.Context, _ int) (*sumcheck.Assignment, error) {
+			gateTabs, err := bindGateTables(idx.Gate, idx, c.Wires)
+			if err != nil {
+				return nil, err
+			}
+			return sumcheck.NewAssignment(idx.Gate, gateTabs)
+		})
+	stPermPrep := parallel.Stage(g, "perm-prepare", parallel.Span(1, 1),
+		func(ctx context.Context, _ int) (*perm.Prepared, error) {
+			return perm.Prepare(numWires, idx.NumVars), nil
+		})
+
+	// ---- Step 2: gate ZeroCheck (interactive). ----
+	type gateResult struct {
+		rGate []ff.Element
+	}
+	gateDeps := append(append([]parallel.Awaitable{}, wireDeps...), stGateBind)
+	stGateZC := parallel.Stage(g, "gate-zerocheck", parallel.Span(1, w),
+		func(ctx context.Context, wk int) (gateResult, error) {
+			raw := slotGate.Transcript()
+			gateZC, rGate, err := sumcheck.ProveZeroCtx(ctx, raw, stGateBind.MustWait(), sumcheck.Config{Workers: wk})
+			if err != nil {
+				return gateResult{}, fmt.Errorf("gate zerocheck: %w", err)
+			}
+			proof.GateZC = gateZC
+			proof.GateEvals = append([]ff.Element(nil), gateZC.Inner.FinalEvals[:idx.Gate.NumVars()]...)
+			raw.AppendScalars("gate/evals", proof.GateEvals)
+			slotGate.Close()
+			return gateResult{rGate: rGate}, nil
+		}, gateDeps...)
+
+	// ---- Step 3a: permutation build, streaming V segments. ----
+	// Capacity covers every emission (leaves + numVars−1 levels + root/pad),
+	// so the build never blocks on the channel while holding its lease.
+	vChunks := make(chan vChunk, idx.NumVars+3)
+	stPermBuild := parallel.Stage(g, "perm-build", parallel.Span(1, maxInt(1, w-1)),
+		func(ctx context.Context, wk int) (*perm.Argument, error) {
+			raw := slotBG.Transcript()
+			beta := raw.ChallengeScalar("perm/beta")
+			gamma := raw.ChallengeScalar("perm/gamma")
+			slotBG.Close()
+			arg := stPermPrep.MustWait().Run(c.Wires, idx.SigmaTabs, beta, gamma, wk,
+				func(off int, vals []ff.Element) {
+					//zkvet:ignore determinism single producer emits segments in a fixed order; ctx.Done only aborts a cancelled proof, no bytes are produced after it
+					select {
+					case vChunks <- vChunk{off: off, vals: vals}:
+					case <-ctx.Done():
+					}
+				})
+			close(vChunks)
+			return arg, nil
+		}, stGateZC, stPermPrep)
+
+	// ---- Step 3b: streamed V commitment (commit-as-you-build). ----
+	// Leaseless consumer: it leases per segment, so between segments the
+	// build (and everything else) has the whole budget. Each feed leases the
+	// FULL width (min = max = w): a partial MSM is a long kernel, and a grant
+	// that lands while the build still holds a worker would pin the biggest
+	// segment — the leaves, half the tree's scalars — at a fraction of the
+	// budget for its whole run while the freed cores idle. Waiting out the
+	// build's short tail for a full-width MSM is strictly better, and the
+	// stream still skips the assembled-table barrier the monolithic commit
+	// pays.
+	stVCommit := parallel.Stage(g, "v-commit-stream", parallel.Coordinate(),
+		func(ctx context.Context, _ int) (pcs.Commitment, error) {
+			sc, err := srs.CommitStream(idx.NumVars + 1)
+			if err != nil {
+				return pcs.Commitment{}, err
+			}
+			withLease := func(fn func(wk int) error) error {
+				lease, err := g.Budget().Acquire(ctx, w)
+				if err != nil {
+					return err
+				}
+				defer lease.Release()
+				return fn(lease.Workers())
+			}
+			for {
+				var ch vChunk
+				var ok bool
+				//zkvet:ignore determinism FIFO receive of an in-order stream; the MSM accumulation is a commutative group sum, and ctx.Done only aborts a cancelled proof
+				select {
+				case ch, ok = <-vChunks:
+				case <-ctx.Done():
+					return pcs.Commitment{}, ctx.Err()
+				}
+				if !ok {
+					break
+				}
+				if err := withLease(func(wk int) error { return sc.Feed(ctx, ch.off, ch.vals, wk) }); err != nil {
+					return pcs.Commitment{}, fmt.Errorf("product-tree commit: %w", err)
+				}
+			}
+			var vComm pcs.Commitment
+			if err := withLease(func(wk int) error {
+				var ferr error
+				vComm, ferr = sc.Finish(ctx, wk)
+				return ferr
+			}); err != nil {
+				return pcs.Commitment{}, fmt.Errorf("product-tree commit: %w", err)
+			}
+			slotV.AppendBytes("perm/v", commBytes(vComm))
+			slotV.Close()
+			return vComm, nil
+		})
+
+	// ---- Step 3c: PermCheck ZeroCheck (interactive). ----
+	type permResult struct {
+		rPerm []ff.Element
+	}
+	stPermZC := parallel.Stage(g, "perm-zerocheck", parallel.Span(1, w),
+		func(ctx context.Context, wk int) (permResult, error) {
+			arg := stPermBuild.MustWait()
+			raw := slotPermZC.Transcript()
+			alpha := raw.ChallengeScalar("perm/alpha")
+			permComp, permTabs := buildPermCheck(idx.Wires, alpha, arg)
+			assign, err := sumcheck.NewAssignment(permComp, permTabs)
+			if err != nil {
+				return permResult{}, err
+			}
+			permZC, rPerm, err := sumcheck.ProveZeroCtx(ctx, raw, assign, sumcheck.Config{Workers: wk})
+			if err != nil {
+				return permResult{}, fmt.Errorf("perm zerocheck: %w", err)
+			}
+			proof.PermZC = permZC
+			slotPermZC.Close()
+			return permResult{rPerm: rPerm}, nil
+		}, stPermBuild, stVCommit)
+
+	// ---- Step 4: batch evaluations, one stage per table. ----
+	// All 4+2k jobs become ready the instant rPerm lands and spread across
+	// the budget as single-worker stages; a leaseless seal stage buffers the
+	// three absorptions in the sequential order and closes the slot.
+	type evalJob struct {
+		name string
+		dst  *ff.Element
+		tab  func() *mle.Table
+		pt   func(rPerm []ff.Element) []ff.Element
+	}
+	viewPt := func(i int) func([]ff.Element) []ff.Element {
+		return func(rPerm []ff.Element) []ff.Element {
+			piPt, p1Pt, p2Pt, phiPt := perm.ViewPoints(rPerm)
+			return [][]ff.Element{piPt, p1Pt, p2Pt, phiPt}[i]
+		}
+	}
+	vTab := func() *mle.Table { return stPermBuild.MustWait().V }
+	jobs := []evalJob{
+		{"v:pi", &proof.VEvals[0], vTab, viewPt(0)},
+		{"v:p1", &proof.VEvals[1], vTab, viewPt(1)},
+		{"v:p2", &proof.VEvals[2], vTab, viewPt(2)},
+		{"v:phi", &proof.VEvals[3], vTab, viewPt(3)},
+	}
+	atPerm := func(rPerm []ff.Element) []ff.Element { return rPerm }
+	for j := 0; j < idx.Wires; j++ {
+		j := j
+		jobs = append(jobs,
+			evalJob{fmt.Sprintf("wire%d", j), &proof.WirePermEvals[j], func() *mle.Table { return c.Wires[j] }, atPerm},
+			evalJob{fmt.Sprintf("sigma%d", j), &proof.SigmaPermEvals[j], func() *mle.Table { return idx.SigmaTabs[j] }, atPerm})
+	}
+	evalDeps := make([]parallel.Awaitable, 0, len(jobs))
+	for _, job := range jobs {
+		job := job
+		evalDeps = append(evalDeps, parallel.Stage(g, "eval:"+job.name, parallel.Span(1, 1),
+			func(ctx context.Context, wk int) (struct{}, error) {
+				*job.dst = job.tab().EvaluateWorkers(job.pt(stPermZC.MustWait().rPerm), wk)
+				return struct{}{}, nil
+			}, stPermZC))
+	}
+	stEvalSeal := parallel.Stage(g, "eval-seal", parallel.Coordinate(),
+		func(ctx context.Context, _ int) (struct{}, error) {
+			slotEvals.AppendScalars("perm/vevals", proof.VEvals[:])
+			slotEvals.AppendScalars("perm/wevals", proof.WirePermEvals)
+			slotEvals.AppendScalars("perm/sevals", proof.SigmaPermEvals)
+			slotEvals.Close()
+			return struct{}{}, nil
+		}, evalDeps...)
+
+	// ---- Step 5 prep: eq tables for the OpenCheck points. The rGate table
+	// depends only on the gate ZeroCheck, so it builds while the perm
+	// ZeroCheck still runs; the rPerm tables overlap the evaluation stages. ----
+	stEqGate := parallel.Stage(g, "eq-tables:gate", parallel.Span(1, 1),
+		func(ctx context.Context, wk int) (*mle.Table, error) {
+			return mle.EqWorkers(stGateZC.MustWait().rGate, wk), nil
+		}, stGateZC)
+	stEqMain := parallel.Stage(g, "eq-tables:main", parallel.Span(1, 1),
+		func(ctx context.Context, wk int) ([]*mle.Table, error) {
+			return []*mle.Table{
+				stEqGate.MustWait(),
+				mle.EqWorkers(stPermZC.MustWait().rPerm, wk),
+			}, nil
+		}, stEqGate, stPermZC)
+	stEqV := parallel.Stage(g, "eq-tables:v", parallel.Span(1, 1),
+		func(ctx context.Context, wk int) ([]*mle.Table, error) {
+			piPt, p1Pt, p2Pt, phiPt := perm.ViewPoints(stPermZC.MustWait().rPerm)
+			out := make([]*mle.Table, 4)
+			for i, pt := range [][]ff.Element{piPt, p1Pt, p2Pt, phiPt} {
+				out[i] = mle.EqWorkers(pt, wk)
+			}
+			return out, nil
+		}, stPermZC)
+
+	// ---- Step 5: OpenChecks — interactive streams with deferred witness
+	// stages. open/main's Qs (the largest serial tail) overlap open/v's
+	// whole SumCheck; open/v's Qs close out the proof. ----
+	// open-main also waits for the open/v eq tables: by then every Step-4
+	// stage has drained, so the SumCheck deterministically gets the full
+	// width instead of racing eq-tables:v for the last worker.
+	stOpenMain := parallel.Stage(g, "open-main", parallel.Span(1, w),
+		func(ctx context.Context, wk int) (*openDeferred, error) {
+			rGate, rPerm := stGateZC.MustWait().rGate, stPermZC.MustWait().rPerm
+			mainPolys, _ := openingSet(idx, c.Wires, proof)
+			mainClaims := mainClaimList(idx, proof, rGate, rPerm)
+			points := []openPoint{{name: "gate", coords: rGate}, {name: "perm", coords: rPerm}}
+			raw := slotOpenMain.Transcript()
+			d, err := proveOpenCheckStream(ctx, raw, "open/main", mainPolys, mainClaims, points, stEqMain.MustWait(), sumcheck.Config{Workers: wk})
+			if err != nil {
+				return nil, err
+			}
+			slotOpenMain.Close()
+			proof.OpenMain = d.op
+			return d, nil
+		}, stEvalSeal, stEqMain, stEqV)
+	stOpenV := parallel.Stage(g, "open-v", parallel.Span(1, w),
+		func(ctx context.Context, wk int) (*openDeferred, error) {
+			rPerm := stPermZC.MustWait().rPerm
+			piPt, p1Pt, p2Pt, phiPt := perm.ViewPoints(rPerm)
+			vClaims := []evalClaim{
+				{Poly: 0, Point: 0, Value: proof.VEvals[0]},
+				{Poly: 0, Point: 1, Value: proof.VEvals[1]},
+				{Poly: 0, Point: 2, Value: proof.VEvals[2]},
+				{Poly: 0, Point: 3, Value: proof.VEvals[3]},
+			}
+			vPoints := []openPoint{
+				{name: "pi", coords: piPt},
+				{name: "p1", coords: p1Pt},
+				{name: "p2", coords: p2Pt},
+				{name: "phi", coords: phiPt},
+			}
+			raw := slotOpenV.Transcript()
+			d, err := proveOpenCheckStream(ctx, raw, "open/v", []*mle.Table{stPermBuild.MustWait().V}, vClaims, vPoints, stEqV.MustWait(), sumcheck.Config{Workers: wk})
+			if err != nil {
+				return nil, err
+			}
+			slotOpenV.Close()
+			proof.OpenV = d.op
+			return d, nil
+		}, stOpenMain, stEqV)
+	// Both witness MSM chains start only after the open/v SumCheck has had
+	// the full width (a chain is a long 1-worker-efficient run; the SumCheck
+	// is short and scales) and then split the budget evenly: two independent
+	// chains at half width beat one chain at full width because a chain's
+	// halving MSM levels waste nothing on intra-kernel synchronization.
+	//
+	// The chains are unequal (open/main batches more tables than open/v),
+	// so the stages lease per halving level (computeWitnessElastic) instead
+	// of holding one stage-wide lease: while the sibling chain is alive each
+	// level re-leases at half width, and once the sibling's done-channel
+	// closes the survivor's next level widens to the full budget, absorbing
+	// the freed cores mid-chain instead of idling them through the tail.
+	halfW := maxInt(1, w/2)
+	qsMainDone := make(chan struct{})
+	qsVDone := make(chan struct{})
+	chainAcquire := func(ctx context.Context, sibDone <-chan struct{}) func() (int, func(), error) {
+		return func() (int, func(), error) {
+			max := halfW
+			// Width scheduling only: the grant size never reaches the
+			// transcript, so this nondeterminism cannot alter proof bytes.
+			select { //zkvet:ignore determinism lease-width probe; results identical at any width
+			case <-sibDone:
+				max = w
+			default:
+			}
+			lease, err := g.Budget().AcquireUpTo(ctx, 1, max)
+			if err != nil {
+				return 0, nil, err
+			}
+			return lease.Workers(), lease.Release, nil
+		}
+	}
+	stQsMain := parallel.Stage(g, "open-main-witness", parallel.Coordinate(),
+		func(ctx context.Context, _ int) (struct{}, error) {
+			defer close(qsMainDone)
+			return struct{}{}, stOpenMain.MustWait().computeWitnessElastic(ctx, srs, chainAcquire(ctx, qsVDone))
+		}, stOpenMain, stOpenV)
+	stQsV := parallel.Stage(g, "open-v-witness", parallel.Coordinate(),
+		func(ctx context.Context, _ int) (struct{}, error) {
+			defer close(qsVDone)
+			return struct{}{}, stOpenV.MustWait().computeWitnessElastic(ctx, srs, chainAcquire(ctx, qsMainDone))
+		}, stOpenV)
+	_, _ = stQsMain, stQsV
+
+	if err := g.Wait(); err != nil {
+		// Report a bare cancellation as such (matching the sequential
+		// schedule's step-boundary checks) rather than wrapped stage noise.
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("hyperplonk: %w", err)
+	}
+	if !seq.Drained() {
+		return nil, fmt.Errorf("hyperplonk: transcript sequencer not drained")
+	}
+	proof.WireComms = make([]pcs.Commitment, numWires)
+	for j, f := range wireFuts {
+		proof.WireComms[j] = f.MustWait()
+	}
+	proof.VComm = stVCommit.MustWait()
+	return proof, nil
+}

@@ -21,13 +21,22 @@ type Config struct {
 	// permutation construction, SumCheck scans, batch evaluations, and PCS
 	// openings all share it. 0 = GOMAXPROCS.
 	Workers int
+	// Sequential forces the strict five-step schedule (each protocol step
+	// finishes before the next starts). The default pipelined schedule
+	// overlaps stages across Fiat-Shamir barriers via the dependency DAG in
+	// pipeline.go; both produce byte-identical proofs for every budget.
+	Sequential bool
 }
 
 // Prove generates a HyperPlonk proof that the circuit is satisfied by its
-// embedded witness. Cancelling ctx aborts the prover at the next protocol
-// step boundary (the five steps of Section IV-A); a nil ctx never cancels.
-// Prove only reads srs, idx and c, so many proofs of the same index may run
-// concurrently.
+// embedded witness. Cancelling ctx aborts the prover promptly — stage
+// boundaries plus mid-kernel polls inside the MSM and SumCheck scans; a nil
+// ctx never cancels. Prove only reads srs, idx and c, so many proofs of the
+// same index may run concurrently.
+//
+// The default schedule is the pipelined dependency DAG (pipeline.go);
+// cfg.Sequential selects the strict five-step reference schedule. The
+// proof bytes are identical either way.
 func Prove(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -35,6 +44,16 @@ func Prove(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg 
 	if c.NumVars != idx.NumVars {
 		return nil, fmt.Errorf("hyperplonk: circuit/index size mismatch")
 	}
+	if cfg.Sequential {
+		return proveSequential(ctx, srs, idx, c, cfg)
+	}
+	return provePipelined(ctx, srs, idx, c, cfg)
+}
+
+// proveSequential is the strict five-step reference schedule with a
+// Fiat-Shamir barrier between steps; the schedule-equivalence tests pin the
+// pipelined prover against it byte-for-byte.
+func proveSequential(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, error) {
 	tr := newTranscript(idx)
 	proof := &Proof{}
 	workers := parallel.Workers(cfg.Workers)

@@ -1,0 +1,133 @@
+package hyperplonk
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestScheduleEquivalence pins the pipelined prover against the strict
+// five-step reference schedule: the proof bytes must be identical for every
+// worker budget, because the Sequencer replays the transcript traffic in
+// exactly the sequential order and all overlapped kernels are value-
+// preserving (exact field arithmetic, canonical group encoding).
+func TestScheduleEquivalence(t *testing.T) {
+	circuits := []struct {
+		name string
+		nv   int
+	}{
+		{"vanilla", 4},
+		{"vanilla", 6},
+		{"jellyfish", 5},
+	}
+	budgets := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, cs := range circuits {
+		c := buildVanillaCircuit(t, 3, cs.nv)
+		if cs.name == "jellyfish" {
+			c = buildJellyfishCircuit(t, cs.nv)
+		}
+		idx, err := PreprocessWorkers(testSRS, c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Prove(context.Background(), testSRS, idx, c, Config{Workers: 1, Sequential: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBytes, err := ref.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range budgets {
+			for _, sequential := range []bool{false, true} {
+				proof, err := Prove(context.Background(), testSRS, idx, c, Config{Workers: w, Sequential: sequential})
+				if err != nil {
+					t.Fatalf("%s/nv=%d workers=%d sequential=%v: %v", cs.name, cs.nv, w, sequential, err)
+				}
+				b, err := proof.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(b, refBytes) {
+					t.Fatalf("%s/nv=%d workers=%d sequential=%v: proof bytes diverged from the sequential w=1 reference", cs.name, cs.nv, w, sequential)
+				}
+				if err := Verify(testSRS, idx, proof); err != nil {
+					t.Fatalf("%s/nv=%d workers=%d sequential=%v: %v", cs.name, cs.nv, w, sequential, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedCancellation cancels a pipelined proof mid-flight and checks
+// it aborts promptly: the DAG's graph context fans the cancellation into
+// every stage, the MSM and SumCheck kernels poll it inside their hot loops,
+// and Prove must return context.Canceled — not a wrapped stage error and not
+// a completed proof.
+func TestPipelinedCancellation(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 8)
+	idx, err := PreprocessWorkers(testSRS, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := Prove(ctx, testSRS, idx, c, Config{Workers: 2})
+			done <- err
+		}()
+		time.Sleep(delay)
+		start := time.Now()
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("delay %v: Prove error = %v, want context.Canceled", delay, err)
+			}
+			if lat := time.Since(start); lat > 2*time.Second {
+				t.Fatalf("delay %v: cancellation took %v", delay, lat)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("delay %v: prover did not abort after cancellation", delay)
+		}
+	}
+}
+
+// TestPipelinedGoroutineDrain proves repeatedly — including cancelled runs —
+// and checks the scheduler leaks no goroutines: every stage goroutine exits
+// before Prove returns (Graph.Wait is a full barrier), so the count returns
+// to its baseline.
+func TestPipelinedGoroutineDrain(t *testing.T) {
+	c := buildVanillaCircuit(t, 3, 6)
+	idx, err := PreprocessWorkers(testSRS, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		if _, err := Prove(context.Background(), testSRS, idx, c, Config{Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := Prove(ctx, testSRS, idx, c, Config{Workers: 2}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("pre-cancelled Prove error = %v, want context.Canceled", err)
+		}
+	}
+	// The runtime may retire worker-pool goroutines lazily; poll briefly.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

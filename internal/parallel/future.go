@@ -1,0 +1,252 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+)
+
+// stageTrace, set via ZKPHIRE_STAGE_TRACE=1, logs each stage's queue delay
+// (dependencies resolved → lease granted), grant width, and run time to
+// stderr — the schedule-tuning view of a pipelined proof. Logging only;
+// proof bytes are unaffected.
+var stageTrace = os.Getenv("ZKPHIRE_STAGE_TRACE") != ""
+
+// This file is the prover's stage scheduler: a small future/promise layer
+// that executes a dependency DAG of coarse prover stages (wire-commit MSMs,
+// SumCheck provers, streamed commitments, batch evaluations) with the
+// package's worker-budget discipline. Every goroutine the pipelined prover
+// runs is spawned here — the zkvet norawgo invariant ("one worker budget
+// governs the proof") extends to the pipeline because stages lease their
+// workers from a shared Budget before touching a kernel, so overlapping
+// stages can never oversubscribe the machine.
+
+// Future is the resolved-once result slot of a scheduled stage. Wait blocks
+// until the stage finishes (or ctx is done) and returns its value and error.
+// A Future is also an Awaitable, so it can be a dependency of later stages.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// NewFuture returns an unresolved future and its single-use resolve
+// function. Stages get theirs from Stage; NewFuture exists for producers
+// that complete outside the scheduler (tests, adapters).
+func NewFuture[T any]() (*Future[T], func(T, error)) {
+	f := &Future[T]{done: make(chan struct{})}
+	var once sync.Once
+	return f, func(v T, err error) {
+		once.Do(func() {
+			f.val, f.err = v, err
+			close(f.done)
+		})
+	}
+}
+
+// Done returns a channel closed when the future is resolved.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Err returns the stage error; valid only after Done is closed.
+func (f *Future[T]) Err() error { return f.err }
+
+// Wait blocks until the future resolves or ctx is done.
+func (f *Future[T]) Wait(ctx context.Context) (T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// MustWait is Wait for dependents scheduled after the future's stage: by the
+// time the scheduler runs them the future is resolved, so MustWait only
+// reads. It panics if called on an unresolved future — that is a scheduling
+// bug (a missing dependency), not a runtime condition.
+func (f *Future[T]) MustWait() T {
+	select {
+	case <-f.done:
+		return f.val
+	default:
+		panic("parallel: MustWait on unresolved future (missing stage dependency)")
+	}
+}
+
+// Awaitable is anything a stage can depend on: a Future of any element type,
+// or another synchronization source that reports completion and an error.
+type Awaitable interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+// Graph schedules a dependency DAG of stages against one worker Budget.
+// Stages declare their dependencies explicitly; the runner starts each
+// stage's goroutine immediately but the stage blocks until every dependency
+// has resolved, then leases workers, runs, releases, and resolves its
+// future. The first stage error (or a ctx cancellation) cancels the graph
+// context, failing remaining stages fast; Wait returns that first error
+// after every stage goroutine has exited — at which point every lease has
+// been released.
+//
+// The caller must declare dependencies that make the DAG acyclic AND cover
+// every ordering constraint a stage relies on (in the prover: a stage that
+// acquires a transcript.Sequencer slot interactively must depend on the
+// closers of all earlier slots, or it would hold its lease while blocked on
+// headship and could deadlock the budget).
+type Graph struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	budget *Budget
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+// NewGraph returns a graph whose stages share a budget of `workers`
+// (<= 0 means GOMAXPROCS). Cancelling ctx fails every unfinished stage.
+func NewGraph(ctx context.Context, workers int) *Graph {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	return &Graph{ctx: gctx, cancel: cancel, budget: NewBudget(workers)}
+}
+
+// Workers returns the graph's total worker budget.
+func (g *Graph) Workers() int { return g.budget.Total() }
+
+// Budget exposes the graph's budget for stages that lease per work item
+// (the streamed-commit consumer) instead of per stage.
+func (g *Graph) Budget() *Budget { return g.budget }
+
+// Context returns the graph's context (cancelled on first failure).
+func (g *Graph) Context() context.Context { return g.ctx }
+
+func (g *Graph) fail(err error) {
+	g.mu.Lock()
+	if g.firstErr == nil {
+		g.firstErr = err
+	}
+	g.mu.Unlock()
+	g.cancel()
+}
+
+// Wait blocks until every scheduled stage has finished and returns the
+// first error. It must be called exactly once, after all Stage calls.
+func (g *Graph) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
+// StageOpts sizes a stage's worker lease. The stage blocks until MinWorkers
+// are free (FIFO-fair against its sibling stages), then grabs whatever
+// additional free capacity exists up to MaxWorkers — so a stage makes
+// progress at MinWorkers while an overlapping stage drains, instead of
+// stalling for its preferred width. MaxWorkers == 0 means the stage runs
+// leaseless (pure coordination: transcript sealing, result assembly); its
+// fn receives workers == 0 and must not run parallel kernels.
+type StageOpts struct {
+	MinWorkers int
+	MaxWorkers int
+}
+
+// Span is a convenience StageOpts: at least min, up to max workers.
+func Span(min, max int) StageOpts { return StageOpts{MinWorkers: min, MaxWorkers: max} }
+
+// Coordinate is the leaseless StageOpts for stages that only sequence
+// results or transcript traffic.
+func Coordinate() StageOpts { return StageOpts{} }
+
+// Stage schedules fn as a named stage of the graph. fn runs once every dep
+// has resolved successfully and the stage's lease (per opts) is granted; it
+// receives the graph context and the granted worker count. The returned
+// future resolves with fn's result. If a dependency fails, the stage fails
+// with that error without running fn. Stage must not be called after Wait.
+func Stage[T any](g *Graph, name string, opts StageOpts, fn func(ctx context.Context, workers int) (T, error), deps ...Awaitable) *Future[T] {
+	fut, resolve := NewFuture[T]()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		var zero T
+		for _, dep := range deps {
+			select {
+			case <-dep.Done():
+				if err := dep.Err(); err != nil {
+					resolve(zero, err)
+					return
+				}
+			case <-g.ctx.Done():
+				// A failing stage resolves its future before cancelling the
+				// graph, so if this dependency is the culprit its error is
+				// already readable — prefer it over the bare cancellation.
+				select {
+				case <-dep.Done():
+					if err := dep.Err(); err != nil {
+						resolve(zero, err)
+						return
+					}
+				default:
+				}
+				resolve(zero, g.ctx.Err())
+				g.fail(g.ctx.Err())
+				return
+			}
+		}
+		ready := time.Now()
+		workers := 0
+		var lease *Lease
+		if opts.MaxWorkers != 0 {
+			var err error
+			lease, err = g.budget.AcquireUpTo(g.ctx, opts.MinWorkers, opts.MaxWorkers)
+			if err != nil {
+				resolve(zero, err)
+				g.fail(err)
+				return
+			}
+			defer lease.Release()
+			workers = lease.Workers()
+		}
+		if stageTrace {
+			start := time.Now()
+			defer func() {
+				log.Printf("stage %-22s workers=%d queued %7.1fms ran %8.1fms",
+					name, workers, float64(start.Sub(ready).Microseconds())/1000, float64(time.Since(start).Microseconds())/1000)
+			}()
+		}
+		// A lease grant can race a cancellation (the freed capacity wakes
+		// this stage in the same instant the graph dies); never run the body
+		// of a cancelled graph.
+		if err := g.ctx.Err(); err != nil {
+			resolve(zero, err)
+			g.fail(err)
+			return
+		}
+		v, err := fn(g.ctx, workers)
+		// Release BEFORE resolving: a dependent woken by the resolution
+		// acquires its own lease immediately, and its elastic top-up must see
+		// this stage's workers as free capacity or every dependent would
+		// systematically run at its minimum width. (The deferred Release is
+		// idempotent and stays as the error/panic-path safety net.)
+		lease.Release()
+		if err != nil {
+			err = fmt.Errorf("parallel: stage %s: %w", name, err)
+			resolve(zero, err)
+			g.fail(err)
+			return
+		}
+		resolve(v, nil)
+	}()
+	return fut
+}

@@ -1,0 +1,175 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStageDAGOrdering(t *testing.T) {
+	g := NewGraph(context.Background(), 4)
+	var order atomic.Int64
+	stamp := func() int64 { return order.Add(1) }
+
+	a := Stage(g, "a", Span(1, 2), func(ctx context.Context, w int) (int64, error) {
+		if w < 1 || w > 2 {
+			t.Errorf("stage a granted %d workers, want 1..2", w)
+		}
+		return stamp(), nil
+	})
+	b := Stage(g, "b", Span(1, 4), func(ctx context.Context, w int) (int64, error) {
+		return stamp(), nil
+	}, a)
+	c := Stage(g, "c", Coordinate(), func(ctx context.Context, w int) (int64, error) {
+		if w != 0 {
+			t.Errorf("leaseless stage granted %d workers", w)
+		}
+		return stamp(), nil
+	}, a, b)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ta, tb, tc := a.MustWait(), b.MustWait(), c.MustWait()
+	if !(ta < tb && tb < tc) {
+		t.Fatalf("dependency order violated: a=%d b=%d c=%d", ta, tb, tc)
+	}
+	if g.Budget().InUse() != 0 {
+		t.Fatalf("leases leaked: %s", g.Budget())
+	}
+}
+
+func TestStageErrorFailsDependents(t *testing.T) {
+	g := NewGraph(context.Background(), 2)
+	boom := errors.New("boom")
+	ran := atomic.Bool{}
+	a := Stage(g, "a", Span(1, 1), func(ctx context.Context, w int) (int, error) {
+		return 0, boom
+	})
+	b := Stage(g, "b", Span(1, 1), func(ctx context.Context, w int) (int, error) {
+		ran.Store(true)
+		return 1, nil
+	}, a)
+	err := g.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Wait error = %v, want wrapped boom", err)
+	}
+	if _, berr := b.Wait(context.Background()); !errors.Is(berr, boom) {
+		t.Fatalf("dependent error = %v, want propagated boom", berr)
+	}
+	if ran.Load() {
+		t.Fatal("dependent stage body ran despite failed dependency")
+	}
+	if g.Budget().InUse() != 0 {
+		t.Fatalf("leases leaked after failure: %s", g.Budget())
+	}
+}
+
+func TestStageBudgetNeverOversubscribed(t *testing.T) {
+	const total = 3
+	g := NewGraph(context.Background(), total)
+	var inFlight, peak atomic.Int64
+	for i := 0; i < 12; i++ {
+		Stage(g, "s", Span(1, 2), func(ctx context.Context, w int) (struct{}, error) {
+			cur := inFlight.Add(int64(w))
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(int64(-w))
+			return struct{}{}, nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > total {
+		t.Fatalf("budget oversubscribed: peak %d workers in flight, budget %d", p, total)
+	}
+}
+
+func TestGraphCancelReleasesLeases(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGraph(ctx, 2)
+	started := make(chan struct{})
+	gate, openGate := NewFuture[struct{}]()
+	hold := Stage(g, "hold", Span(2, 2), func(ctx context.Context, w int) (int, error) {
+		close(started)
+		openGate(struct{}{}, nil)
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	// Gated behind hold's lease (the gate resolves only once hold has the
+	// whole budget); must be failed by the cancellation, not granted.
+	parked := Stage(g, "parked", Span(1, 1), func(ctx context.Context, w int) (int, error) {
+		return 1, nil
+	}, gate)
+	<-started
+	cancel()
+	err := g.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait error = %v, want context.Canceled", err)
+	}
+	if _, perr := parked.Wait(context.Background()); !errors.Is(perr, context.Canceled) {
+		t.Fatalf("parked stage error = %v, want context.Canceled", perr)
+	}
+	if _, herr := hold.Wait(context.Background()); !errors.Is(herr, context.Canceled) {
+		t.Fatalf("holding stage error = %v, want context.Canceled", herr)
+	}
+	if g.Budget().InUse() != 0 {
+		t.Fatalf("leases leaked after cancel: %s", g.Budget())
+	}
+}
+
+func TestAcquireUpTo(t *testing.T) {
+	b := NewBudget(4)
+	l1, err := b.AcquireUpTo(nil, 1, 3)
+	if err != nil || l1.Workers() != 3 {
+		t.Fatalf("first AcquireUpTo(1,3) = %d workers, err %v; want 3", l1.Workers(), err)
+	}
+	// 1 free: min fits, grant tops out at the free capacity.
+	l2, err := b.AcquireUpTo(nil, 1, 4)
+	if err != nil || l2.Workers() != 1 {
+		t.Fatalf("second AcquireUpTo(1,4) = %d workers, err %v; want 1", l2.Workers(), err)
+	}
+	// Nothing free: a min=2 request parks until a release, then tops up.
+	done := make(chan int)
+	go func() {
+		l3, err := b.AcquireUpTo(context.Background(), 2, 4)
+		if err != nil {
+			t.Error(err)
+			done <- -1
+			return
+		}
+		n := l3.Workers()
+		l3.Release()
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		t.Fatalf("blocked AcquireUpTo returned %d before capacity freed", n)
+	case <-time.After(10 * time.Millisecond):
+	}
+	l1.Release()
+	if n := <-done; n != 3 {
+		t.Fatalf("woken AcquireUpTo granted %d, want 3 (min 2 topped up to free capacity)", n)
+	}
+	l2.Release()
+	if b.InUse() != 0 {
+		t.Fatalf("budget not drained: %s", b)
+	}
+}
+
+func TestMustWaitPanicsUnresolved(t *testing.T) {
+	f, _ := NewFuture[int]()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustWait on unresolved future did not panic")
+		}
+	}()
+	f.MustWait()
+}

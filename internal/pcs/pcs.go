@@ -20,6 +20,7 @@
 package pcs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -174,6 +175,23 @@ func (s *SRS) Open(t *mle.Table, z []ff.Element) (ff.Element, *OpeningProof, err
 // construction and folds are chunked, and each level's witness MSM runs on
 // the same budget.
 func (s *SRS) OpenWorkers(t *mle.Table, z []ff.Element, workers int) (ff.Element, *OpeningProof, error) {
+	return s.openWorkers(nil, t, z, workers)
+}
+
+// openWorkers is the shared Open core; ctx may be nil (never cancelled).
+func (s *SRS) openWorkers(ctx context.Context, t *mle.Table, z []ff.Element, workers int) (ff.Element, *OpeningProof, error) {
+	return s.OpenElasticCtx(ctx, t, z, func() (int, func(), error) { return workers, func() {}, nil })
+}
+
+// OpenElasticCtx is openWorkers with a per-level worker lease: before each
+// fold level (one quotient scan, one witness MSM, one fold) it calls
+// acquire, runs the level on the granted width, and calls the returned
+// release. The pipelined prover's witness-chain stages use it to pick up
+// workers a drained sibling stage frees mid-chain, instead of running the
+// whole halving chain at their launch-time width. Worker counts never
+// change results (DESIGN.md §2), so the proof is identical to OpenWorkers
+// at any grant sequence.
+func (s *SRS) OpenElasticCtx(ctx context.Context, t *mle.Table, z []ff.Element, acquire func() (int, func(), error)) (ff.Element, *OpeningProof, error) {
 	k := t.NumVars
 	if len(z) != k {
 		return ff.Element{}, nil, fmt.Errorf("pcs: point arity %d for %d-var table", len(z), k)
@@ -190,14 +208,24 @@ func (s *SRS) OpenWorkers(t *mle.Table, z []ff.Element, workers int) (ff.Element
 	qBuf := parallel.GetScratch(t.Size() / 2)
 	defer parallel.PutScratch(work)
 	defer parallel.PutScratch(qBuf)
+
+	workers, release, err := acquire()
+	if err != nil {
+		return ff.Element{}, nil, err
+	}
 	src := t.Evals
 	parallel.For(workers, len(src), func(lo, hi int) {
 		copy(work[lo:hi], src[lo:hi])
 	})
+	release()
 
 	cur := mle.FromEvals(work)
 	proof := &OpeningProof{Qs: make([]curve.G1Affine, k)}
 	for i := 0; i < k; i++ {
+		workers, release, err := acquire()
+		if err != nil {
+			return ff.Element{}, nil, err
+		}
 		half := cur.Size() / 2
 		q := qBuf[:half]
 		evals := cur.Evals
@@ -206,9 +234,14 @@ func (s *SRS) OpenWorkers(t *mle.Table, z []ff.Element, workers int) (ff.Element
 				q[j].Sub(&evals[2*j+1], &evals[2*j])
 			}
 		})
-		acc := curve.MSMEndoWorkers(s.Levels[k-i-1], s.EndoPoints(k-i-1, workers), q, workers)
+		acc, err := curve.MSMEndoWorkersCtx(ctx, s.Levels[k-i-1], s.EndoPoints(k-i-1, workers), q, workers)
+		if err != nil {
+			release()
+			return ff.Element{}, nil, err
+		}
 		proof.Qs[i].FromJacobian(&acc)
 		cur.FoldWorkers(&z[i], workers)
+		release()
 	}
 	return cur.Evals[0], proof, nil
 }

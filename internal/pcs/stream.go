@@ -1,0 +1,161 @@
+package pcs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"zkphire/internal/curve"
+	"zkphire/internal/ff"
+	"zkphire/internal/fp"
+	"zkphire/internal/mle"
+)
+
+// CommitCtx is CommitWorkers with mid-MSM cancellation: a cancel lands
+// inside the Pippenger accumulation (curve.MSMEndoWorkersCtx) instead of
+// waiting out the whole commitment. The successful result is identical to
+// CommitWorkers for every budget.
+func (s *SRS) CommitCtx(ctx context.Context, t *mle.Table, workers int) (Commitment, error) {
+	k := t.NumVars
+	if k > s.MaxVars {
+		return Commitment{}, fmt.Errorf("pcs: table has %d vars, SRS supports %d", k, s.MaxVars)
+	}
+	basis := s.Levels[k]
+	endoX := s.EndoPoints(k, workers)
+	sp := t.AnalyzeSparsityWorkers(workers)
+	var acc curve.G1Jac
+	var err error
+	if sp.DenseFraction() < 0.5 {
+		acc, err = curve.SparseMSMEndoWorkersCtx(ctx, basis, endoX, t.Evals, workers)
+	} else {
+		acc, err = curve.MSMEndoWorkersCtx(ctx, basis, endoX, t.Evals, workers)
+	}
+	if err != nil {
+		return Commitment{}, err
+	}
+	var aff curve.G1Affine
+	aff.FromJacobian(&acc)
+	return Commitment{Point: aff, NumVars: k}, nil
+}
+
+// OpenWorkersCtx is OpenWorkers with per-level and mid-MSM cancellation:
+// every witness MSM polls ctx, and the fold loop checks it between levels.
+func (s *SRS) OpenWorkersCtx(ctx context.Context, t *mle.Table, z []ff.Element, workers int) (ff.Element, *OpeningProof, error) {
+	if ctx == nil {
+		return s.OpenWorkers(t, z, workers)
+	}
+	return s.openWorkers(ctx, t, z, workers)
+}
+
+// streamGatherThreshold is the minimum segment size the stream committer
+// sends to the MSM directly. The Pippenger amortization (one bucket-table
+// reduction per (window, chunk) task) collapses on tiny inputs, and the
+// product tree's upper levels halve forever — so segments below the
+// threshold gather into a pending batch that flushes as one MSM. 2^15 keeps
+// the streamed total within ~1% of the monolithic commit while still
+// overlapping the bulk of the work (the leaves plus the first level are
+// 3/4 of all scalars).
+const streamGatherThreshold = 1 << 15
+
+// StreamCommitter accumulates a commitment to a table that is produced in
+// segments — the permutation product tree, whose leaves are final long
+// before the upper levels exist. Feed adds a finished segment's partial MSM
+// into a running group sum; Finish normalizes. Because group addition is
+// exact and associative and FromJacobian is canonical, the final commitment
+// is byte-identical to CommitWorkers over the assembled table, regardless
+// of segmentation or budget.
+//
+// Feed may be called from one goroutine at a time (the prover's build
+// stage); the committer is not otherwise concurrency-safe.
+type StreamCommitter struct {
+	srs     *SRS
+	numVars int
+	basis   []curve.G1Affine
+	endoX   []fp.Element
+
+	mu  sync.Mutex
+	acc curve.G1Jac
+	fed int
+
+	// pending gather for sub-threshold segments: parallel slices of basis
+	// points, φ x-coordinates, and scalars.
+	pendPts     []curve.G1Affine
+	pendEndo    []fp.Element
+	pendScalars []ff.Element
+}
+
+// CommitStream starts a streamed commitment to a numVars-variable table.
+func (s *SRS) CommitStream(numVars int) (*StreamCommitter, error) {
+	if numVars > s.MaxVars {
+		return nil, fmt.Errorf("pcs: table has %d vars, SRS supports %d", numVars, s.MaxVars)
+	}
+	sc := &StreamCommitter{
+		srs:     s,
+		numVars: numVars,
+		basis:   s.Levels[numVars],
+		endoX:   s.EndoPoints(numVars, 0),
+	}
+	sc.acc.SetInfinity()
+	return sc, nil
+}
+
+// Feed absorbs vals as the table segment [offset, offset+len(vals)). Every
+// index must be fed exactly once before Finish; segments may arrive in any
+// order. Large segments run one partial MSM on the given worker budget
+// (polling ctx, see MSMEndoWorkersCtx); small ones gather until a batch is
+// worth a Pippenger pass. vals is read during the call only.
+func (c *StreamCommitter) Feed(ctx context.Context, offset int, vals []ff.Element, workers int) error {
+	if offset < 0 || offset+len(vals) > len(c.basis) {
+		return fmt.Errorf("pcs: stream segment [%d,%d) outside table of size %d", offset, offset+len(vals), len(c.basis))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fed += len(vals)
+	if len(vals) < streamGatherThreshold {
+		c.pendPts = append(c.pendPts, c.basis[offset:offset+len(vals)]...)
+		c.pendEndo = append(c.pendEndo, c.endoX[offset:offset+len(vals)]...)
+		c.pendScalars = append(c.pendScalars, vals...)
+		if len(c.pendScalars) >= streamGatherThreshold {
+			return c.flushLocked(ctx, workers)
+		}
+		return nil
+	}
+	part, err := curve.MSMEndoWorkersCtx(ctx, c.basis[offset:offset+len(vals)], c.endoX[offset:offset+len(vals)], vals, workers)
+	if err != nil {
+		return err
+	}
+	c.acc.AddAssign(&part)
+	return nil
+}
+
+// flushLocked runs the pending gather as one MSM. Caller holds mu.
+func (c *StreamCommitter) flushLocked(ctx context.Context, workers int) error {
+	if len(c.pendScalars) == 0 {
+		return nil
+	}
+	part, err := curve.MSMEndoWorkersCtx(ctx, c.pendPts, c.pendEndo, c.pendScalars, workers)
+	if err != nil {
+		return err
+	}
+	c.acc.AddAssign(&part)
+	c.pendPts = c.pendPts[:0]
+	c.pendEndo = c.pendEndo[:0]
+	c.pendScalars = c.pendScalars[:0]
+	return nil
+}
+
+// Finish flushes the pending gather and returns the commitment. It errors
+// if the fed segments do not cover the table exactly.
+func (c *StreamCommitter) Finish(ctx context.Context, workers int) (Commitment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fed != len(c.basis) {
+		return Commitment{}, fmt.Errorf("pcs: stream fed %d of %d entries", c.fed, len(c.basis))
+	}
+	if err := c.flushLocked(ctx, workers); err != nil {
+		return Commitment{}, err
+	}
+	var aff curve.G1Affine
+	aff.FromJacobian(&c.acc)
+	return Commitment{Point: aff, NumVars: c.numVars}, nil
+}

@@ -1,0 +1,71 @@
+package perm
+
+import (
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+)
+
+// TestPrepareRunEmitCoverage checks the Prepare/Run split reproduces
+// BuildWorkers exactly and that the emit callback covers V's table exactly
+// once, in ascending offset order, with values matching the final table —
+// the contract pcs.CommitStream relies on.
+func TestPrepareRunEmitCoverage(t *testing.T) {
+	const nv = 6
+	const k = 3
+	n := 1 << nv
+	rng := ff.NewRand(42)
+	wires := make([]*mle.Table, k)
+	for j := range wires {
+		wires[j] = mle.FromEvals(rng.Elements(n))
+	}
+	p := Identity(k, n)
+	p.AddCycle([]int{0, n + 3, 2*n + 7})
+	p.AddCycle([]int{5, n + 5})
+	sigmaTabs := SigmaTables(p, nv)
+	var beta, gamma ff.Element
+	beta.SetUint64(11)
+	gamma.SetUint64(13)
+
+	want := BuildWorkers(wires, sigmaTabs, beta, gamma, 2)
+
+	type seg struct {
+		off  int
+		vals []ff.Element
+	}
+	var segs []seg
+	got := Prepare(k, nv).Run(wires, sigmaTabs, beta, gamma, 2, func(off int, vals []ff.Element) {
+		cp := append([]ff.Element(nil), vals...)
+		segs = append(segs, seg{off, cp})
+	})
+
+	for i, tabs := range [][2]*mle.Table{{want.V, got.V}, {want.Phi, got.Phi}, {want.Pi, got.Pi}, {want.P1, got.P1}, {want.P2, got.P2}} {
+		a, b := tabs[0], tabs[1]
+		if a.NumVars != b.NumVars {
+			t.Fatalf("table %d: arity mismatch", i)
+		}
+		for j := range a.Evals {
+			if !a.Evals[j].Equal(&b.Evals[j]) {
+				t.Fatalf("table %d entry %d: Prepare/Run diverged from BuildWorkers", i, j)
+			}
+		}
+	}
+
+	// Coverage: ascending, contiguous, exactly once over [0, 2n).
+	next := 0
+	for _, s := range segs {
+		if s.off != next {
+			t.Fatalf("emit offset %d, want %d (ascending contiguous coverage)", s.off, next)
+		}
+		for i := range s.vals {
+			if !s.vals[i].Equal(&want.V.Evals[s.off+i]) {
+				t.Fatalf("emitted value at %d differs from final V table", s.off+i)
+			}
+		}
+		next += len(s.vals)
+	}
+	if next != 2*n {
+		t.Fatalf("emit covered %d of %d entries", next, 2*n)
+	}
+}

@@ -11,6 +11,7 @@
 package sumcheck
 
 import (
+	"context"
 	"fmt"
 
 	"zkphire/internal/ff"
@@ -105,6 +106,14 @@ func (c Config) workers() int { return parallel.Workers(c.Workers) }
 // than freshly allocated clones, so repeated proofs of same-sized circuits
 // reuse the same table-sized buffers.
 func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Config) (*Proof, []ff.Element, error) {
+	return ProveCtx(nil, tr, a, claim, cfg)
+}
+
+// ProveCtx is Prove with mid-round cancellation: the pair scan polls ctx
+// every few thousand pairs and each round boundary checks it, so a cancel
+// lands in milliseconds instead of waiting out the remaining rounds. ctx
+// may be nil (never cancelled); the successful proof is identical to Prove.
+func ProveCtx(ctx context.Context, tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Config) (*Proof, []ff.Element, error) {
 	w := cfg.workers()
 	work, release := workingCopy(a, w)
 	defer release()
@@ -121,7 +130,10 @@ func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Confi
 	tr.AppendScalar("sumcheck/claim", &claim)
 
 	for round := 0; round < mu; round++ {
-		compressed := roundPolynomialCompressed(work, prog, d, nil, w)
+		compressed := roundPolynomialCompressed(ctx, work, prog, d, nil, w)
+		if ctx != nil && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 		tr.AppendScalars("sumcheck/round", compressed)
 		r := tr.ChallengeScalar("sumcheck/challenge")
 		challenges = append(challenges, r)
@@ -182,7 +194,10 @@ func workingCopy(a *Assignment, workers int) (work *Assignment, release func()) 
 // accumulating, and d may exceed the program's own degree (the eq factor
 // raises the round polynomial's degree by one, so one extra point is
 // evaluated).
-func roundPolynomialCompressed(a *Assignment, prog *poly.Program, d int, weights []ff.Element, workers int) []ff.Element {
+// A non-nil ctx is polled every few thousand pairs; once it fires the scan
+// returns garbage, so the caller must check ctx.Err() and discard the result
+// (ProveCtx does).
+func roundPolynomialCompressed(ctx context.Context, a *Assignment, prog *poly.Program, d int, weights []ff.Element, workers int) []ff.Element {
 	half := a.Tables[0].Size() / 2
 	nv := len(a.Tables)
 	nPts := d // t = 0, 2, ..., d
@@ -211,6 +226,11 @@ func roundPolynomialCompressed(a *Assignment, prog *poly.Program, d int, weights
 			acc[slot].Add(&acc[slot], &val)
 		}
 		for j := lo; j < hi; j++ {
+			// Cancellation poll (see ProveCtx): cheap relative to the d+1
+			// composite evaluations the 4096 pairs between checks cost.
+			if j&4095 == 0 && ctx != nil && ctx.Err() != nil {
+				break
+			}
 			for v := 0; v < nv; v++ {
 				e := evs[v]
 				a0 := e[2*j]
@@ -249,7 +269,7 @@ func roundPolynomialCompressed(a *Assignment, prog *poly.Program, d int, weights
 // experiment harness; the prover calls the same scan internally.
 func RoundPolynomial(a *Assignment, workers int) []ff.Element {
 	prog := a.Composite.Compile()
-	return roundPolynomialCompressed(a, prog, a.Composite.Degree(), nil, parallel.Workers(workers))
+	return roundPolynomialCompressed(nil, a, prog, a.Composite.Degree(), nil, parallel.Workers(workers))
 }
 
 // Verify replays the verifier side of the transcript. It checks each round's

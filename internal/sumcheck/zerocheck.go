@@ -1,6 +1,7 @@
 package sumcheck
 
 import (
+	"context"
 	"fmt"
 
 	"zkphire/internal/ff"
@@ -58,9 +59,15 @@ func BuildZeroCheckAssignment(a *Assignment, tau []ff.Element, workers int) (*As
 // ProveZero runs a ZeroCheck on the assignment (claiming f ≡ 0 on the
 // hypercube) through the eq-factorized fast path.
 func ProveZero(tr *transcript.Transcript, a *Assignment, cfg Config) (*ZeroCheckProof, []ff.Element, error) {
+	return ProveZeroCtx(nil, tr, a, cfg)
+}
+
+// ProveZeroCtx is ProveZero with mid-round cancellation (see ProveCtx). ctx
+// may be nil; the successful proof is identical to ProveZero.
+func ProveZeroCtx(ctx context.Context, tr *transcript.Transcript, a *Assignment, cfg Config) (*ZeroCheckProof, []ff.Element, error) {
 	mu := a.NumVars()
 	tau := tr.ChallengeScalars("zerocheck/tau", mu)
-	inner, challenges, err := proveEqFactored(tr, a, tau, cfg)
+	inner, challenges, err := proveEqFactored(ctx, tr, a, tau, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -86,7 +93,7 @@ func ProveZeroAppended(tr *transcript.Transcript, a *Assignment, cfg Config) (*Z
 // eq table: the wrapped composite exists only as protocol metadata (degree,
 // claim layout), while the scan evaluates the CORE composite's compiled
 // program and weights each pair with the round's eq suffix table.
-func proveEqFactored(tr *transcript.Transcript, a *Assignment, tau []ff.Element, cfg Config) (*Proof, []ff.Element, error) {
+func proveEqFactored(ctx context.Context, tr *transcript.Transcript, a *Assignment, tau []ff.Element, cfg Config) (*Proof, []ff.Element, error) {
 	w := cfg.workers()
 	n := a.Tables[0].Size()
 
@@ -137,7 +144,10 @@ func proveEqFactored(tr *transcript.Transcript, a *Assignment, tau []ff.Element,
 	for round := 0; round < mu; round++ {
 		half := work.Tables[0].Size() / 2
 		sfx := eqBuf[offset(round) : offset(round)+half]
-		compressed := roundPolynomialCompressed(work, prog, d, sfx, w)
+		compressed := roundPolynomialCompressed(ctx, work, prog, d, sfx, w)
+		if ctx != nil && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 
 		// Scale the inner sums by prefix·eq(t, τ_round), stepping the linear
 		// eq factor across the compressed points t = 0, 2, .., d.

@@ -1,0 +1,185 @@
+package transcript
+
+import (
+	"sync"
+
+	"zkphire/internal/ff"
+)
+
+// Sequencer is the write-ahead ordering buffer that lets pipelined prover
+// stages absorb transcript messages out of completion order while the byte
+// stream stays identical to the sequential schedule.
+//
+// The transcript is a hash chain: every absorption folds into one running
+// state, so the ORDER of absorptions is the protocol. A pipelined prover
+// finishes stages out of order (a late wire MSM may land after the
+// permutation build has its tables ready), but Fiat-Shamir soundness — and
+// the repo's golden proof pins — require the canonical order. The sequencer
+// resolves this by separating reservation from completion:
+//
+//   - Reserve is called once per protocol message group, in the sequential
+//     schedule's order, while the stage DAG is being constructed (single
+//     goroutine). The reservation order IS the transcript order.
+//   - Each stage then writes into its own Slot whenever it finishes.
+//     Appends buffer until the slot becomes the head of the queue (all
+//     earlier slots closed and flushed); Close marks the slot done and
+//     advances the head through every consecutively-closed slot, applying
+//     buffered appends to the underlying transcript in reservation order.
+//   - A stage that needs CHALLENGES (an interactive slot: a SumCheck's
+//     rounds) calls Transcript, which blocks until the slot is at the head,
+//     flushes its buffer, and hands back the raw *Transcript for exclusive
+//     use until Close. Headship guarantees exclusivity: the head cannot
+//     advance past an open slot, so no other stage's flush can interleave.
+//
+// The resulting byte stream is exactly `slots in reservation order, each
+// slot's messages in emission order` — the sequential schedule — for every
+// stage completion order. The randomized stress test drives all orders.
+//
+// Deadlock discipline (enforced by the prover's stage DAG, see
+// parallel.Graph): a stage calling Transcript must depend on the stages
+// that close every earlier slot. Buffered appends never block.
+type Sequencer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	tr   *Transcript
+	// slots in reservation order; next indexes the first slot whose buffer
+	// has not yet been applied to tr.
+	slots []*Slot
+	next  int
+}
+
+// NewSequencer wraps a transcript. The caller must not use tr directly
+// while the sequencer has unreserved or unflushed slots, except through an
+// interactive slot's Transcript window.
+func NewSequencer(tr *Transcript) *Sequencer {
+	s := &Sequencer{tr: tr}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Reserve appends a named slot to the transcript order. Reservation order
+// defines the absorption order; call it from one goroutine, in the
+// sequential schedule's order, before the writing stages run.
+func (s *Sequencer) Reserve(name string) *Slot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot := &Slot{seq: s, name: name, idx: len(s.slots)}
+	s.slots = append(s.slots, slot)
+	return slot
+}
+
+// Slot is one reserved position in the transcript order. Append* methods
+// buffer (or, once the slot holds the head interactively, apply directly);
+// Close releases the position. A slot is used by one stage goroutine at a
+// time; distinct slots may be written concurrently.
+type Slot struct {
+	seq  *Sequencer
+	name string
+	idx  int
+
+	ops      []func(*Transcript)
+	closed   bool
+	acquired bool // head held interactively via Transcript
+}
+
+// Name returns the slot's reservation name (diagnostics only).
+func (sl *Slot) Name() string { return sl.name }
+
+// append buffers op, or applies it immediately when the slot already holds
+// the head interactively.
+func (sl *Slot) append(op func(*Transcript)) {
+	sl.seq.mu.Lock()
+	defer sl.seq.mu.Unlock()
+	if sl.closed {
+		panic("transcript: append to closed slot " + sl.name)
+	}
+	if sl.acquired {
+		op(sl.seq.tr)
+		return
+	}
+	sl.ops = append(sl.ops, op)
+}
+
+// AppendBytes buffers an AppendBytes absorption. data is copied, so the
+// caller may reuse its buffer.
+func (sl *Slot) AppendBytes(label string, data []byte) {
+	cp := append([]byte(nil), data...)
+	sl.append(func(tr *Transcript) { tr.AppendBytes(label, cp) })
+}
+
+// AppendScalar buffers an AppendScalar absorption (the element is copied).
+func (sl *Slot) AppendScalar(label string, e *ff.Element) {
+	cp := *e
+	sl.append(func(tr *Transcript) { tr.AppendScalar(label, &cp) })
+}
+
+// AppendScalars buffers an AppendScalars absorption (the slice is copied).
+func (sl *Slot) AppendScalars(label string, es []ff.Element) {
+	cp := append([]ff.Element(nil), es...)
+	sl.append(func(tr *Transcript) { tr.AppendScalars(label, cp) })
+}
+
+// AppendUint64 buffers an AppendUint64 absorption.
+func (sl *Slot) AppendUint64(label string, v uint64) {
+	sl.append(func(tr *Transcript) { tr.AppendUint64(label, v) })
+}
+
+// Transcript blocks until the slot is at the head of the queue (every
+// earlier slot closed and flushed), flushes this slot's buffered appends,
+// and returns the underlying transcript for exclusive interactive use —
+// challenges included — until Close. The caller's stage must depend on the
+// closers of all earlier slots (see the deadlock discipline above).
+func (sl *Slot) Transcript() *Transcript {
+	s := sl.seq
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sl.closed {
+		panic("transcript: Transcript on closed slot " + sl.name)
+	}
+	for s.next != sl.idx {
+		s.cond.Wait()
+	}
+	sl.flushLocked()
+	sl.acquired = true
+	return s.tr
+}
+
+// Close marks the slot complete. If the slot is at the head, its buffer is
+// flushed and the head advances through every consecutively-closed slot.
+func (sl *Slot) Close() {
+	s := sl.seq
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sl.closed {
+		panic("transcript: double Close of slot " + sl.name)
+	}
+	sl.closed = true
+	s.advanceLocked()
+	s.cond.Broadcast()
+}
+
+// flushLocked applies the slot's buffered ops. Caller holds the mutex and
+// has established s.next == sl.idx.
+func (sl *Slot) flushLocked() {
+	for _, op := range sl.ops {
+		op(sl.seq.tr)
+	}
+	sl.ops = nil
+}
+
+// advanceLocked moves the head past every consecutively-closed slot,
+// applying buffers in reservation order. Caller holds the mutex.
+func (s *Sequencer) advanceLocked() {
+	for s.next < len(s.slots) && s.slots[s.next].closed {
+		s.slots[s.next].flushLocked()
+		s.next++
+	}
+}
+
+// Drained reports whether every reserved slot has closed and flushed —
+// the prover asserts this before serializing the proof.
+func (s *Sequencer) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next == len(s.slots)
+}

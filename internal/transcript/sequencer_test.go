@@ -1,0 +1,181 @@
+package transcript
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"zkphire/internal/ff"
+)
+
+// scriptStep is one absorption a slot performs; interactive steps also
+// squeeze a challenge so the test exercises the exclusive-head window.
+type scriptStep struct {
+	label  string
+	scalar ff.Element
+}
+
+// buildScript fabricates numSlots slots with 1..3 absorptions each; every
+// third slot is interactive (squeezes a challenge between its absorptions).
+func buildScript(rng *rand.Rand, numSlots int) (steps [][]scriptStep, interactive []bool) {
+	steps = make([][]scriptStep, numSlots)
+	interactive = make([]bool, numSlots)
+	for i := range steps {
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			var e ff.Element
+			e.SetUint64(rng.Uint64())
+			steps[i] = append(steps[i], scriptStep{
+				label:  fmt.Sprintf("slot%02d/msg%d", i, j),
+				scalar: e,
+			})
+		}
+		interactive[i] = i%3 == 1
+	}
+	return steps, interactive
+}
+
+// runSequential replays the script on a fresh transcript in reservation
+// order — the canonical byte stream — returning the per-slot challenge
+// values and the final state fingerprint.
+func runSequential(steps [][]scriptStep, interactive []bool) ([]ff.Element, ff.Element) {
+	tr := New("seqtest")
+	challenges := make([]ff.Element, len(steps))
+	for i, ss := range steps {
+		for j, st := range ss {
+			tr.AppendScalar(st.label, &st.scalar)
+			if interactive[i] && j == 0 {
+				challenges[i] = tr.ChallengeScalar("slot/chal")
+			}
+		}
+	}
+	return challenges, tr.ChallengeScalar("final")
+}
+
+// TestSequencerRandomOrder closes slots from concurrent goroutines in a
+// randomized completion order and checks the transcript bytes (via the
+// derived challenges) are identical to the sequential schedule. Interactive
+// slots block for headship exactly as the prover's SumCheck stages do, so
+// the test's goroutine for slot i waits on slot i-1's closure the way the
+// stage DAG's dependency edges would.
+func TestSequencerRandomOrder(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*7919 + 1))
+		const numSlots = 12
+		steps, interactive := buildScript(rng, numSlots)
+		wantChal, wantFinal := runSequential(steps, interactive)
+
+		tr := New("seqtest")
+		seq := NewSequencer(tr)
+		slots := make([]*Slot, numSlots)
+		for i := range slots {
+			slots[i] = seq.Reserve(fmt.Sprintf("slot%02d", i))
+		}
+
+		// closed[i] resolves when slot i has closed; interactive slot i
+		// waits on closed[i-1] before calling Transcript, mirroring the
+		// prover DAG's deadlock discipline.
+		closed := make([]chan struct{}, numSlots)
+		for i := range closed {
+			closed[i] = make(chan struct{})
+		}
+
+		// Buffered slots start in a randomized order with no constraints.
+		order := rng.Perm(numSlots)
+		gotChal := make([]ff.Element, numSlots)
+		var wg sync.WaitGroup
+		for _, idx := range order {
+			i := idx
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if interactive[i] {
+					if i > 0 {
+						<-closed[i-1]
+					}
+					raw := slots[i].Transcript()
+					for j, st := range steps[i] {
+						raw.AppendScalar(st.label, &st.scalar)
+						if j == 0 {
+							gotChal[i] = raw.ChallengeScalar("slot/chal")
+						}
+					}
+				} else {
+					for _, st := range steps[i] {
+						s := st.scalar // appended value must survive reuse
+						slots[i].AppendScalar(st.label, &s)
+					}
+				}
+				slots[i].Close()
+				close(closed[i])
+			}()
+		}
+		wg.Wait()
+
+		if !seq.Drained() {
+			t.Fatalf("trial %d: sequencer not drained after all slots closed", trial)
+		}
+		gotFinal := tr.ChallengeScalar("final")
+		if !gotFinal.Equal(&wantFinal) {
+			t.Fatalf("trial %d: final challenge diverged from sequential schedule", trial)
+		}
+		for i := range steps {
+			if interactive[i] && !gotChal[i].Equal(&wantChal[i]) {
+				t.Fatalf("trial %d: slot %d interactive challenge diverged", trial, i)
+			}
+		}
+	}
+}
+
+// TestSequencerBufferCopies verifies Append* take defensive copies: mutating
+// the caller's buffers after the call must not change the absorbed bytes.
+func TestSequencerBufferCopies(t *testing.T) {
+	want := New("copytest")
+	var e ff.Element
+	e.SetUint64(42)
+	want.AppendScalar("a", &e)
+	want.AppendScalars("b", []ff.Element{e, e})
+	want.AppendBytes("c", []byte{1, 2, 3})
+	wantC := want.ChallengeScalar("final")
+
+	tr := New("copytest")
+	seq := NewSequencer(tr)
+	sl := seq.Reserve("only")
+	scalar := e
+	slice := []ff.Element{e, e}
+	raw := []byte{1, 2, 3}
+	sl.AppendScalar("a", &scalar)
+	sl.AppendScalars("b", slice)
+	sl.AppendBytes("c", raw)
+	scalar.SetUint64(99)
+	slice[0].SetUint64(99)
+	raw[0] = 99
+	sl.Close()
+
+	gotC := tr.ChallengeScalar("final")
+	if !gotC.Equal(&wantC) {
+		t.Fatal("buffered appends observed caller mutations after the call")
+	}
+}
+
+// TestSequencerPanics pins the misuse panics: append after close, double
+// close, Transcript on a closed slot.
+func TestSequencerPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	seq := NewSequencer(New("panics"))
+	a := seq.Reserve("a")
+	a.Close()
+	mustPanic("append after close", func() { a.AppendUint64("x", 1) })
+	mustPanic("double close", func() { a.Close() })
+	mustPanic("Transcript on closed slot", func() { a.Transcript() })
+}

@@ -104,16 +104,27 @@ func WithWorkers(n int) ProverOption {
 	return func(p *Prover) { p.workers = n }
 }
 
+// WithSequentialSchedule forces the strict five-step prover schedule (each
+// protocol step finishes before the next starts) instead of the default
+// pipelined dependency-DAG schedule that overlaps MSM commits, SumCheck
+// rounds, and batch evaluations across Fiat-Shamir barriers. The proof bytes
+// are identical either way — this option exists for benchmarking the overlap
+// and as a diagnostic fallback.
+func WithSequentialSchedule() ProverOption {
+	return func(p *Prover) { p.sequential = true }
+}
+
 // Prover is a reusable proving session: NewProver runs the circuit
 // preprocessing (selector and wiring-permutation commitments) exactly once,
 // and every subsequent Prove or BatchProve call amortizes it. A Prover is
 // safe for concurrent use — all shared state is read-only after
 // construction.
 type Prover struct {
-	srs      *SRS
-	compiled *CompiledCircuit
-	vk       *hyperplonk.Index
-	workers  int
+	srs        *SRS
+	compiled   *CompiledCircuit
+	vk         *hyperplonk.Index
+	workers    int
+	sequential bool
 }
 
 // NewProver preprocesses the compiled circuit against the SRS and returns a
@@ -171,7 +182,7 @@ func (p *Prover) Verify(proof *Proof) error {
 }
 
 func (p *Prover) prove(ctx context.Context, workers int) (*Proof, error) {
-	return hyperplonk.Prove(ctx, p.srs, p.vk, p.compiled.circ, hyperplonk.Config{Workers: workers})
+	return hyperplonk.Prove(ctx, p.srs, p.vk, p.compiled.circ, hyperplonk.Config{Workers: workers, Sequential: p.sequential})
 }
 
 // BatchProve generates n proofs from the one-time preprocessing, proving up
