@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck bench-pipeline fmt vet lint fuzz-smoke docs
+.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck bench-pipeline bench-mem mem-smoke fmt vet lint fuzz-smoke docs
 
 build:
 	$(GO) build ./...
@@ -73,3 +73,24 @@ bench-sumcheck:
 # the overlap win. Minutes. Override the output with OUT=... as above.
 bench-pipeline:
 	$(GO) run ./cmd/benchjson -pipeline -o $(or $(OUT),BENCH_pr7.json)
+
+# The memory (streaming out-of-core prover) record: end-to-end Prove at
+# logGates=18 in-core vs streamed under a half-peak memory budget, both
+# peaks sampled by internal/membench and the proof bytes compared before
+# the record is written. Minutes. Override the output with OUT=... and the
+# size with LG=... (e.g. `make bench-mem LG=16` on small runners).
+bench-mem:
+	$(GO) run ./cmd/benchjson -mem -mem-loggates $(or $(LG),18) -o $(or $(OUT),BENCH_pr8.json)
+
+# Memory-budget conformance smoke: the regression test at logGates=16
+# (CI-sized; the checked-in default is 18) plus a quick -mem record.
+# GOMEMLIMIT is set per-row by the harness (membench.SampleUnderLimit); the
+# ulimit is a 4 GiB hard address-space backstop so a prover that ignores its
+# budget fails fast with an allocation error instead of paging the runner or
+# waking the OOM killer. (Virtual size, not RSS: the Go runtime's reserved
+# arenas sit far above any resident peak, so the backstop is loose by
+# design.)
+mem-smoke:
+	ulimit -v 4194304 && \
+	ZKPHIRE_MEMBUDGET_LOGGATES=16 $(GO) test -run TestMemoryBudgetRegression -v -count=1 . && \
+	$(GO) run ./cmd/benchjson -mem -quick -o /tmp/bench_mem_smoke.json

@@ -362,8 +362,9 @@ func BenchmarkTable9CrossAccelerator(b *testing.B) {
 }
 
 // BenchmarkSessionAmortization quantifies what the session API buys a
-// proving service: per-proof cost with preprocessing re-paid every time
-// (the old ProveCircuit shape) vs amortized through one Prover.
+// proving service: per-proof cost with compilation + preprocessing re-paid
+// every time (one throwaway session per proof — the shape the deprecated
+// ProveCircuit shim used to hide) vs amortized through one Prover.
 func BenchmarkSessionAmortization(b *testing.B) {
 	srs := SetupDeterministic(8, 11)
 	build := func() *CircuitBuilder {
@@ -376,7 +377,15 @@ func BenchmarkSessionAmortization(b *testing.B) {
 	b.Run("preprocess-every-proof", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := ProveCircuit(srs, build(), 4); err != nil {
+			compiled, err := Compile(build(), WithLogGates(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			prover, err := NewProver(srs, compiled)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := prover.Prove(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -30,14 +31,14 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
+	"runtime/debug"
 	"testing"
 	"time"
 
 	"zkphire"
 	"zkphire/internal/curve"
 	"zkphire/internal/ff"
+	"zkphire/internal/membench"
 	"zkphire/internal/mle"
 	"zkphire/internal/pcs"
 	"zkphire/internal/perm"
@@ -67,6 +68,12 @@ type kernelResult struct {
 	// commit (adf6bae) on this runner; zero when not measured (quick mode).
 	BaselineNsPerOp int64   `json:"baseline_ns_per_op,omitempty"`
 	Speedup         float64 `json:"speedup_vs_baseline,omitempty"`
+	// MemBudgetBytes is the memory budget the session was opened with (-mem
+	// rows only; zero for the in-core reference row). For -mem rows
+	// PeakRSSBytes is NOT the monotone VmHWM but the membench.Sample peak of
+	// the bracketed run, so the streamed row's peak is directly comparable
+	// to the in-core row's.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 }
 
 type record struct {
@@ -141,6 +148,8 @@ func main() {
 	msmOnly := flag.Bool("msm", false, "only the curve.MSM series (the GLV before/after record)")
 	sumcheckOnly := flag.Bool("sumcheck", false, "the PR 5 scalar-field record: per-round SumCheck scan, eq-factorized ZeroCheck, perm.Build, mle.Evaluate, and end-to-end Prove against the PR 4 baselines")
 	pipeline := flag.Bool("pipeline", false, "the PR 7 schedule record: the PR 5 kernel set plus end-to-end Prove under both the pipelined and the sequential schedule at each budget, against the PR 5 baselines")
+	memMode := flag.Bool("mem", false, "the PR 8 memory record: end-to-end Prove in-core vs streamed under a half-peak memory budget, peaks sampled by internal/membench")
+	memLg := flag.Int("mem-loggates", 18, "circuit size for the -mem record (quick mode overrides to 14)")
 	flag.Parse()
 
 	rec := &record{
@@ -231,6 +240,30 @@ func main() {
 			"mark after each row (monotone; read deltas)."
 		benchSumcheck(rec, budgets, *quick, pr5Baselines, false)
 		benchSchedules(rec, budgets, *quick)
+		writeRecord(rec, *out)
+		return
+	}
+
+	if *memMode {
+		// The memory record is the PR 8 trajectory file: don't clobber the
+		// committed kernel records unless explicitly asked to (same guard as
+		// the other modes above).
+		if *out == "BENCH_pr4.json" {
+			*out = "BENCH_pr8.json"
+		}
+		rec.PR = 8
+		rec.Note = "PR 8 memory record: both rows prove the same circuit against " +
+			"byte-identical synthetic SRS bases (i·G prefixes; provers never touch " +
+			"the trapdoor). The incore row keeps SRS + index resident; the streamed " +
+			"row opens the session with WithMemoryBudget(mem_budget_bytes) — " +
+			"budget = half the sampled in-core peak minus a fixed 40 MiB non-heap " +
+			"allowance — over an offloaded SRS and a spill store, under " +
+			"GOMEMLIMIT=budget. peak_rss_bytes here is the membench.Sample " +
+			"high-water mark of the bracketed build+prove (1 ms VmRSS poller), " +
+			"not the monotone process VmHWM, so the two rows compare directly. " +
+			"Acceptance: streamed peak ≤ 50% of the incore peak with identical " +
+			"proof bytes (the byte check runs in-process before rows are written)."
+		benchMem(rec, *memLg, *quick)
 		writeRecord(rec, *out)
 		return
 	}
@@ -658,6 +691,123 @@ func benchSchedules(rec *record, budgets []int, quick bool) {
 	}
 }
 
+// benchMem produces the PR 8 memory rows: one in-core prove and one
+// streamed prove of the same circuit, each bracketed by a membench sampler,
+// with the streamed session budgeted at half the measured in-core peak
+// (minus the fixed non-heap allowance GOMEMLIMIT cannot govern). The proof
+// bytes are compared before anything is written: a memory number for a
+// diverging prover would be meaningless.
+func benchMem(rec *record, lg int, quick bool) {
+	if quick {
+		lg = 14
+	}
+	w := runtime.GOMAXPROCS(0)
+	cb := zkphire.NewCircuitBuilder()
+	x := cb.Secret(3)
+	acc := x
+	for i := 0; i < (1<<lg)*3/5; i++ {
+		if i%2 == 0 {
+			acc = cb.Mul(acc, x)
+		} else {
+			acc = cb.Add(acc, x)
+		}
+	}
+	compiled, err := zkphire.Compile(cb, zkphire.WithLogGates(lg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Synthetic SRS: i·G prefix levels, each level an owned slice so Offload
+	// genuinely frees it. The trusted-setup bases only shape MSM cost and
+	// residency, never proof bytes, and the prover never needs the trapdoor.
+	buildSRS := func() *zkphire.SRS {
+		pts := benchPoints(1 << (lg + 1))
+		srs := &pcs.SRS{MaxVars: lg + 1, Levels: make([][]curve.G1Affine, lg+2)}
+		for k := 0; k <= lg+1; k++ {
+			lvl := make([]curve.G1Affine, 1<<k)
+			copy(lvl, pts[:1<<k])
+			srs.Levels[k] = lvl
+		}
+		return srs
+	}
+
+	var refBytes []byte
+	var inPeak int64
+	{
+		srs := buildSRS()
+		var d time.Duration
+		r := membench.Sample(func() {
+			p, err := zkphire.NewProver(srs, compiled, zkphire.WithSequentialSchedule(), zkphire.WithWorkers(w))
+			if err != nil {
+				log.Fatal(err)
+			}
+			t0 := time.Now()
+			proof, err := p.Prove(context.Background())
+			if err != nil {
+				log.Fatal(err)
+			}
+			d = time.Since(t0)
+			if refBytes, err = proof.MarshalBinary(); err != nil {
+				log.Fatal(err)
+			}
+		})
+		inPeak = r.PeakBytes
+		addMem(rec, fmt.Sprintf("session.Prove/logGates=%d/incore", lg), w, d, r, 0)
+	}
+	debug.FreeOSMemory()
+
+	budget := inPeak/2 - (40 << 20)
+	if budget < 64<<20 {
+		budget = 64 << 20
+	}
+	{
+		srs := buildSRS()
+		// A long-lived out-of-core session pays the resident-SRS transient
+		// once at setup; the row brackets the steady state.
+		if err := srs.Offload("", budget/8); err != nil {
+			log.Fatal(err)
+		}
+		debug.FreeOSMemory()
+		var d time.Duration
+		var gotBytes []byte
+		r := membench.SampleUnderLimit(budget, func() {
+			p, err := zkphire.NewProver(srs, compiled, zkphire.WithMemoryBudget(budget), zkphire.WithWorkers(w))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer p.Close()
+			t0 := time.Now()
+			proof, err := p.Prove(context.Background())
+			if err != nil {
+				log.Fatal(err)
+			}
+			d = time.Since(t0)
+			if gotBytes, err = proof.MarshalBinary(); err != nil {
+				log.Fatal(err)
+			}
+		})
+		if !bytes.Equal(gotBytes, refBytes) {
+			log.Fatal("streamed proof bytes differ from in-core reference; refusing to write a memory record")
+		}
+		addMem(rec, fmt.Sprintf("session.Prove/logGates=%d/streamed", lg), w, d, r, budget)
+		log.Printf("streamed peak %d MiB = %.0f%% of in-core peak %d MiB (budget %d MiB)",
+			r.PeakBytes>>20, 100*float64(r.PeakBytes)/float64(inPeak), inPeak>>20, budget>>20)
+	}
+}
+
+// addMem appends a membench-sampled row: ns/op is one timed prove,
+// peak_rss_bytes the sampler's bracketed high-water mark.
+func addMem(rec *record, name string, workers int, d time.Duration, r membench.Result, budget int64) {
+	kr := kernelResult{
+		Name:           name,
+		Workers:        workers,
+		NsPerOp:        d.Nanoseconds(),
+		PeakRSSBytes:   r.PeakBytes,
+		MemBudgetBytes: budget,
+	}
+	rec.Kernels = append(rec.Kernels, kr)
+	log.Printf("%-36s workers=%-2d %12d ns/op  peak rss %d MiB (budget %d MiB)", name, workers, kr.NsPerOp, kr.PeakRSSBytes>>20, budget>>20)
+}
+
 // benchSessions measures what the serving layer's session cache buys: the
 // cache-miss path (preprocessing + proof) against the cache-hit path
 // (proof only, on a reused session) at each worker budget.
@@ -746,7 +896,7 @@ func add(rec *record, name string, workers int, res testing.BenchmarkResult, bas
 		AllocsPerOp:  res.AllocsPerOp(),
 		BytesPerOp:   res.AllocedBytesPerOp(),
 		TotalAllocs:  int64(res.MemAllocs),
-		PeakRSSBytes: peakRSSBytes(),
+		PeakRSSBytes: membench.PeakRSSBytes(),
 	}
 	if base, ok := baselines[name]; ok && workers == 1 {
 		kr.BaselineNsPerOp = base
@@ -756,31 +906,6 @@ func add(rec *record, name string, workers int, res testing.BenchmarkResult, bas
 	}
 	rec.Kernels = append(rec.Kernels, kr)
 	log.Printf("%-32s workers=%-2d %12d ns/op  %8d allocs/op  rss %d MiB", name, workers, kr.NsPerOp, kr.AllocsPerOp, kr.PeakRSSBytes>>20)
-}
-
-// peakRSSBytes returns the process's high-water resident set size. On Linux
-// it reads VmHWM from /proc/self/status (the kernel's own gauge, counting
-// every page the process ever had resident — SRS points and arena scratch
-// included). Elsewhere, or if procfs is unavailable, it falls back to
-// runtime.ReadMemStats' Sys: the Go runtime's total OS reservation, an
-// upper-bound proxy that misses nothing the runtime manages.
-func peakRSSBytes() int64 {
-	if data, err := os.ReadFile("/proc/self/status"); err == nil {
-		for _, line := range strings.Split(string(data), "\n") {
-			if !strings.HasPrefix(line, "VmHWM:") {
-				continue
-			}
-			fields := strings.Fields(line)
-			if len(fields) >= 2 {
-				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
-					return kb << 10
-				}
-			}
-		}
-	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return int64(ms.Sys)
 }
 
 // benchPoints returns n distinct affine points (i·G) cheaply.

@@ -62,10 +62,21 @@ func EndoPoints(points []G1Affine) []fp.Element {
 // EndoPointsWorkers is EndoPoints with an explicit worker budget.
 func EndoPointsWorkers(points []G1Affine, workers int) []fp.Element {
 	out := make([]fp.Element, len(points))
+	EndoPointsInto(out, points, workers)
+	return out
+}
+
+// EndoPointsInto writes the φ-table for points into dst (len(dst) must be
+// len(points)). The chunk-streamed MSM paths use it to build the βx table
+// for one basis chunk in arena scratch instead of allocating a table per
+// chunk.
+func EndoPointsInto(dst []fp.Element, points []G1Affine, workers int) {
+	if len(dst) != len(points) {
+		panic("curve: endo table size mismatch")
+	}
 	parallel.For(workers, len(points), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			out[i].Mul(&points[i].X, &endoBeta)
+			dst[i].Mul(&points[i].X, &endoBeta)
 		}
 	})
-	return out
 }

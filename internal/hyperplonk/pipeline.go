@@ -45,6 +45,12 @@ import (
 // (Slot.Transcript) declares dependencies on the stages that close every
 // earlier slot, so headship is immediate by the time the stage runs and no
 // stage ever holds a worker lease while blocked on the transcript.
+//
+// Memory discipline: Prove routes Config.MemoryBudget > 0 to the
+// bounded-memory streamed schedule (stream.go) before reaching this DAG —
+// the pipeline's overlaps deliberately hold several steps' working sets
+// live at once, which is exactly what a memory budget forbids. All three
+// schedules produce byte-identical proofs.
 
 // vChunk is one finished product-tree segment in flight from perm.Run to
 // the streaming commit consumer. vals aliases the argument's V table —

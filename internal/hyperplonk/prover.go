@@ -26,6 +26,15 @@ type Config struct {
 	// overlaps stages across Fiat-Shamir barriers via the dependency DAG in
 	// pipeline.go; both produce byte-identical proofs for every budget.
 	Sequential bool
+	// MemoryBudget, when positive, selects the bounded-memory streamed
+	// schedule (stream.go): spilled preprocessed tables load only for the
+	// steps that read them, the permutation argument's check tables drop
+	// the moment the PermCheck SumCheck ends, and every MSM against an
+	// offloaded SRS streams basis chunks through arena scratch. The proof
+	// bytes are identical to the other schedules at every budget; the
+	// budget bounds the prover's live set, and the harness pairs it with
+	// GOMEMLIMIT to bound the process RSS (DESIGN.md §8).
+	MemoryBudget int64
 }
 
 // Prove generates a HyperPlonk proof that the circuit is satisfied by its
@@ -43,6 +52,12 @@ func Prove(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg 
 	}
 	if c.NumVars != idx.NumVars {
 		return nil, fmt.Errorf("hyperplonk: circuit/index size mismatch")
+	}
+	if cfg.MemoryBudget > 0 {
+		return proveStreamed(ctx, srs, idx, c, cfg)
+	}
+	if idx.SigmaSpill != nil && idx.SigmaTabs == nil {
+		return nil, fmt.Errorf("hyperplonk: index is spilled to disk; prove with a memory budget (Config.MemoryBudget)")
 	}
 	if cfg.Sequential {
 		return proveSequential(ctx, srs, idx, c, cfg)

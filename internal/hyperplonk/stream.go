@@ -1,0 +1,224 @@
+package hyperplonk
+
+import (
+	"context"
+	"fmt"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/gates"
+	"zkphire/internal/mle"
+	"zkphire/internal/parallel"
+	"zkphire/internal/pcs"
+	"zkphire/internal/perm"
+	"zkphire/internal/sumcheck"
+)
+
+// proveStreamed is the bounded-memory schedule selected by
+// Config.MemoryBudget. It replays proveSequential's transcript operation
+// sequence exactly — same labels, same order, same field values — so the
+// proof bytes are identical to both in-core schedules at every budget; only
+// the residency of the inputs changes:
+//
+//   - Wire commitments run one at a time (each MSM streams basis chunks
+//     through arena scratch when the SRS is offloaded), instead of all k
+//     concurrently.
+//   - Spilled σ tables load from disk only for the steps that read them —
+//     the argument build (step 3), the batch evaluations (step 4), and the
+//     main opening (step 5) — and every loaded copy is dropped the moment
+//     its step ends.
+//   - The permutation argument's check tables (N/D/ϕ and the π,p₁,p₂
+//     views) are freed right after the PermCheck SumCheck; only the
+//     committed product tree V survives into steps 4–5.
+//
+// Schedule invariance: group addition is exact and associative and
+// FromJacobian is canonical, so MSM segmentation cannot change a
+// commitment; table evaluation and SumCheck arithmetic never depend on
+// where the operands were loaded from. See DESIGN.md §8.
+func proveStreamed(ctx context.Context, srs *pcs.SRS, idx *Index, c *gates.Circuit, cfg Config) (*Proof, error) {
+	tr := newTranscript(idx)
+	proof := &Proof{}
+	workers := parallel.Workers(cfg.Workers)
+	scCfg := sumcheck.Config{Workers: workers}
+
+	// ---- Step 1: Witness commitments, one live MSM at a time. ----
+	for j, w := range c.Wires {
+		comm, err := srs.CommitCtx(ctx, w, workers)
+		if err != nil {
+			return nil, fmt.Errorf("hyperplonk: wire %d commit: %w", j, err)
+		}
+		proof.WireComms = append(proof.WireComms, comm)
+		appendComm(tr, "wire", comm)
+	}
+
+	// ---- Step 2: Gate Identity (ZeroCheck). ----
+	// Selectors and wires alias the compiled circuit: nothing to stream.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	gate := idx.Gate
+	gateTabs, err := bindGateTables(gate, idx, c.Wires)
+	if err != nil {
+		return nil, err
+	}
+	gateAssign, err := sumcheck.NewAssignment(gate, gateTabs)
+	if err != nil {
+		return nil, err
+	}
+	gateZC, rGate, err := sumcheck.ProveZero(tr, gateAssign, scCfg)
+	if err != nil {
+		return nil, fmt.Errorf("hyperplonk: gate zerocheck: %w", err)
+	}
+	proof.GateZC = gateZC
+	proof.GateEvals = append([]ff.Element(nil), gateZC.Inner.FinalEvals[:gate.NumVars()]...)
+	tr.AppendScalars("gate/evals", proof.GateEvals)
+
+	// ---- Step 3: Wire Identity (PermCheck). ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	beta := tr.ChallengeScalar("perm/beta")
+	gamma := tr.ChallengeScalar("perm/gamma")
+	sigmas, err := loadSigmas(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	arg := perm.BuildWorkers(c.Wires, sigmas, beta, gamma, workers)
+	sigmas = nil // the argument owns its buffers; drop the loaded σ copy
+	vComm, err := srs.CommitCtx(ctx, arg.V, workers)
+	if err != nil {
+		return nil, fmt.Errorf("hyperplonk: product-tree commit: %w", err)
+	}
+	proof.VComm = vComm
+	appendComm(tr, "perm/v", vComm)
+	alpha := tr.ChallengeScalar("perm/alpha")
+
+	permComp, permTabs := buildPermCheck(idx.Wires, alpha, arg)
+	permAssign, err := sumcheck.NewAssignment(permComp, permTabs)
+	if err != nil {
+		return nil, err
+	}
+	// The (2k+4)·N check tables are this schedule's peak residency. Once the
+	// SumCheck's first fold materializes its half-size working tables it
+	// never reads them again, so free them mid-SumCheck rather than after:
+	// steps 4–5 evaluate and open only V, which the drop preserves.
+	permCfg := scCfg
+	permCfg.ReleaseSources = func() {
+		arg.DropCheckTables()
+		for i := range permTabs {
+			permTabs[i] = nil
+		}
+	}
+	permZC, rPerm, err := sumcheck.ProveZero(tr, permAssign, permCfg)
+	if err != nil {
+		return nil, fmt.Errorf("hyperplonk: perm zerocheck: %w", err)
+	}
+	proof.PermZC = permZC
+	arg.DropCheckTables()
+
+	// ---- Step 4: Batch Evaluations. ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	piPt, p1Pt, p2Pt, phiPt := perm.ViewPoints(rPerm)
+	sigmas, err = loadSigmas(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	proof.WirePermEvals = make([]ff.Element, idx.Wires)
+	proof.SigmaPermEvals = make([]ff.Element, idx.Wires)
+	type evalJob struct {
+		dst *ff.Element
+		tab *mle.Table
+		pt  []ff.Element
+	}
+	jobs := []evalJob{
+		{&proof.VEvals[0], arg.V, piPt},
+		{&proof.VEvals[1], arg.V, p1Pt},
+		{&proof.VEvals[2], arg.V, p2Pt},
+		{&proof.VEvals[3], arg.V, phiPt},
+	}
+	for j := 0; j < idx.Wires; j++ {
+		jobs = append(jobs,
+			evalJob{&proof.WirePermEvals[j], c.Wires[j], rPerm},
+			evalJob{&proof.SigmaPermEvals[j], sigmas[j], rPerm})
+	}
+	perEval := parallel.Split(workers, len(jobs))
+	parallel.Run(workers, len(jobs), func(i int) {
+		*jobs[i].dst = jobs[i].tab.EvaluateWorkers(jobs[i].pt, perEval)
+	})
+	sigmas = nil
+	tr.AppendScalars("perm/vevals", proof.VEvals[:])
+	tr.AppendScalars("perm/wevals", proof.WirePermEvals)
+	tr.AppendScalars("perm/sevals", proof.SigmaPermEvals)
+
+	// ---- Step 5: Polynomial Opening. ----
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sigmas, err = loadSigmas(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	// Same distinct-polynomial order as openingSet: selectors, wires, σ.
+	mainPolys := make([]*mle.Table, 0, len(idx.SelectorTabs)+idx.Wires+len(sigmas))
+	mainPolys = append(mainPolys, idx.SelectorTabs...)
+	mainPolys = append(mainPolys, c.Wires...)
+	mainPolys = append(mainPolys, sigmas...)
+	mainClaims := mainClaimList(idx, proof, rGate, rPerm)
+	mainPoints := []openPoint{{name: "gate", coords: rGate}, {name: "perm", coords: rPerm}}
+	d, err := proveOpenCheckStream(ctx, tr, "open/main", mainPolys, mainClaims, mainPoints, nil, scCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.computeWitness(ctx, srs, workers); err != nil {
+		return nil, err
+	}
+	proof.OpenMain = d.op
+	sigmas, mainPolys, d = nil, nil, nil
+
+	vPolys := []*mle.Table{arg.V}
+	vClaims := []evalClaim{
+		{Poly: 0, Point: 0, Value: proof.VEvals[0]},
+		{Poly: 0, Point: 1, Value: proof.VEvals[1]},
+		{Poly: 0, Point: 2, Value: proof.VEvals[2]},
+		{Poly: 0, Point: 3, Value: proof.VEvals[3]},
+	}
+	vPoints := []openPoint{
+		{name: "pi", coords: piPt},
+		{name: "p1", coords: p1Pt},
+		{name: "p2", coords: p2Pt},
+		{name: "phi", coords: phiPt},
+	}
+	dv, err := proveOpenCheckStream(ctx, tr, "open/v", vPolys, vClaims, vPoints, nil, scCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dv.computeWitness(ctx, srs, workers); err != nil {
+		return nil, err
+	}
+	proof.OpenV = dv.op
+	return proof, nil
+}
+
+// loadSigmas returns the σ tables for one protocol step: the resident ones
+// when the index is in-core, a freshly loaded copy from the spill store when
+// it is spilled. Callers drop the returned slice when the step ends; the
+// table values are identical either way (the spill codec round-trips raw
+// Montgomery limbs), so the choice cannot affect proof bytes.
+func loadSigmas(ctx context.Context, idx *Index) ([]*mle.Table, error) {
+	if idx.SigmaTabs != nil {
+		return idx.SigmaTabs, nil
+	}
+	if idx.SigmaSpill == nil {
+		return nil, fmt.Errorf("hyperplonk: index has neither resident nor spilled σ tables")
+	}
+	tabs := make([]*mle.Table, len(idx.SigmaSpill))
+	for i, h := range idx.SigmaSpill {
+		t, err := h.Load(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("hyperplonk: reload σ_%d: %w", i+1, err)
+		}
+		tabs[i] = t
+	}
+	return tabs, nil
+}

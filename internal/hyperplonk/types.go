@@ -21,6 +21,7 @@ import (
 	"zkphire/internal/pcs"
 	"zkphire/internal/perm"
 	"zkphire/internal/poly"
+	"zkphire/internal/spill"
 	"zkphire/internal/sumcheck"
 )
 
@@ -35,6 +36,14 @@ type Index struct {
 	SigmaComms    []pcs.Commitment
 	// Gate is the circuit's constraint composite (without the eq factor).
 	Gate *poly.Composite
+	// SigmaSpill, when non-nil, holds the wiring-permutation tables parked
+	// on disk by PreprocessSpilled (SigmaTabs is nil then): the streamed
+	// prover loads them only for the protocol steps that read them and
+	// drops each copy as soon as the step ends. Selector tables are never
+	// spilled — they alias the compiled circuit's own tables, which stay
+	// resident for the circuit's lifetime anyway, so a disk copy would
+	// add I/O without freeing a byte.
+	SigmaSpill []*spill.Table
 	// Endo pins the SRS GLV φ-tables (one per commitment-basis level the
 	// prover touches, x-coordinates only) in the preprocessed key.
 	// PreprocessWorkers warms them so no Prove on this key ever pays the
@@ -111,16 +120,35 @@ func Preprocess(srs *pcs.SRS, c *gates.Circuit) (*Index, error) {
 // GOMAXPROCS). The per-table commitments are independent and run
 // concurrently with the budget divided among them.
 func PreprocessWorkers(srs *pcs.SRS, c *gates.Circuit, workers int) (*Index, error) {
+	return preprocess(srs, c, workers, nil)
+}
+
+// PreprocessSpilled is PreprocessWorkers for a bounded-memory session: the
+// wiring-permutation tables are committed, then spilled into store and
+// freed (the streamed prover reloads them step by step), and the GLV
+// φ-tables are not pinned in the key — on an offloaded SRS they live in the
+// backing's bounded cache instead. Proofs from a spilled index are
+// byte-identical to an in-core one's.
+func PreprocessSpilled(srs *pcs.SRS, c *gates.Circuit, workers int, store *spill.Store) (*Index, error) {
+	if store == nil {
+		return nil, fmt.Errorf("hyperplonk: PreprocessSpilled needs a spill store")
+	}
+	return preprocess(srs, c, workers, store)
+}
+
+func preprocess(srs *pcs.SRS, c *gates.Circuit, workers int, store *spill.Store) (*Index, error) {
 	if c.NumVars+1 > srs.MaxVars {
 		return nil, fmt.Errorf("hyperplonk: SRS supports %d vars, circuit needs %d (+1 for the product tree)", srs.MaxVars, c.NumVars)
 	}
 	idx := &Index{NumVars: c.NumVars, Wires: len(c.Wires), Gate: c.Gate}
 
-	// Warm the GLV φ-tables for every SRS level this circuit's proofs use
-	// (wire/selector commitments at NumVars, the permutation product tree at
-	// NumVars+1, and the opening witness MSMs at every level below), and pin
-	// them in the key.
-	idx.Endo = srs.WarmEndo(c.NumVars+1, workers)
+	if store == nil {
+		// Warm the GLV φ-tables for every SRS level this circuit's proofs
+		// use (wire/selector commitments at NumVars, the permutation product
+		// tree at NumVars+1, and the opening witness MSMs at every level
+		// below), and pin them in the key.
+		idx.Endo = srs.WarmEndo(c.NumVars+1, workers)
+	}
 
 	names := make([]string, 0, len(c.Selectors))
 	//zkvet:ignore determinism keys are collected then sorted two lines below; only the sorted order reaches the index and the transcript
@@ -149,5 +177,17 @@ func PreprocessWorkers(srs *pcs.SRS, c *gates.Circuit, workers int) (*Index, err
 	numSel := len(idx.SelectorTabs)
 	idx.SelectorComms = comms[:numSel:numSel]
 	idx.SigmaComms = comms[numSel:]
+
+	if store != nil {
+		idx.SigmaSpill = make([]*spill.Table, len(idx.SigmaTabs))
+		for j, tab := range idx.SigmaTabs {
+			h, err := spill.PutTable(nil, store, fmt.Sprintf("idx/sigma%d", j+1), tab)
+			if err != nil {
+				return nil, fmt.Errorf("hyperplonk: spill σ_%d: %w", j+1, err)
+			}
+			idx.SigmaSpill[j] = h
+		}
+		idx.SigmaTabs = nil
+	}
 	return idx, nil
 }

@@ -1,0 +1,67 @@
+package membench
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+)
+
+// TestSampleCatchesAllocation allocates a slab much larger than any plausible
+// sampler jitter and holds it past several poll intervals; the bracketed
+// sample must report a delta of at least most of the slab.
+func TestSampleCatchesAllocation(t *testing.T) {
+	const slab = 64 << 20
+	var sink []byte
+	r := Sample(func() {
+		sink = make([]byte, slab)
+		// Touch every page so the kernel actually maps it into RSS.
+		for i := 0; i < len(sink); i += 4096 {
+			sink[i] = 1
+		}
+		time.Sleep(20 * pollInterval)
+	})
+	runtime.KeepAlive(sink)
+	if r.PeakBytes <= r.BaselineBytes {
+		t.Fatalf("peak %d not above baseline %d", r.PeakBytes, r.BaselineBytes)
+	}
+	if d := r.DeltaBytes(); d < slab/2 {
+		t.Fatalf("sampled delta %d MiB missed the %d MiB slab", d>>20, int64(slab)>>20)
+	}
+}
+
+// TestSampleMonotoneFields checks the basic shape invariants: non-negative
+// baseline, peak ≥ baseline is not guaranteed by the kernel (pages can be
+// reclaimed between the baseline read and the first poll), but DeltaBytes
+// must clamp at zero.
+func TestSampleDeltaClamps(t *testing.T) {
+	r := Result{BaselineBytes: 100, PeakBytes: 40}
+	if d := r.DeltaBytes(); d != 0 {
+		t.Fatalf("negative delta not clamped: %d", d)
+	}
+}
+
+// TestSampleUnderLimitRestores confirms the soft memory limit is restored
+// after the bracketed call, including the default "unlimited" value.
+func TestSampleUnderLimitRestores(t *testing.T) {
+	before := debug.SetMemoryLimit(-1) // read without changing
+	SampleUnderLimit(1<<30, func() {
+		if got := debug.SetMemoryLimit(-1); got != 1<<30 {
+			t.Errorf("limit inside bracket = %d, want %d", got, int64(1<<30))
+		}
+	})
+	if after := debug.SetMemoryLimit(-1); after != before {
+		t.Fatalf("memory limit not restored: %d, want %d", after, before)
+	}
+}
+
+// TestGaugesReturnSomething: both gauges must produce positive values on any
+// supported platform (procfs or the runtime fallback).
+func TestGaugesReturnSomething(t *testing.T) {
+	if v := CurrentRSSBytes(); v <= 0 {
+		t.Fatalf("CurrentRSSBytes = %d", v)
+	}
+	if v := PeakRSSBytes(); v <= 0 {
+		t.Fatalf("PeakRSSBytes = %d", v)
+	}
+}

@@ -109,6 +109,20 @@ func foldInto(dst, src []ff.Element, r *ff.Element, workers int) {
 	})
 }
 
+// FoldInto writes the r-fold of src (length 2m) into dst (length m):
+// dst[j] = src[2j] + r·(src[2j+1] − src[2j]) — the exact update
+// FoldWorkers applies in place, through the same fused multiply-add
+// kernel, so a caller folding a source table into fresh storage gets
+// bit-identical results. dst must not alias src (except as src's first
+// half). The SumCheck prover uses this to materialize its working tables
+// at HALF size on the first fold instead of cloning them full-size.
+func FoldInto(dst, src []ff.Element, r *ff.Element, workers int) {
+	if len(src) != 2*len(dst) {
+		panic("mle: FoldInto length mismatch")
+	}
+	foldInto(dst, src, r, workers)
+}
+
 // Evaluate returns the multilinear extension evaluated at an arbitrary field
 // point (len(point) must equal NumVars). The table is not modified.
 func (t *Table) Evaluate(point []ff.Element) ff.Element {
@@ -280,10 +294,16 @@ func (t *Table) AnalyzeSparsity() Sparsity {
 
 // AnalyzeSparsityWorkers is AnalyzeSparsity with a worker budget.
 func (t *Table) AnalyzeSparsityWorkers(workers int) Sparsity {
-	if len(t.Evals) == 0 {
+	return AnalyzeSparsitySlice(t.Evals, workers)
+}
+
+// AnalyzeSparsitySlice is AnalyzeSparsityWorkers over a bare evaluation
+// segment — the chunk-streamed commitment paths route each table chunk's
+// MSM by its own sparsity, and a chunk is a slice, not a table.
+func AnalyzeSparsitySlice(evals []ff.Element, workers int) Sparsity {
+	if len(evals) == 0 {
 		return Sparsity{}
 	}
-	evals := t.Evals
 	return parallel.MapReduce(workers, len(evals), func(lo, hi int) Sparsity {
 		s := Sparsity{Total: hi - lo}
 		oneE := ff.One()

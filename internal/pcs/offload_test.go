@@ -1,0 +1,176 @@
+package pcs
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"zkphire/internal/ff"
+	"zkphire/internal/mle"
+)
+
+// TestOffloadByteIdentical offloads an SRS mid-test and checks that every
+// commit/open path produces results identical to the in-core ones computed
+// moments before on the same (then-resident) levels. maxVars 13 makes the
+// top level ~1.2 MB in RAM — larger than half the minimum cache budget — so
+// the top-level commitment exercises the chunk-streamed MSM, while the
+// opening chain's shrinking levels exercise the whole-level cache.
+func TestOffloadByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offload identity test builds a 2^13 SRS")
+	}
+	const nv = 13
+	srs := SetupDeterministic(nv, 99)
+	rng := ff.NewRand(123)
+	dense := mle.FromEvals(rng.Elements(1 << nv))
+	sparse := mle.New(nv)
+	for i := 0; i < len(sparse.Evals); i += 17 {
+		sparse.Evals[i] = rng.Element()
+	}
+	z := rng.Elements(nv)
+
+	denseComm, err := srs.Commit(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseComm, err := srs.Commit(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openVal, openProof, err := srs.Open(dense, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srs.Offload(t.TempDir(), 1); err != nil { // clamps to the 8 MiB floor
+		t.Fatalf("Offload: %v", err)
+	}
+	if !srs.Backed() {
+		t.Fatal("SRS not backed after Offload")
+	}
+	if srs.Levels[nv] != nil {
+		t.Fatal("top level still resident after Offload")
+	}
+
+	denseComm2, err := srs.Commit(dense)
+	if err != nil {
+		t.Fatalf("backed dense commit: %v", err)
+	}
+	if !denseComm2.Point.Equal(&denseComm.Point) {
+		t.Fatal("backed dense commitment differs from in-core")
+	}
+	sparseComm2, err := srs.CommitCtx(context.Background(), sparse, 2)
+	if err != nil {
+		t.Fatalf("backed sparse commit: %v", err)
+	}
+	if !sparseComm2.Point.Equal(&sparseComm.Point) {
+		t.Fatal("backed sparse commitment differs from in-core")
+	}
+
+	openVal2, openProof2, err := srs.OpenWorkers(dense, z, 2)
+	if err != nil {
+		t.Fatalf("backed open: %v", err)
+	}
+	if !openVal2.Equal(&openVal) {
+		t.Fatal("backed opening value differs")
+	}
+	for i := range openProof.Qs {
+		if !openProof2.Qs[i].Equal(&openProof.Qs[i]) {
+			t.Fatalf("backed witness commitment %d differs", i)
+		}
+	}
+	if err := srs.Verify(denseComm2, z, openVal2, openProof2); err != nil {
+		t.Fatalf("verify on backed SRS: %v", err)
+	}
+
+	// Streamed commitment over backed basis: feed out-of-order segments of
+	// mixed sizes (chunked partial MSMs + the gather path).
+	sc, err := srs.CommitStream(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << nv
+	segs := [][2]int{{n / 2, n}, {100, n / 2}, {0, 100}}
+	for _, seg := range segs {
+		if err := sc.Feed(context.Background(), seg[0], dense.Evals[seg[0]:seg[1]], 2); err != nil {
+			t.Fatalf("Feed(%v): %v", seg, err)
+		}
+	}
+	streamComm, err := sc.Finish(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamComm.Point.Equal(&denseComm.Point) {
+		t.Fatal("streamed commitment on backed SRS differs from in-core")
+	}
+
+	// The cache respects its byte budget once nothing is pinned.
+	b := srs.back
+	b.mu.Lock()
+	resident, budget := b.resident, b.cacheBudget
+	for k := range b.lev {
+		if b.lev[k].pins != 0 {
+			t.Errorf("level %d still pinned (%d)", k, b.lev[k].pins)
+		}
+	}
+	b.mu.Unlock()
+	if resident > budget {
+		t.Fatalf("cache resident %d exceeds budget %d", resident, budget)
+	}
+
+	// Concurrent backed commits share the single-flight cache safely and
+	// agree with the in-core result.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	comms := make([]Commitment, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			comms[i], errs[i] = srs.CommitWorkers(dense, 1)
+		}(i)
+	}
+	wg.Wait()
+	for i := range comms {
+		if errs[i] != nil {
+			t.Fatalf("concurrent commit %d: %v", i, errs[i])
+		}
+		if !comms[i].Point.Equal(&denseComm.Point) {
+			t.Fatalf("concurrent commit %d differs", i)
+		}
+	}
+
+	// After CloseBacking, offloaded levels error out — no panics.
+	if err := srs.CloseBacking(); err != nil {
+		t.Fatalf("CloseBacking: %v", err)
+	}
+	if _, err := srs.Commit(dense); err == nil {
+		t.Fatal("commit on closed backing succeeded")
+	}
+}
+
+// TestOffloadIdempotent checks double-Offload is a no-op and small levels
+// stay resident.
+func TestOffloadIdempotent(t *testing.T) {
+	srs := SetupDeterministic(8, 5)
+	if err := srs.Offload(t.TempDir(), 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	// 2^8 levels are all under smallLevelElems: everything stays resident.
+	for k := range srs.Levels {
+		if srs.Levels[k] == nil {
+			t.Fatalf("small level %d offloaded", k)
+		}
+	}
+	if err := srs.Offload(t.TempDir(), 1<<20); err != nil {
+		t.Fatalf("second Offload: %v", err)
+	}
+	rng := ff.NewRand(1)
+	tab := mle.FromEvals(rng.Elements(1 << 8))
+	if _, err := srs.Commit(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := srs.CloseBacking(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,13 +53,23 @@ type SRS struct {
 	// tables.
 	endoMu sync.Mutex
 	endo   [][]fp.Element
+
+	// back, when non-nil, is the offloaded-SRS backing (see Offload in
+	// offload.go): large levels live in a spill store and Levels[k] is nil
+	// for them; every commit/open path routes basis access through it.
+	back *backing
 }
 
 // EndoPoints returns the φ-table for the k-variable commitment basis,
 // building and caching it on first use (single-flight under a mutex; the
 // build itself runs on the given worker budget). The returned slice is
-// shared and must be treated as read-only.
+// shared and must be treated as read-only. Only valid for resident levels —
+// an offloaded level's φ-table lives in the backing cache and is reached
+// through the routed commit/open paths instead.
 func (s *SRS) EndoPoints(k, workers int) []fp.Element {
+	if s.Levels[k] == nil {
+		panic("pcs: EndoPoints on an offloaded SRS level — use the commit/open paths, which route through the backing cache")
+	}
 	s.endoMu.Lock()
 	defer s.endoMu.Unlock()
 	if s.endo == nil {
@@ -74,12 +84,18 @@ func (s *SRS) EndoPoints(k, workers int) []fp.Element {
 // WarmEndo builds and returns the φ-tables for every level up to maxLevel.
 // Preprocessing calls it so a session's first Prove never pays the lazy
 // build; the returned set is the one stored in the preprocessed key.
+// Offloaded levels are skipped (their entry stays nil): pinning a full
+// φ-table set would defeat the memory bound the offload exists for — those
+// levels' tables live in the bounded backing cache instead.
 func (s *SRS) WarmEndo(maxLevel, workers int) [][]fp.Element {
 	if maxLevel > s.MaxVars {
 		maxLevel = s.MaxVars
 	}
 	out := make([][]fp.Element, maxLevel+1)
 	for k := 0; k <= maxLevel; k++ {
+		if s.Levels[k] == nil {
+			continue
+		}
 		out[k] = s.EndoPoints(k, workers)
 	}
 	return out
@@ -149,6 +165,9 @@ func (s *SRS) CommitWorkers(t *mle.Table, workers int) (Commitment, error) {
 	k := t.NumVars
 	if k > s.MaxVars {
 		return Commitment{}, fmt.Errorf("pcs: table has %d vars, SRS supports %d", k, s.MaxVars)
+	}
+	if s.Levels[k] == nil {
+		return s.commitBacked(nil, t, workers)
 	}
 	basis := s.Levels[k]
 	endoX := s.EndoPoints(k, workers)
@@ -234,7 +253,7 @@ func (s *SRS) OpenElasticCtx(ctx context.Context, t *mle.Table, z []ff.Element, 
 				q[j].Sub(&evals[2*j+1], &evals[2*j])
 			}
 		})
-		acc, err := curve.MSMEndoWorkersCtx(ctx, s.Levels[k-i-1], s.EndoPoints(k-i-1, workers), q, workers)
+		acc, err := s.msmRangeCtx(ctx, k-i-1, 0, q, workers, false)
 		if err != nil {
 			release()
 			return ff.Element{}, nil, err

@@ -7,7 +7,6 @@ import (
 
 	"zkphire/internal/curve"
 	"zkphire/internal/ff"
-	"zkphire/internal/fp"
 	"zkphire/internal/mle"
 )
 
@@ -19,6 +18,9 @@ func (s *SRS) CommitCtx(ctx context.Context, t *mle.Table, workers int) (Commitm
 	k := t.NumVars
 	if k > s.MaxVars {
 		return Commitment{}, fmt.Errorf("pcs: table has %d vars, SRS supports %d", k, s.MaxVars)
+	}
+	if s.Levels[k] == nil {
+		return s.commitBacked(ctx, t, workers)
 	}
 	basis := s.Levels[k]
 	endoX := s.EndoPoints(k, workers)
@@ -65,23 +67,28 @@ const streamGatherThreshold = 1 << 15
 // is byte-identical to CommitWorkers over the assembled table, regardless
 // of segmentation or budget.
 //
+// Basis access routes through the SRS: on an offloaded SRS, large segments
+// stream through the chunked MSM (msmRangeCtx) and the sub-threshold gather
+// materializes its basis ranges only at flush time, into arena scratch —
+// the committer never holds more than one chunk of basis points.
+//
 // Feed may be called from one goroutine at a time (the prover's build
 // stage); the committer is not otherwise concurrency-safe.
 type StreamCommitter struct {
 	srs     *SRS
 	numVars int
-	basis   []curve.G1Affine
-	endoX   []fp.Element
+	size    int
 
 	mu  sync.Mutex
 	acc curve.G1Jac
 	fed int
 
-	// pending gather for sub-threshold segments: parallel slices of basis
-	// points, φ x-coordinates, and scalars.
-	pendPts     []curve.G1Affine
-	pendEndo    []fp.Element
+	// pending gather for sub-threshold segments: the copied scalars, flat,
+	// plus each segment's table offset and length (basis ranges are
+	// materialized at flush).
 	pendScalars []ff.Element
+	pendOffs    []int
+	pendLens    []int
 }
 
 // CommitStream starts a streamed commitment to a numVars-variable table.
@@ -92,8 +99,7 @@ func (s *SRS) CommitStream(numVars int) (*StreamCommitter, error) {
 	sc := &StreamCommitter{
 		srs:     s,
 		numVars: numVars,
-		basis:   s.Levels[numVars],
-		endoX:   s.EndoPoints(numVars, 0),
+		size:    1 << uint(numVars),
 	}
 	sc.acc.SetInfinity()
 	return sc, nil
@@ -105,22 +111,22 @@ func (s *SRS) CommitStream(numVars int) (*StreamCommitter, error) {
 // (polling ctx, see MSMEndoWorkersCtx); small ones gather until a batch is
 // worth a Pippenger pass. vals is read during the call only.
 func (c *StreamCommitter) Feed(ctx context.Context, offset int, vals []ff.Element, workers int) error {
-	if offset < 0 || offset+len(vals) > len(c.basis) {
-		return fmt.Errorf("pcs: stream segment [%d,%d) outside table of size %d", offset, offset+len(vals), len(c.basis))
+	if offset < 0 || offset+len(vals) > c.size {
+		return fmt.Errorf("pcs: stream segment [%d,%d) outside table of size %d", offset, offset+len(vals), c.size)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.fed += len(vals)
 	if len(vals) < streamGatherThreshold {
-		c.pendPts = append(c.pendPts, c.basis[offset:offset+len(vals)]...)
-		c.pendEndo = append(c.pendEndo, c.endoX[offset:offset+len(vals)]...)
 		c.pendScalars = append(c.pendScalars, vals...)
+		c.pendOffs = append(c.pendOffs, offset)
+		c.pendLens = append(c.pendLens, len(vals))
 		if len(c.pendScalars) >= streamGatherThreshold {
 			return c.flushLocked(ctx, workers)
 		}
 		return nil
 	}
-	part, err := curve.MSMEndoWorkersCtx(ctx, c.basis[offset:offset+len(vals)], c.endoX[offset:offset+len(vals)], vals, workers)
+	part, err := c.srs.msmRangeCtx(ctx, c.numVars, offset, vals, workers, false)
 	if err != nil {
 		return err
 	}
@@ -128,19 +134,33 @@ func (c *StreamCommitter) Feed(ctx context.Context, offset int, vals []ff.Elemen
 	return nil
 }
 
-// flushLocked runs the pending gather as one MSM. Caller holds mu.
+// flushLocked materializes the pending segments' basis ranges into arena
+// scratch and runs the gather as one MSM. Caller holds mu.
 func (c *StreamCommitter) flushLocked(ctx context.Context, workers int) error {
-	if len(c.pendScalars) == 0 {
+	total := len(c.pendScalars)
+	if total == 0 {
 		return nil
 	}
-	part, err := curve.MSMEndoWorkersCtx(ctx, c.pendPts, c.pendEndo, c.pendScalars, workers)
+	pts := basisArena.Get(total)
+	endo := endoArena.Get(total)
+	defer basisArena.Put(pts)
+	defer endoArena.Put(endo)
+	pos := 0
+	for i, off := range c.pendOffs {
+		n := c.pendLens[i]
+		if err := c.srs.readBasisEndoRange(ctx, c.numVars, off, pts[pos:pos+n], endo[pos:pos+n], workers); err != nil {
+			return err
+		}
+		pos += n
+	}
+	part, err := curve.MSMEndoWorkersCtx(ctx, pts[:total], endo[:total], c.pendScalars, workers)
 	if err != nil {
 		return err
 	}
 	c.acc.AddAssign(&part)
-	c.pendPts = c.pendPts[:0]
-	c.pendEndo = c.pendEndo[:0]
 	c.pendScalars = c.pendScalars[:0]
+	c.pendOffs = c.pendOffs[:0]
+	c.pendLens = c.pendLens[:0]
 	return nil
 }
 
@@ -149,8 +169,8 @@ func (c *StreamCommitter) flushLocked(ctx context.Context, workers int) error {
 func (c *StreamCommitter) Finish(ctx context.Context, workers int) (Commitment, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.fed != len(c.basis) {
-		return Commitment{}, fmt.Errorf("pcs: stream fed %d of %d entries", c.fed, len(c.basis))
+	if c.fed != c.size {
+		return Commitment{}, fmt.Errorf("pcs: stream fed %d of %d entries", c.fed, c.size)
 	}
 	if err := c.flushLocked(ctx, workers); err != nil {
 		return Commitment{}, err

@@ -313,6 +313,19 @@ func (p *Prepared) Run(wires, sigmaTabs []*mle.Table, beta, gamma ff.Element, wo
 	return a
 }
 
+// DropCheckTables releases every table the argument only needs through the
+// PermCheck ZeroCheck — the per-column numerators/denominators, ϕ, and the
+// π/p₁/p₂ views. The committed product tree V (and the challenges) survive:
+// the remaining protocol steps evaluate and open only V. The bounded-memory
+// prover calls this right after the PermCheck SumCheck to shed ~(2k+4)·N
+// field elements at the peak step; safe because Run's buffers are owned by
+// the argument once Prepared is consumed.
+func (a *Argument) DropCheckTables() {
+	a.NTabs, a.DTabs = nil, nil
+	a.Phi = nil
+	a.Pi, a.P1, a.P2 = nil, nil, nil
+}
+
 // Root returns the grand product Π_x ϕ(x) (T[2N−2]).
 func (a *Argument) Root() ff.Element {
 	return a.V.Evals[len(a.V.Evals)-2]

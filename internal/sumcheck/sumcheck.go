@@ -94,17 +94,29 @@ type Config struct {
 	// Workers is the worker budget for the per-round scan, the table folds,
 	// and the working-copy setup. Zero means GOMAXPROCS.
 	Workers int
+
+	// ReleaseSources, when non-nil, is called exactly once, immediately
+	// after the first fold materializes the prover's half-size working
+	// tables. From that point the prover never reads the assignment's
+	// original tables again, so a caller that owns them may free or spill
+	// them in the callback — the bounded-memory HyperPlonk schedule drops
+	// the (2k+4)·N PermCheck tables here, mid-SumCheck, instead of holding
+	// them to the final round. Never called when the assignment has zero
+	// variables (no folds happen; the final evaluations then read the
+	// originals). Purely a residency hook: it must not mutate table values.
+	ReleaseSources func()
 }
 
 func (c Config) workers() int { return parallel.Workers(c.Workers) }
 
-// Prove runs the SumCheck prover, consuming a working copy of the
-// assignment and appending all messages to the transcript. The returned
-// challenges are the verifier's random point r₁..r_µ.
+// Prove runs the SumCheck prover, leaving the assignment's tables untouched
+// and appending all messages to the transcript. The returned challenges are
+// the verifier's random point r₁..r_µ.
 //
-// The working copies live in the shared arena (parallel.GetScratch) rather
-// than freshly allocated clones, so repeated proofs of same-sized circuits
-// reuse the same table-sized buffers.
+// The prover's working tables live in the shared arena (parallel.GetScratch)
+// at HALF the assignment's size: round 0 scans the caller's tables read-only,
+// and the first fold materializes the working tables directly (see lazyWork),
+// so repeated proofs of same-sized circuits reuse the same half-table buffers.
 func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Config) (*Proof, []ff.Element, error) {
 	return ProveCtx(nil, tr, a, claim, cfg)
 }
@@ -115,8 +127,9 @@ func Prove(tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Confi
 // may be nil (never cancelled); the successful proof is identical to Prove.
 func ProveCtx(ctx context.Context, tr *transcript.Transcript, a *Assignment, claim ff.Element, cfg Config) (*Proof, []ff.Element, error) {
 	w := cfg.workers()
-	work, release := workingCopy(a, w)
-	defer release()
+	lw := lazyWorkingCopy(a, cfg)
+	defer lw.release()
+	work := lw.work
 
 	mu := work.NumVars()
 	d := work.Composite.Degree()
@@ -137,9 +150,7 @@ func ProveCtx(ctx context.Context, tr *transcript.Transcript, a *Assignment, cla
 		tr.AppendScalars("sumcheck/round", compressed)
 		r := tr.ChallengeScalar("sumcheck/challenge")
 		challenges = append(challenges, r)
-		for _, t := range work.Tables {
-			t.FoldWorkers(&r, w)
-		}
+		lw.fold(&r)
 		proof.RoundEvals = append(proof.RoundEvals, compressed)
 	}
 
@@ -150,28 +161,67 @@ func ProveCtx(ctx context.Context, tr *transcript.Transcript, a *Assignment, cla
 	return proof, challenges, nil
 }
 
-// workingCopy clones the assignment's tables into arena scratch so the
-// prover can fold destructively; release returns every buffer to the pool.
-// Repeated proofs of same-sized circuits therefore reuse the same
-// table-sized buffers instead of allocating clones.
-func workingCopy(a *Assignment, workers int) (work *Assignment, release func()) {
-	n := a.Tables[0].Size()
-	scratch := make([][]ff.Element, len(a.Tables))
-	work = &Assignment{Composite: a.Composite, Tables: make([]*mle.Table, len(a.Tables))}
-	for i, t := range a.Tables {
-		buf := parallel.GetScratch(n)
-		scratch[i] = buf
-		src := t.Evals
-		parallel.For(workers, n, func(lo, hi int) {
-			copy(buf[lo:hi], src[lo:hi])
-		})
-		work.Tables[i] = mle.FromEvals(buf)
+// lazyWork is the prover's destructive working state, materialized at HALF
+// the assignment's size. The prover used to clone every table full-size
+// before round 0; but the round-0 scan only READS the tables, and the first
+// fold was going to shrink them to half anyway — so work starts out aliasing
+// the caller's tables, and the first challenge folds each source directly
+// into a half-size arena buffer (mle.FoldInto — the exact FoldWorkers
+// update, so every round polynomial and proof byte is identical to the
+// cloning construction). Rounds after the first fold in place as before.
+// The caller's tables are never written; release returns the arena buffers.
+//
+// Halving the prover's scratch footprint matters most to the bounded-memory
+// schedule (hyperplonk/stream.go), where the SumCheck working set over the
+// full-width wire/permutation tables dominates the prove-time peak.
+type lazyWork struct {
+	work       *Assignment  // aliases the caller's tables until the first fold
+	src        []*mle.Table // the caller's tables (read-only)
+	scratch    [][]ff.Element
+	workers    int
+	releaseSrc func() // Config.ReleaseSources; fired once after the first fold
+}
+
+func lazyWorkingCopy(a *Assignment, cfg Config) *lazyWork {
+	tabs := make([]*mle.Table, len(a.Tables))
+	copy(tabs, a.Tables)
+	return &lazyWork{
+		work:       &Assignment{Composite: a.Composite, Tables: tabs},
+		src:        a.Tables,
+		workers:    cfg.workers(),
+		releaseSrc: cfg.ReleaseSources,
 	}
-	return work, func() {
-		for _, buf := range scratch {
-			parallel.PutScratch(buf)
+}
+
+// fold applies a round challenge: the first call folds the sources into
+// fresh half-size working tables (then tells the caller the sources are no
+// longer needed), later calls fold those in place.
+func (l *lazyWork) fold(r *ff.Element) {
+	if l.scratch == nil {
+		l.scratch = make([][]ff.Element, len(l.src))
+		for i, t := range l.src {
+			buf := parallel.GetScratch(t.Size() / 2)
+			l.scratch[i] = buf
+			mle.FoldInto(buf, t.Evals, r, l.workers)
+			l.work.Tables[i] = mle.FromEvals(buf)
 		}
+		l.src = nil
+		if l.releaseSrc != nil {
+			l.releaseSrc()
+			l.releaseSrc = nil
+		}
+		return
 	}
+	for _, t := range l.work.Tables {
+		t.FoldWorkers(r, l.workers)
+	}
+}
+
+func (l *lazyWork) release() {
+	for _, buf := range l.scratch {
+		parallel.PutScratch(buf)
+	}
+	l.scratch = nil
 }
 
 // roundPolynomialCompressed computes the COMPRESSED round polynomial

@@ -97,9 +97,10 @@ func proveEqFactored(ctx context.Context, tr *transcript.Transcript, a *Assignme
 	w := cfg.workers()
 	n := a.Tables[0].Size()
 
-	// Working copies of the core tables in arena scratch, exactly as Prove.
-	work, release := workingCopy(a, w)
-	defer release()
+	// Half-size lazy working copies of the core tables, exactly as Prove.
+	lw := lazyWorkingCopy(a, cfg)
+	defer lw.release()
+	work := lw.work
 
 	mu := len(tau)
 	prog := a.Composite.Compile()
@@ -170,9 +171,7 @@ func proveEqFactored(ctx context.Context, tr *transcript.Transcript, a *Assignme
 		tr.AppendScalars("sumcheck/round", compressed)
 		r := tr.ChallengeScalar("sumcheck/challenge")
 		challenges = append(challenges, r)
-		for _, t := range work.Tables {
-			t.FoldWorkers(&r, w)
-		}
+		lw.fold(&r)
 		// prefix ← prefix · eq(r, τ_round).
 		var er ff.Element
 		er.Sub(&oneE, &tau[round])

@@ -1,0 +1,7 @@
+//go:build !race
+
+package zkphire
+
+// raceEnabled reports whether the race detector is active; peak-RSS
+// assertions only run without it.
+const raceEnabled = false

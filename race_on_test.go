@@ -1,0 +1,8 @@
+//go:build race
+
+package zkphire
+
+// raceEnabled reports whether the race detector is active. The memory-budget
+// regression test skips under race: the detector's shadow memory multiplies
+// RSS several-fold, which invalidates every peak-RSS assertion.
+const raceEnabled = true

@@ -9,6 +9,7 @@ import (
 	"zkphire/internal/gates"
 	"zkphire/internal/hyperplonk"
 	"zkphire/internal/parallel"
+	"zkphire/internal/spill"
 )
 
 // minLogGates is the smallest padded circuit size (2 rows) — the whole
@@ -114,17 +115,43 @@ func WithSequentialSchedule() ProverOption {
 	return func(p *Prover) { p.sequential = true }
 }
 
+// WithMemoryBudget bounds the session's working set to roughly bytes of
+// live prover data, selecting the streaming out-of-core schedule end to
+// end: NewProver offloads the SRS commitment bases to disk behind a bounded
+// lazily-loaded level cache, parks the wiring-permutation tables in a
+// spill store (checksummed tmpfile pages), and Prove runs the
+// bounded-memory pass schedule — spilled tables load only for the protocol
+// steps that read them, MSMs against the offloaded basis stream chunks
+// through arena scratch, and the permutation argument's check tables drop
+// the moment the PermCheck SumCheck ends.
+//
+// Proof bytes are identical to the in-core schedules at every budget (the
+// conformance suite in streaming_test.go pins this). The budget bounds
+// zkphire's own live data, not the Go runtime's total footprint; pair it
+// with GOMEMLIMIT (or debug.SetMemoryLimit) to make the process RSS follow.
+// Budgets below ~1 MiB are clamped up to keep chunk geometry sane.
+//
+// A budgeted session owns tmpfiles: call Close when done with the Prover.
+// The SRS offload is sticky — the SRS keeps its disk backing (usable by
+// any session, budgeted or not) until pcs.SRS.CloseBacking.
+func WithMemoryBudget(bytes int64) ProverOption {
+	return func(p *Prover) { p.memBudget = bytes }
+}
+
 // Prover is a reusable proving session: NewProver runs the circuit
 // preprocessing (selector and wiring-permutation commitments) exactly once,
 // and every subsequent Prove or BatchProve call amortizes it. A Prover is
 // safe for concurrent use — all shared state is read-only after
-// construction.
+// construction (the spill store of a memory-budgeted session serves
+// concurrent readers behind its own lock).
 type Prover struct {
 	srs        *SRS
 	compiled   *CompiledCircuit
 	vk         *hyperplonk.Index
 	workers    int
 	sequential bool
+	memBudget  int64
+	store      *spill.Store
 }
 
 // NewProver preprocesses the compiled circuit against the SRS and returns a
@@ -144,12 +171,44 @@ func NewProver(srs *SRS, compiled *CompiledCircuit, opts ...ProverOption) (*Prov
 	for _, opt := range opts {
 		opt(p)
 	}
+	if p.memBudget > 0 {
+		// An eighth of the budget funds the SRS level cache (whole-level
+		// pins for the small opening-chain levels, chunk scratch for the
+		// big commitment bases, which re-stream from disk each commit);
+		// the rest is headroom for the prover's own tables. Offload clamps
+		// tiny budgets to its floor.
+		if err := srs.Offload("", p.memBudget/8); err != nil {
+			return nil, fmt.Errorf("zkphire: offload SRS: %w", err)
+		}
+		store, err := spill.NewStore("")
+		if err != nil {
+			return nil, fmt.Errorf("zkphire: open spill store: %w", err)
+		}
+		idx, err := hyperplonk.PreprocessSpilled(srs, compiled.circ, p.workers, store)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		p.store = store
+		p.vk = idx
+		return p, nil
+	}
 	idx, err := hyperplonk.PreprocessWorkers(srs, compiled.circ, p.workers)
 	if err != nil {
 		return nil, err
 	}
 	p.vk = idx
 	return p, nil
+}
+
+// Close releases the tmpfile-backed spill store of a memory-budgeted
+// session. It is a no-op for in-core sessions; proofs already produced stay
+// valid, but a budgeted session cannot prove again after Close.
+func (p *Prover) Close() error {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Close()
 }
 
 // VerifyingKey returns the preprocessed index proofs verify against.
@@ -182,7 +241,7 @@ func (p *Prover) Verify(proof *Proof) error {
 }
 
 func (p *Prover) prove(ctx context.Context, workers int) (*Proof, error) {
-	return hyperplonk.Prove(ctx, p.srs, p.vk, p.compiled.circ, hyperplonk.Config{Workers: workers, Sequential: p.sequential})
+	return hyperplonk.Prove(ctx, p.srs, p.vk, p.compiled.circ, hyperplonk.Config{Workers: workers, Sequential: p.sequential, MemoryBudget: p.memBudget})
 }
 
 // BatchProve generates n proofs from the one-time preprocessing, proving up
