@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck bench-pipeline bench-mem mem-smoke fmt vet lint fuzz-smoke docs
+.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck bench-pipeline bench-mem mem-smoke chaos-smoke fmt vet lint fuzz-smoke docs
 
 build:
 	$(GO) build ./...
@@ -94,3 +94,14 @@ mem-smoke:
 	ulimit -v 4194304 && \
 	ZKPHIRE_MEMBUDGET_LOGGATES=16 $(GO) test -run TestMemoryBudgetRegression -v -count=1 . && \
 	$(GO) run ./cmd/benchjson -mem -quick -o /tmp/bench_mem_smoke.json
+
+# Chaos smoke: the fault-injection suite under the race detector — the
+# in-process randomized fault rounds, the re-exec crash/replay
+# conformance harness (children are killed without unwinding at
+# journal/queue fault points), and the journal + panic-isolation +
+# retry + drain tests they build on. See DESIGN.md §9.
+chaos-smoke:
+	$(GO) test -race -count=1 -v \
+		-run 'TestChaos|TestPanicIsolation|TestTransientFailureRetried|TestIdempotencyKeyLifecycle|TestRecoverJournalReplaysPending|TestReplayAfterRestartAndCompact|TestDrainStopsAdmission' \
+		./internal/service/
+	$(GO) test -race -count=1 ./internal/journal/ ./internal/faultinject/ ./internal/retry/

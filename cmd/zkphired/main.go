@@ -46,6 +46,8 @@ import (
 	"time"
 
 	"zkphire"
+	"zkphire/internal/faultinject"
+	"zkphire/internal/journal"
 	"zkphire/internal/service"
 )
 
@@ -58,15 +60,25 @@ func main() {
 	queue := flag.Int("queue", 8, "queued proofs beyond the in-flight ones (-1 = none)")
 	cache := flag.Int("cache", 32, "session-cache capacity (circuits)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-proof deadline")
+	journalPath := flag.String("journal", "", "job-journal path for crash-safe idempotent proving (empty = no journal)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGTERM/SIGINT")
 	flag.Parse()
 
-	if err := run(*addr, *srsVars, *seed, *workers, *inflight, *queue, *cache, *timeout); err != nil {
+	if err := run(*addr, *srsVars, *seed, *workers, *inflight, *queue, *cache, *timeout, *journalPath, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache int, timeout time.Duration) error {
+func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache int, timeout time.Duration, journalPath string, drainTimeout time.Duration) error {
+	// Chaos testing arms named failure points via ZKPHIRE_FAULTS; in
+	// production the variable is unset and this is a no-op.
+	if err := faultinject.ArmFromEnv(); err != nil {
+		return err
+	}
+	if faultinject.Enabled() {
+		log.Printf("fault injection armed from %s", faultinject.EnvVar)
+	}
 	var (
 		srs *zkphire.SRS
 		err error
@@ -83,6 +95,17 @@ func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache i
 	}
 	log.Printf("SRS ready in %v (circuits up to 2^%d rows)", time.Since(started).Round(time.Millisecond), srsVars-1)
 
+	var jnl *journal.Journal
+	if journalPath != "" {
+		if jnl, err = journal.Open(journalPath); err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		defer jnl.Close()
+		if st := jnl.Stats(); st.TruncatedBytes > 0 {
+			log.Printf("journal: truncated %d torn bytes from a crashed append", st.TruncatedBytes)
+		}
+	}
+
 	svc, err := service.New(service.Config{
 		SRS:            srs,
 		Workers:        workers,
@@ -90,11 +113,27 @@ func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache i
 		QueueDepth:     queue,
 		CacheSize:      cache,
 		DefaultTimeout: timeout,
+		Journal:        jnl,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+
+	if jnl != nil {
+		// Finish what the previous process started before taking traffic:
+		// replayed proofs are byte-identical to the uninterrupted run.
+		n, err := svc.RecoverJournal(context.Background())
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		if n > 0 {
+			log.Printf("journal: replayed %d interrupted job(s)", n)
+		}
+		if err := jnl.Compact(); err != nil {
+			return fmt.Errorf("journal compact: %w", err)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -119,8 +158,18 @@ func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache i
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining queue)…")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Graceful drain: stop admission first (503 + Retry-After), let the
+	// queued and running proofs finish inside the deadline, then shut the
+	// listener down. Jobs that miss the deadline stay pending in the
+	// journal and the next start replays them — SIGTERM never loses an
+	// accepted job.
+	log.Printf("shutting down (draining queue, deadline %v)…", drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("drain deadline passed with jobs still running; they remain journaled for restart")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

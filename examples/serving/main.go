@@ -16,7 +16,6 @@ package main
 import (
 	"bytes"
 	"encoding/base64"
-	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -25,6 +24,7 @@ import (
 	"time"
 
 	"zkphire"
+	"zkphire/internal/retry"
 	"zkphire/internal/service"
 )
 
@@ -75,8 +75,11 @@ func main() {
 		again.Cached, time.Since(start).Round(time.Millisecond))
 
 	// --- prove: POST /prove --------------------------------------------
+	// The idempotency key makes the retrying client safe: if a retry races
+	// a slow first attempt, the daemon answers from its journal instead of
+	// proving twice.
 	var proof service.ProveResponse
-	post(base+"/prove", service.ProveRequest{CircuitID: reg.CircuitID}, &proof)
+	post(base+"/prove", service.ProveRequest{CircuitID: reg.CircuitID, IdempotencyKey: "serving-example-1"}, &proof)
 	fmt.Printf("proof: %d bytes in %.1f ms on %d workers\n", proof.ProofBytes, proof.DurationMS, proof.Workers)
 
 	// --- verify: POST /verify, then offline ----------------------------
@@ -118,23 +121,13 @@ func main() {
 	}
 }
 
-// post sends v as JSON and decodes the response into out, failing hard on
-// any error — example-grade error handling.
+// post sends v as JSON through the retrying client and decodes the
+// response into out, failing hard on any terminal error. retry.PostJSON
+// rides out a saturated or draining daemon: 429/503 responses are
+// retried after the server-suggested Retry-After delay.
 func post(url string, v, out any) {
-	body, err := json.Marshal(v)
-	if err != nil {
-		log.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, raw)
-	}
-	if err := json.Unmarshal(raw, out); err != nil {
-		log.Fatal(err)
+	policy := retry.Policy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+	if err := retry.PostJSON(nil, nil, url, v, out, policy); err != nil {
+		log.Fatalf("POST %s: %v", url, err)
 	}
 }

@@ -83,6 +83,7 @@ func All() []*Analyzer {
 		ArenaPair,
 		NoRawGo,
 		ErrorPath,
+		Recoverscope,
 	}
 }
 

@@ -106,6 +106,50 @@ func TestErrorWrapScope(t *testing.T) {
 	}
 }
 
+// TestRecoverscopeFlagged loads the violation fixture as the service
+// layer itself — the findings are the ones no package may contain.
+func TestRecoverscopeFlagged(t *testing.T) {
+	analysistest.Run(t, one(analysis.Recoverscope), "testdata/recoverscope/flagged", "zkphire/internal/service")
+}
+
+// TestRecoverscopeClean: the sanctioned recover boundary and every
+// blessed lease shape, also loaded as the service layer.
+func TestRecoverscopeClean(t *testing.T) {
+	analysistest.Run(t, one(analysis.Recoverscope), "testdata/recoverscope/clean", "zkphire/internal/service")
+}
+
+// TestRecoverscopeScope: the same clean fixture loaded anywhere else
+// loses runGuarded's exemption — its recover becomes the one finding —
+// while the lease shapes stay clean.
+func TestRecoverscopeScope(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/recoverscope/clean", fixturePath)
+	diags, err := analysis.Run(pkg, one(analysis.Recoverscope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "job boundary") {
+		t.Fatalf("clean fixture outside the service layer: got %d findings %v, want exactly runGuarded's recover", len(diags), diags)
+	}
+}
+
+// TestRecoverscopeParallelExempt: internal/parallel implements the lease
+// and is exempt from the lease rule (recover is still policed).
+func TestRecoverscopeParallelExempt(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/recoverscope/flagged", "zkphire/internal/parallel")
+	diags, err := analysis.Run(pkg, one(analysis.Recoverscope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Budget.") {
+			t.Errorf("lease rule fired inside internal/parallel: %s", d)
+		}
+		if !strings.Contains(d.Message, "job boundary") {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
 // TestIgnoreSuppressed: a well-formed directive silences its finding
 // and produces no diagnostics of its own.
 func TestIgnoreSuppressed(t *testing.T) {

@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with nothing armed")
+	}
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+}
+
+func TestErrorModeAndCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Mode: ModeError, Count: 2})
+	if !Enabled() {
+		t.Fatal("not enabled after Arm")
+	}
+	for i := 0; i < 2; i++ {
+		err := Hit("p")
+		if err == nil {
+			t.Fatalf("hit %d: no error", i)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: error %v does not match ErrInjected", i, err)
+		}
+		var tr interface{ Transient() bool }
+		if !errors.As(err, &tr) || !tr.Transient() {
+			t.Fatalf("hit %d: injected error is not transient", i)
+		}
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("count-exhausted fault still fired: %v", err)
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("boom", Fault{Mode: ModePanic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ModePanic did not panic")
+		}
+	}()
+	Hit("boom")
+}
+
+func TestCrashModeCallsExit(t *testing.T) {
+	Reset()
+	defer Reset()
+	code := 0
+	exit = func(c int) { code = c }
+	defer func() { exit = os.Exit }()
+	Arm("die", Fault{Mode: ModeCrash})
+	Hit("die")
+	if code != CrashExitCode {
+		t.Fatalf("crash exit code = %d, want %d", code, CrashExitCode)
+	}
+}
+
+func TestProbabilityIsSeeded(t *testing.T) {
+	draws := func() []bool {
+		Reset()
+		Seed(7)
+		Arm("maybe", Fault{Mode: ModeError, Prob: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Hit("maybe") != nil
+		}
+		return out
+	}
+	a, b := draws(), draws()
+	Reset()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded draw sequence diverged at %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fault fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	Reset()
+	defer Reset()
+	t.Setenv(EnvVar, "a.b:error:1:2, c.d:panic:0.25 ,e.f:crash")
+	t.Setenv(EnvSeedVar, "42")
+	if err := ArmFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("a.b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a.b not armed as error: %v", err)
+	}
+	mu.Lock()
+	cd, ok := points["c.d"]
+	ef, ok2 := points["e.f"]
+	mu.Unlock()
+	if !ok || cd.Mode != ModePanic || cd.Prob != 0.25 {
+		t.Fatalf("c.d armed wrong: %+v", cd)
+	}
+	if !ok2 || ef.Mode != ModeCrash || ef.Prob != 1 {
+		t.Fatalf("e.f armed wrong: %+v", ef)
+	}
+
+	for _, bad := range []string{"x", "x:nope", "x:error:2", "x:error:1:-1", "x:error:1:2:3"} {
+		t.Setenv(EnvVar, bad)
+		if err := ArmFromEnv(); err == nil {
+			t.Errorf("ArmFromEnv(%q) accepted a malformed clause", bad)
+		}
+	}
+}

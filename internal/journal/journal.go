@@ -1,0 +1,690 @@
+// Package journal is the zkphired daemon's crash-safe write-ahead job
+// journal: every accepted prove job is durably recorded — with its
+// client-supplied idempotency key, circuit ID, and enough of the circuit
+// (the registered CircuitSpec JSON) to rebuild the proving session — before
+// the prover touches it, and marked complete (proof bytes attached) or
+// failed afterwards. A daemon that dies mid-batch reopens the journal on
+// restart, finds the accepted-but-unfinished jobs, and replays them; with a
+// deterministic SRS the replayed proofs are byte-identical to an
+// uninterrupted run, and completed entries answer client retries of the
+// same idempotency key with the stored proof instead of proving twice.
+//
+// The on-disk format follows internal/spill's framing discipline — fixed
+// little-endian headers, CRC-64/ECMA over every payload — as an
+// append-only record log:
+//
+//	file   := header record*
+//	header := magic[8] version[u32] reserved[u32]
+//	record := payloadLen[u32] kind[u32] crc64[u64] payload[payloadLen]
+//
+// The CRC covers the kind word and the payload, so a bit flip in either
+// is caught. Appends are written frame-at-a-time and fsynced before the
+// caller proceeds; a crash can therefore leave at most one torn record at
+// the tail, which Open detects (short frame or CRC mismatch) and truncates
+// away — a torn accept never happened, which is correct because its client
+// never got an acknowledgement. Corruption *before* the tail (flipped
+// bits in settled records) is not silently dropped: Open fails with
+// ErrCorrupt rather than guess at job state.
+//
+// Compact rewrites the journal to just its live state (pending jobs, the
+// circuits they need, and finished entries still useful for idempotency)
+// through a temp file + atomic rename, so restarts bound the log instead
+// of replaying unbounded history. See DESIGN.md §9.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"zkphire/internal/faultinject"
+)
+
+const (
+	fileHeaderSize = 8 + 4 + 4
+	recHeaderSize  = 4 + 4 + 8
+
+	version = 1
+
+	// maxPayload bounds a single record (a proof is a few KB; a spec for a
+	// 2^20-op program is ~64 MB) so a corrupt length word cannot drive a
+	// giant allocation.
+	maxPayload = 128 << 20
+)
+
+var fileMagic = [8]byte{'Z', 'K', 'J', 'R', 'N', 'L', '1', 0}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Record kinds.
+const (
+	kindCircuit  = 1 // a registered circuit: id + spec JSON
+	kindAccept   = 2 // an accepted prove job: key, circuit, timeout
+	kindComplete = 3 // job done: key + proof bytes
+	kindFail     = 4 // job permanently failed: key + reason
+)
+
+// ErrCorrupt reports settled journal records that fail validation —
+// anything worse than a torn tail.
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("journal: closed")
+
+// ErrDuplicateKey reports an Accept whose idempotency key is already
+// pending or completed. The service resolves these before accepting, so
+// hitting it means two racing accepts — the second loses.
+var ErrDuplicateKey = errors.New("journal: duplicate idempotency key")
+
+// ErrUnknownKey reports a Complete/Fail for a key never accepted.
+var ErrUnknownKey = errors.New("journal: unknown idempotency key")
+
+// State is a journaled job's lifecycle position.
+type State int
+
+const (
+	// StatePending is accepted-but-unfinished: the set replayed on restart.
+	StatePending State = iota
+	// StateDone carries the proof bytes.
+	StateDone
+	// StateFailed is a permanent failure (retries exhausted or
+	// non-transient error); the reason is stored.
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Record is one job's journaled state.
+type Record struct {
+	Key       string `json:"key"`
+	CircuitID string `json:"circuit_id"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	State     State  `json:"-"`
+	Proof     []byte `json:"-"` // set when State == StateDone
+	Error     string `json:"-"` // set when State == StateFailed
+}
+
+type circuitPayload struct {
+	CircuitID string          `json:"circuit_id"`
+	Spec      json.RawMessage `json:"spec"`
+}
+
+type completePayload struct {
+	Key   string `json:"key"`
+	Proof []byte `json:"proof"`
+}
+
+type failPayload struct {
+	Key   string `json:"key"`
+	Error string `json:"error"`
+}
+
+// Stats describes what Open found.
+type Stats struct {
+	// Records is the number of settled records replayed.
+	Records int
+	// TruncatedBytes is the size of the torn tail Open cut off (0 for a
+	// clean shutdown).
+	TruncatedBytes int64
+}
+
+// Journal is the open job journal. All methods are safe for concurrent
+// use; appends are serialized and fsynced before they return.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	sync  bool
+	stats Stats
+
+	circuits map[string]json.RawMessage // circuit_id -> spec
+	jobs     map[string]*Record         // idempotency key -> state
+	order    []string                   // accept order of pending+done+failed keys
+	closed   bool
+}
+
+// Open opens (creating if needed) the journal at path, replays its
+// records into memory, and truncates any torn tail record. The parent
+// directory must exist.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		f:        f,
+		path:     path,
+		sync:     true,
+		circuits: make(map[string]json.RawMessage),
+		jobs:     make(map[string]*Record),
+	}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// SetSync disables (or re-enables) the per-append fsync. Only tests that
+// hammer the journal turn it off; the daemon always runs synced.
+func (j *Journal) SetSync(on bool) {
+	j.mu.Lock()
+	j.sync = on
+	j.mu.Unlock()
+}
+
+// Stats returns what Open found (replayed record count, torn bytes cut).
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// replay loads existing records, validating header and CRCs, truncating a
+// torn tail, and rebuilding the in-memory state.
+func (j *Journal) replay() error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if info.Size() == 0 {
+		var hdr [fileHeaderSize]byte
+		copy(hdr[:8], fileMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:12], version)
+		if _, err := j.f.Write(hdr[:]); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		return j.syncFile()
+	}
+	if info.Size() < fileHeaderSize {
+		// A torn header can only come from a crash during the very first
+		// create: nothing was journaled, start over.
+		return j.reset()
+	}
+	var hdr [fileHeaderSize]byte
+	if _, err := j.f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("journal: header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != fileMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != version {
+		return fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, version)
+	}
+
+	off := int64(fileHeaderSize)
+	size := info.Size()
+	var rh [recHeaderSize]byte
+	for off < size {
+		if size-off < recHeaderSize {
+			return j.truncate(off, size-off) // torn record header at the tail
+		}
+		if _, err := j.f.ReadAt(rh[:], off); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		payLen := int64(binary.LittleEndian.Uint32(rh[0:4]))
+		kind := binary.LittleEndian.Uint32(rh[4:8])
+		wantCRC := binary.LittleEndian.Uint64(rh[8:16])
+		if payLen > maxPayload {
+			return fmt.Errorf("%w: record at %d claims %d payload bytes", ErrCorrupt, off, payLen)
+		}
+		if size-off-recHeaderSize < payLen {
+			return j.truncate(off, size-off) // torn payload at the tail
+		}
+		payload := make([]byte, payLen)
+		if _, err := j.f.ReadAt(payload, off+recHeaderSize); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		if recordCRC(kind, payload) != wantCRC {
+			if off+recHeaderSize+payLen == size {
+				return j.truncate(off, size-off) // torn tail: half-written frame
+			}
+			return fmt.Errorf("%w: checksum mismatch at offset %d (not the tail)", ErrCorrupt, off)
+		}
+		if err := j.apply(kind, payload); err != nil {
+			return err
+		}
+		j.stats.Records++
+		off += recHeaderSize + payLen
+	}
+	return nil
+}
+
+// reset restarts an unreadably-young journal file (torn during creation).
+func (j *Journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var hdr [fileHeaderSize]byte
+	copy(hdr[:8], fileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.syncFile()
+}
+
+// truncate cuts a torn tail and records how much was dropped.
+func (j *Journal) truncate(off, torn int64) error {
+	if err := j.f.Truncate(off); err != nil {
+		return fmt.Errorf("journal: truncating torn tail: %w", err)
+	}
+	j.stats.TruncatedBytes = torn
+	return j.syncFile()
+}
+
+// apply folds one settled record into the in-memory state. Replay
+// tolerates benign duplicates (a circuit journaled twice) but treats
+// impossible sequences as corruption.
+func (j *Journal) apply(kind uint32, payload []byte) error {
+	switch kind {
+	case kindCircuit:
+		var p circuitPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return fmt.Errorf("%w: circuit record: %v", ErrCorrupt, err)
+		}
+		j.circuits[p.CircuitID] = p.Spec
+	case kindAccept:
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("%w: accept record: %v", ErrCorrupt, err)
+		}
+		r.State = StatePending
+		if old, ok := j.jobs[r.Key]; ok && old.State != StateFailed {
+			return fmt.Errorf("%w: duplicate accept for key %q", ErrCorrupt, r.Key)
+		} else if !ok {
+			j.order = append(j.order, r.Key)
+		}
+		j.jobs[r.Key] = &r
+	case kindComplete:
+		var p completePayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return fmt.Errorf("%w: complete record: %v", ErrCorrupt, err)
+		}
+		r, ok := j.jobs[p.Key]
+		if !ok {
+			return fmt.Errorf("%w: complete for unknown key %q", ErrCorrupt, p.Key)
+		}
+		r.State = StateDone
+		r.Proof = p.Proof
+	case kindFail:
+		var p failPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return fmt.Errorf("%w: fail record: %v", ErrCorrupt, err)
+		}
+		r, ok := j.jobs[p.Key]
+		if !ok {
+			return fmt.Errorf("%w: fail for unknown key %q", ErrCorrupt, p.Key)
+		}
+		r.State = StateFailed
+		r.Error = p.Error
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+	}
+	return nil
+}
+
+func recordCRC(kind uint32, payload []byte) uint64 {
+	var k [4]byte
+	binary.LittleEndian.PutUint32(k[:], kind)
+	crc := crc64.Update(0, crcTable, k[:])
+	return crc64.Update(crc, crcTable, payload)
+}
+
+// append frames, writes, and fsyncs one record. Caller holds j.mu. The
+// frame is written in two parts with a fault point between them so the
+// chaos harness can produce genuinely torn tails.
+func (j *Journal) append(kind uint32, payload []byte) error {
+	if j.closed {
+		return ErrClosed
+	}
+	if err := faultinject.Hit("journal.append"); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	frame := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], kind)
+	binary.LittleEndian.PutUint64(frame[8:16], recordCRC(kind, payload))
+	copy(frame[recHeaderSize:], payload)
+
+	end, err := j.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	half := len(frame) / 2
+	if _, err := j.f.Write(frame[:half]); err != nil {
+		j.f.Truncate(end)
+		return fmt.Errorf("journal: %w", err)
+	}
+	// A crash armed here leaves a half-written frame — the torn tail the
+	// replay path must cut. In error mode the half-frame is truncated away
+	// (a journal that cannot tell how much of a failed write landed must
+	// cut back to the last settled record) and the append fails.
+	if ferr := faultinject.Hit("journal.torn"); ferr != nil {
+		j.f.Truncate(end)
+		return fmt.Errorf("journal: torn write: %w", ferr)
+	}
+	if _, err := j.f.Write(frame[half:]); err != nil {
+		j.f.Truncate(end)
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.syncFile()
+}
+
+func (j *Journal) syncFile() error {
+	if !j.sync {
+		return nil
+	}
+	if err := faultinject.Hit("journal.sync"); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// RecordCircuit journals a registered circuit's spec so replay can
+// rebuild its proving session. Idempotent per circuit ID.
+func (j *Journal) RecordCircuit(circuitID string, spec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if _, ok := j.circuits[circuitID]; ok {
+		return nil
+	}
+	payload, err := json.Marshal(circuitPayload{CircuitID: circuitID, Spec: spec})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.append(kindCircuit, payload); err != nil {
+		return err
+	}
+	j.circuits[circuitID] = append([]byte(nil), spec...)
+	return nil
+}
+
+// Accept durably records a prove job before it runs. The returned error
+// is ErrDuplicateKey when the key is already pending or done (a failed
+// key may be re-accepted). The journaled circuit must exist.
+func (j *Journal) Accept(key, circuitID string, timeoutMS int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if old, ok := j.jobs[key]; ok && old.State != StateFailed {
+		return fmt.Errorf("%w: %q (%s)", ErrDuplicateKey, key, old.State)
+	}
+	if _, ok := j.circuits[circuitID]; !ok {
+		return fmt.Errorf("journal: accept %q: circuit %s not journaled", key, circuitID)
+	}
+	r := Record{Key: key, CircuitID: circuitID, TimeoutMS: timeoutMS}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.append(kindAccept, payload); err != nil {
+		return err
+	}
+	if _, ok := j.jobs[key]; !ok {
+		j.order = append(j.order, key)
+	}
+	r.State = StatePending
+	j.jobs[key] = &r
+	return nil
+}
+
+// Complete marks a pending job done and stores its proof bytes.
+func (j *Journal) Complete(key string, proof []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	r, ok := j.jobs[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownKey, key)
+	}
+	payload, err := json.Marshal(completePayload{Key: key, Proof: proof})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.append(kindComplete, payload); err != nil {
+		return err
+	}
+	r.State = StateDone
+	r.Proof = append([]byte(nil), proof...)
+	r.Error = ""
+	return nil
+}
+
+// Fail marks a pending job permanently failed with a reason.
+func (j *Journal) Fail(key, reason string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	r, ok := j.jobs[key]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownKey, key)
+	}
+	payload, err := json.Marshal(failPayload{Key: key, Error: reason})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.append(kindFail, payload); err != nil {
+		return err
+	}
+	r.State = StateFailed
+	r.Error = reason
+	return nil
+}
+
+// Lookup returns the journaled state of an idempotency key.
+func (j *Journal) Lookup(key string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.jobs[key]
+	if !ok {
+		return Record{}, false
+	}
+	return cloneRecord(r), true
+}
+
+// Pending returns accepted-but-unfinished jobs in accept order — the
+// restart replay set.
+func (j *Journal) Pending() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Record
+	for _, key := range j.order {
+		if r := j.jobs[key]; r.State == StatePending {
+			out = append(out, cloneRecord(r))
+		}
+	}
+	return out
+}
+
+// Spec returns the journaled CircuitSpec JSON for a circuit ID.
+func (j *Journal) Spec(circuitID string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec, ok := j.circuits[circuitID]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), spec...), true
+}
+
+// Len returns the number of journaled jobs (any state).
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.jobs)
+}
+
+func cloneRecord(r *Record) Record {
+	c := *r
+	c.Proof = append([]byte(nil), r.Proof...)
+	return c
+}
+
+// Compact rewrites the journal to its live state: pending jobs and the
+// circuits they reference, plus done/failed entries (kept so client
+// retries of a settled idempotency key still answer from the journal).
+// The rewrite goes through a temp file and an atomic rename, so a crash
+// mid-compact leaves either the old journal or the new one, never a mix.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	dir, base := filepath.Split(j.path)
+	tmp, err := os.CreateTemp(dir, base+".compact-*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+
+	w := func(kind uint32, payload []byte) error {
+		var rh [recHeaderSize]byte
+		binary.LittleEndian.PutUint32(rh[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(rh[4:8], kind)
+		binary.LittleEndian.PutUint64(rh[8:16], recordCRC(kind, payload))
+		if _, err := tmp.Write(rh[:]); err != nil {
+			return err
+		}
+		_, err := tmp.Write(payload)
+		return err
+	}
+
+	var hdr [fileHeaderSize]byte
+	copy(hdr[:8], fileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	// Circuits still needed: those referenced by a pending job.
+	needed := make(map[string]bool)
+	for _, key := range j.order {
+		if r := j.jobs[key]; r.State == StatePending {
+			needed[r.CircuitID] = true
+		}
+	}
+	for id := range needed {
+		payload, err := json.Marshal(circuitPayload{CircuitID: id, Spec: j.circuits[id]})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+		if err := w(kindCircuit, payload); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	for _, key := range j.order {
+		r := j.jobs[key]
+		accept, err := json.Marshal(Record{Key: r.Key, CircuitID: r.CircuitID, TimeoutMS: r.TimeoutMS})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+		if err := w(kindAccept, accept); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+		switch r.State {
+		case StateDone:
+			payload, err := json.Marshal(completePayload{Key: r.Key, Proof: r.Proof})
+			if err == nil {
+				err = w(kindComplete, payload)
+			}
+			if err != nil {
+				tmp.Close()
+				return fmt.Errorf("journal: compact: %w", err)
+			}
+		case StateFailed:
+			payload, err := json.Marshal(failPayload{Key: r.Key, Error: r.Error})
+			if err == nil {
+				err = w(kindFail, payload)
+			}
+			if err != nil {
+				tmp.Close()
+				return fmt.Errorf("journal: compact: %w", err)
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	// Swap the handle to the new file; drop circuits no pending job needs.
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o600)
+	if err != nil {
+		return fmt.Errorf("journal: compact: reopening: %w", err)
+	}
+	j.f = f
+	old.Close()
+	for id := range j.circuits {
+		if !needed[id] {
+			delete(j.circuits, id)
+		}
+	}
+	return nil
+}
+
+// Close fsyncs and closes the journal file. The file stays on disk —
+// that is the point.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var firstErr error
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			firstErr = fmt.Errorf("journal: %w", err)
+		}
+	}
+	if err := j.f.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("journal: %w", err)
+	}
+	return firstErr
+}

@@ -21,6 +21,9 @@ type Budget struct {
 	mu    sync.Mutex
 	total int
 	inUse int
+	// leases counts granted-but-unreleased Lease values — the invariant
+	// the service's leak tests pin to zero after faults and panics.
+	leases int
 	// waiters is a FIFO of blocked Acquire calls; each is woken (channel
 	// closed) when it is at the head and its request fits.
 	waiters []*waiter
@@ -78,7 +81,19 @@ func (b *Budget) TryAcquire(n int) *Lease {
 		return nil
 	}
 	b.inUse += n
+	b.leases++
 	return &Lease{b: b, n: n}
+}
+
+// OutstandingLeases returns the number of leases granted and not yet
+// released. A quiesced system must report 0: the service's fault and
+// chaos tests assert it after injected panics, cancellations, and
+// crashes, because a leaked lease silently shrinks the machine for every
+// job that follows.
+func (b *Budget) OutstandingLeases() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.leases
 }
 
 // Acquire leases n workers (clamped to [1, Total]), blocking until they
@@ -110,6 +125,7 @@ func (b *Budget) AcquireUpTo(ctx context.Context, min, max int) (*Lease, error) 
 			n = max
 		}
 		b.inUse += n
+		b.leases++
 		b.mu.Unlock()
 		return &Lease{b: b, n: n}, nil
 	}
@@ -128,6 +144,7 @@ func (b *Budget) AcquireUpTo(ctx context.Context, min, max int) (*Lease, error) 
 			// The grant raced the cancellation: the workers were already
 			// counted against the budget, so hand them straight back.
 			b.inUse -= w.granted
+			b.leases--
 			b.wake()
 			return nil, ctx.Err()
 		default:
@@ -157,6 +174,7 @@ func (b *Budget) wake() {
 		}
 		w.granted = g
 		b.inUse += g
+		b.leases++
 		b.waiters = b.waiters[1:]
 		close(w.ready)
 	}
@@ -181,6 +199,7 @@ func (l *Lease) Release() {
 	l.once.Do(func() {
 		l.b.mu.Lock()
 		l.b.inUse -= l.n
+		l.b.leases--
 		l.b.wake()
 		l.b.mu.Unlock()
 	})

@@ -175,3 +175,43 @@ func TestBudgetConcurrentStress(t *testing.T) {
 		t.Fatalf("budget oversubscribed: saw %d in use, cap 3", maxSeen)
 	}
 }
+
+func TestOutstandingLeases(t *testing.T) {
+	b := NewBudget(4)
+	if n := b.OutstandingLeases(); n != 0 {
+		t.Fatalf("fresh budget reports %d leases", n)
+	}
+	l1, _ := b.Acquire(context.Background(), 2)
+	l2 := b.TryAcquire(1)
+	if n := b.OutstandingLeases(); n != 2 {
+		t.Fatalf("outstanding = %d, want 2", n)
+	}
+	l1.Release()
+	l1.Release() // idempotent: must not double-decrement
+	if n := b.OutstandingLeases(); n != 1 {
+		t.Fatalf("outstanding after release = %d, want 1", n)
+	}
+	l2.Release()
+	if n := b.OutstandingLeases(); n != 0 {
+		t.Fatalf("outstanding after all releases = %d, want 0", n)
+	}
+
+	// A grant that races its context's cancellation is handed straight
+	// back and never counts as outstanding.
+	l3, _ := b.Acquire(context.Background(), 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if l, err := b.Acquire(ctx, 1); err == nil {
+			l.Release()
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the acquire park
+	cancel()
+	<-done
+	l3.Release()
+	if n := b.OutstandingLeases(); n != 0 {
+		t.Fatalf("outstanding after cancelled waiter = %d, want 0", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"zkphire/internal/curve"
+	"zkphire/internal/faultinject"
 	"zkphire/internal/ff"
 	"zkphire/internal/fp"
 	"zkphire/internal/mle"
@@ -47,11 +48,23 @@ const (
 )
 
 type levelEntry struct {
-	pts     []curve.G1Affine
-	endo    []fp.Element
-	pins    int
-	use     int64
-	loading bool
+	pts  []curve.G1Affine
+	endo []fp.Element
+	pins int
+	use  int64
+	// flight is the in-progress load, if any: concurrent acquirers of a
+	// missing level share one fetch. The flight is removed the moment the
+	// load settles — on failure the error reaches only the callers that
+	// were already waiting on that attempt, and the next caller starts a
+	// fresh load. An error result is never cached: a transient spill read
+	// failure must not poison the level for the life of the process.
+	flight *levelFlight
+}
+
+// levelFlight is one single-flight load of an offloaded level.
+type levelFlight struct {
+	done chan struct{}
+	err  error
 }
 
 type backing struct {
@@ -61,7 +74,6 @@ type backing struct {
 	chunkElems  int
 
 	mu       sync.Mutex
-	cond     *sync.Cond
 	lev      []levelEntry
 	tick     int64
 	resident int64
@@ -93,7 +105,6 @@ func (s *SRS) Offload(dir string, cacheBudget int64) error {
 		return err
 	}
 	b := &backing{store: store, ownStore: true, cacheBudget: cacheBudget, lev: make([]levelEntry, len(s.Levels))}
-	b.cond = sync.NewCond(&b.mu)
 	b.chunkElems = chunkElemsFor(cacheBudget)
 	for k := range s.Levels {
 		if len(s.Levels[k]) <= smallLevelElems {
@@ -212,8 +223,11 @@ func (b *backing) readPointsRange(ctx context.Context, k, off int, dst []curve.G
 			n = stagePts
 		}
 		buf := stage[:n*pointBytes]
+		if err := faultinject.Hit("pcs.offload.read"); err != nil {
+			return fmt.Errorf("pcs: offload read level %d: %w", k, err)
+		}
 		if err := b.store.ReadAt(ctx, levelKey(k), int64(off)*pointBytes, buf); err != nil {
-			return err
+			return fmt.Errorf("pcs: offload read level %d: %w", k, err)
 		}
 		for i := 0; i < n; i++ {
 			decodePoint(buf[i*pointBytes:], &dst[i])
@@ -228,6 +242,12 @@ func (b *backing) readPointsRange(ctx context.Context, k, off int, dst []curve.G
 // cache if needed (single-flight per level) and pinning it against eviction
 // until release is called. Resident (never-offloaded) levels return the
 // shared in-RAM slices with a no-op release.
+//
+// Failure semantics: a load error reaches the caller that ran the load and
+// every caller that joined that flight, but it is never cached — the flight
+// is cleared before the error is delivered, so the next acquire starts a
+// fresh read from the store. A transient spill I/O error therefore costs
+// one failed attempt, not the level.
 func (s *SRS) acquireLevel(ctx context.Context, k, workers int) (pts []curve.G1Affine, endo []fp.Element, release func(), err error) {
 	if s.Levels[k] != nil {
 		return s.Levels[k], s.EndoPoints(k, workers), func() {}, nil
@@ -236,6 +256,11 @@ func (s *SRS) acquireLevel(ctx context.Context, k, workers int) (pts []curve.G1A
 	if b == nil {
 		return nil, nil, nil, fmt.Errorf("pcs: level %d is neither resident nor backed", k)
 	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	var f *levelFlight
 	b.mu.Lock()
 	for {
 		e := &b.lev[k]
@@ -247,12 +272,23 @@ func (s *SRS) acquireLevel(ctx context.Context, k, workers int) (pts []curve.G1A
 			b.mu.Unlock()
 			return pts, endo, func() { b.unpin(k) }, nil
 		}
-		if !e.loading {
-			e.loading = true
-			break
+		if e.flight == nil {
+			f = &levelFlight{done: make(chan struct{})}
+			e.flight = f
+			break // this caller runs the load
 		}
-		// Another goroutine is fetching this level; its broadcast wakes us.
-		b.cond.Wait()
+		joined := e.flight
+		b.mu.Unlock()
+		//zkvet:ignore determinism flight-join wait; the loaded basis is identical whichever case wins, and the ctx arm only aborts an already-cancelled proof
+		select {
+		case <-joined.done:
+			if joined.err != nil {
+				return nil, nil, nil, joined.err
+			}
+		case <-ctxDone:
+			return nil, nil, nil, ctx.Err()
+		}
+		b.mu.Lock() // loaded: loop back around and pin it
 	}
 	b.mu.Unlock()
 
@@ -266,9 +302,10 @@ func (s *SRS) acquireLevel(ctx context.Context, k, workers int) (pts []curve.G1A
 
 	b.mu.Lock()
 	e := &b.lev[k]
-	e.loading = false
+	e.flight = nil // success or failure, the flight is over — never cached
 	if err != nil {
-		b.cond.Broadcast()
+		f.err = err
+		close(f.done)
 		b.mu.Unlock()
 		return nil, nil, nil, err
 	}
@@ -278,7 +315,7 @@ func (s *SRS) acquireLevel(ctx context.Context, k, workers int) (pts []curve.G1A
 	e.use = b.tick
 	b.resident += levelMemBytes(k)
 	b.evictLocked()
-	b.cond.Broadcast()
+	close(f.done)
 	b.mu.Unlock()
 	return loaded, endoT, func() { b.unpin(k) }, nil
 }

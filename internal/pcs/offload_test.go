@@ -2,11 +2,15 @@ package pcs
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 
+	"zkphire/internal/curve"
+	"zkphire/internal/faultinject"
 	"zkphire/internal/ff"
 	"zkphire/internal/mle"
+	"zkphire/internal/spill"
 )
 
 // TestOffloadByteIdentical offloads an SRS mid-test and checks that every
@@ -172,5 +176,146 @@ func TestOffloadIdempotent(t *testing.T) {
 	}
 	if err := srs.CloseBacking(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// offloadLevelForTest spills level k of a small SRS into a fresh store and
+// drops the resident copy, regardless of the smallLevelElems threshold, so
+// single-flight cache tests run on a cheap 2^6 setup instead of a 2^13 one.
+func offloadLevelForTest(t *testing.T, srs *SRS, k int) {
+	t.Helper()
+	store, err := spill.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &backing{store: store, ownStore: true, cacheBudget: 64 << 20, lev: make([]levelEntry, len(srs.Levels))}
+	b.chunkElems = chunkElemsFor(b.cacheBudget)
+	if err := b.writeLevel(k, srs.Levels[k]); err != nil {
+		t.Fatal(err)
+	}
+	srs.endoMu.Lock()
+	srs.Levels[k] = nil
+	if srs.endo != nil {
+		srs.endo[k] = nil
+	}
+	srs.endoMu.Unlock()
+	srs.back = b
+}
+
+// TestAcquireLevelErrorNotCached pins the single-flight failure contract: a
+// load that dies on a transient read error reports it to that attempt's
+// callers only, and the very next acquire runs a fresh load and succeeds.
+func TestAcquireLevelErrorNotCached(t *testing.T) {
+	const k = 6
+	srs := SetupDeterministic(k, 11)
+	want := append([]curve.G1Affine(nil), srs.Levels[k]...)
+	offloadLevelForTest(t, srs, k)
+	defer srs.CloseBacking()
+
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm("pcs.offload.read", faultinject.Fault{Mode: faultinject.ModeError, Count: 1})
+
+	_, _, _, err := srs.acquireLevel(context.Background(), k, 1)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("first acquire = %v, want injected error", err)
+	}
+	srs.back.mu.Lock()
+	if srs.back.lev[k].flight != nil {
+		t.Fatal("failed flight left behind")
+	}
+	if srs.back.lev[k].pts != nil {
+		t.Fatal("failed load cached points")
+	}
+	srs.back.mu.Unlock()
+
+	// The error was not cached: the next caller reloads and succeeds.
+	pts, endo, release, err := srs.acquireLevel(context.Background(), k, 1)
+	if err != nil {
+		t.Fatalf("acquire after transient failure: %v", err)
+	}
+	defer release()
+	if len(pts) != len(want) || len(endo) != len(want) {
+		t.Fatalf("reloaded level sized %d/%d, want %d", len(pts), len(endo), len(want))
+	}
+	for i := range want {
+		if !pts[i].Equal(&want[i]) {
+			t.Fatalf("reloaded point %d differs from pre-offload basis", i)
+		}
+	}
+}
+
+// TestAcquireLevelConcurrentFailure hammers a fail-once level from many
+// goroutines: every failure is the injected error (never a stale cached
+// one), the survivors agree on the loaded points, and a final serial
+// acquire always succeeds.
+func TestAcquireLevelConcurrentFailure(t *testing.T) {
+	const k = 6
+	srs := SetupDeterministic(k, 12)
+	offloadLevelForTest(t, srs, k)
+	defer srs.CloseBacking()
+
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.Arm("pcs.offload.read", faultinject.Fault{Mode: faultinject.ModeError, Count: 1})
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, release, err := srs.acquireLevel(context.Background(), k, 1)
+			if err == nil {
+				release()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("goroutine %d: unexpected error %v", i, err)
+		}
+	}
+	if _, _, release, err := srs.acquireLevel(context.Background(), k, 1); err != nil {
+		t.Fatalf("serial acquire after concurrent failure round: %v", err)
+	} else {
+		release()
+	}
+}
+
+// TestAcquireLevelJoinerHonoursContext: a caller waiting on someone else's
+// flight must abandon the wait when its own context dies, without
+// disturbing the flight.
+func TestAcquireLevelJoinerHonoursContext(t *testing.T) {
+	const k = 6
+	srs := SetupDeterministic(k, 13)
+	offloadLevelForTest(t, srs, k)
+	defer srs.CloseBacking()
+
+	// Park a fake flight so the joiner has something to wait on.
+	b := srs.back
+	f := &levelFlight{done: make(chan struct{})}
+	b.mu.Lock()
+	b.lev[k].flight = f
+	b.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := srs.acquireLevel(ctx, k, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled joiner = %v, want context.Canceled", err)
+	}
+
+	// Settle the fake flight as a failure; the level must still load fresh.
+	b.mu.Lock()
+	b.lev[k].flight = nil
+	b.mu.Unlock()
+	close(f.done)
+	if _, _, release, err := srs.acquireLevel(context.Background(), k, 1); err != nil {
+		t.Fatalf("acquire after abandoned flight: %v", err)
+	} else {
+		release()
 	}
 }

@@ -26,6 +26,11 @@ type Metrics struct {
 	ProofsRejected  atomic.Int64 // admission control: queue full
 	JobsCancelled   atomic.Int64 // cancelled or deadline-exceeded before/while proving
 
+	// Fault tolerance.
+	ProofsPanicked atomic.Int64 // panics recovered at the job boundary
+	ProofsRetried  atomic.Int64 // extra attempts after a transient failure
+	ProofsReplayed atomic.Int64 // journal replays: restart recovery + idempotent re-serves
+
 	// Proof latency (sum + count → average; a scraper derives the rate).
 	ProveNanos atomic.Int64
 	ProveCount atomic.Int64
@@ -35,6 +40,17 @@ type Metrics struct {
 func (m *Metrics) ObserveProve(d time.Duration) {
 	m.ProveNanos.Add(int64(d))
 	m.ProveCount.Add(1)
+}
+
+// AvgProve returns the mean proof latency so far (0 before any proof).
+// The Retry-After estimator uses it to tell saturated clients when
+// capacity plausibly frees instead of a hard-coded guess.
+func (m *Metrics) AvgProve() time.Duration {
+	n := m.ProveCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(m.ProveNanos.Load() / n)
 }
 
 // HitRate returns cache hits / lookups (0 when no lookups yet).
@@ -61,6 +77,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("zkphired_proof_failures_total", "Proof jobs that errored.", m.ProofsFailed.Load())
 	counter("zkphired_proofs_rejected_total", "Prove requests rejected by admission control (429).", m.ProofsRejected.Load())
 	counter("zkphired_jobs_cancelled_total", "Prove jobs cancelled or past deadline.", m.JobsCancelled.Load())
+	counter("zkphired_proof_panics_total", "Panics recovered at the job boundary.", m.ProofsPanicked.Load())
+	counter("zkphired_proof_retries_total", "Extra prove attempts after transient failures.", m.ProofsRetried.Load())
+	counter("zkphired_proof_replays_total", "Proofs served from or re-proved via the journal.", m.ProofsReplayed.Load())
 	fmt.Fprintf(w, "# HELP zkphired_proof_latency_seconds Cumulative proof latency.\n# TYPE zkphired_proof_latency_seconds summary\n")
 	fmt.Fprintf(w, "zkphired_proof_latency_seconds_sum %g\n", float64(m.ProveNanos.Load())/1e9)
 	fmt.Fprintf(w, "zkphired_proof_latency_seconds_count %d\n", m.ProveCount.Load())

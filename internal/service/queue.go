@@ -3,10 +3,14 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"zkphire/internal/faultinject"
 	"zkphire/internal/parallel"
+	"zkphire/internal/retry"
 )
 
 // ErrQueueFull is the admission-control error: the queue's waiting room is
@@ -17,6 +21,11 @@ var ErrQueueFull = errors.New("service: job queue full")
 
 // ErrQueueClosed reports a Submit after Close.
 var ErrQueueClosed = errors.New("service: job queue closed")
+
+// ErrJobPanicked wraps a panic recovered at the job boundary: the job is
+// reported failed (HTTP 500) and the dispatcher keeps serving. The panic
+// value rides along in the error text for the client and the log.
+var ErrJobPanicked = errors.New("service: job panicked")
 
 // Queue is a bounded proving-job queue with a fixed dispatcher pool. Up to
 // `inflight` jobs run concurrently, each under a worker lease from the
@@ -34,6 +43,13 @@ type Queue struct {
 	perJob int // worker lease request per job
 	jobs   chan *job
 	m      *Metrics
+	// retry bounds the dispatcher's transient-failure retries: a job whose
+	// error classifies as transient (spill I/O wobble, an injected fault,
+	// an offload read that the single-flight path will happily rerun) is
+	// retried with exponential backoff instead of surfacing a 500 for a
+	// failure the next attempt would not see. Permanent errors and panics
+	// return on the first attempt.
+	retry retry.Policy
 
 	mu      sync.Mutex
 	closed  bool
@@ -67,6 +83,7 @@ func NewQueue(budget *parallel.Budget, inflight, depth int, m *Metrics) *Queue {
 		perJob: parallel.Split(budget.Total(), inflight),
 		jobs:   make(chan *job, depth),
 		m:      m,
+		retry:  retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.2},
 	}
 	q.wg.Add(inflight)
 	for i := 0; i < inflight; i++ {
@@ -137,17 +154,20 @@ func (q *Queue) dispatch() {
 		// parked in Acquire would report queue_depth=0, inflight=0 while
 		// rejecting traffic.
 		q.running.Add(1)
-		lease, err := q.budget.Acquire(j.ctx, q.perJob)
-		if err != nil {
-			q.running.Add(-1)
-			j.err = err
-			q.m.JobsCancelled.Add(1)
-			close(j.done)
-			continue
-		}
-		j.err = j.run(j.ctx, lease.Workers())
+		attempt := 0
+		j.err = retry.Do(j.ctx, q.retry, func(ctx context.Context) error {
+			if attempt++; attempt > 1 {
+				q.m.ProofsRetried.Add(1)
+			}
+			// Each attempt leases afresh: holding workers across a backoff
+			// sleep would starve the jobs that could use them meanwhile.
+			lease, err := q.budget.Acquire(ctx, q.perJob)
+			if err != nil {
+				return err
+			}
+			return q.runGuarded(j, lease)
+		})
 		q.running.Add(-1)
-		lease.Release()
 		switch {
 		case j.err == nil:
 			q.m.ProofsCompleted.Add(1)
@@ -158,6 +178,27 @@ func (q *Queue) dispatch() {
 		}
 		close(j.done)
 	}
+}
+
+// runGuarded is the designated panic boundary: it runs one job attempt
+// under its worker lease and converts a panic anywhere below into
+// ErrJobPanicked instead of unwinding the dispatcher (and with it the
+// daemon). The lease release is deferred BEFORE the job body runs, so it
+// provably happens on every exit — normal return, error, or panic — and
+// the budget never shrinks from a crashed job. recover() anywhere else in
+// this package is a zkvet recoverscope violation.
+func (q *Queue) runGuarded(j *job, lease *parallel.Lease) (err error) {
+	defer lease.Release()
+	defer func() {
+		if r := recover(); r != nil {
+			q.m.ProofsPanicked.Add(1)
+			err = fmt.Errorf("%w: %v", ErrJobPanicked, r)
+		}
+	}()
+	if err := faultinject.Hit("queue.job"); err != nil {
+		return err
+	}
+	return j.run(j.ctx, lease.Workers())
 }
 
 // Close stops accepting jobs and waits for queued and running ones to

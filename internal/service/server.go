@@ -30,9 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"zkphire"
+	"zkphire/internal/journal"
 	"zkphire/internal/parallel"
 )
 
@@ -59,6 +62,13 @@ type Config struct {
 	// (0 = 10 minutes).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Journal, when set, makes the server crash-safe: accepted prove jobs
+	// with idempotency keys are durably recorded before proving and marked
+	// complete after, so RecoverJournal can finish them across a restart
+	// and duplicate client retries are answered from the stored proof.
+	// The caller owns the journal's lifecycle (Open before New, Close
+	// after the server stops).
+	Journal *journal.Journal
 }
 
 // Server is the embeddable proving service. Construct with New, mount
@@ -71,6 +81,10 @@ type Server struct {
 	metrics  *Metrics
 	mux      *http.ServeMux
 	start    time.Time
+	journal  *journal.Journal // nil = no durability
+	// draining flips once, on Drain: admission endpoints answer 503 with a
+	// Retry-After while in-flight jobs finish.
+	draining atomic.Bool
 }
 
 // New validates cfg, applies its defaults, and starts the dispatcher pool.
@@ -102,6 +116,7 @@ func New(cfg Config) (*Server, error) {
 		budget:  parallel.NewBudget(cfg.Workers),
 		metrics: &Metrics{},
 		start:   time.Now(),
+		journal: cfg.Journal,
 	}
 	s.queue = NewQueue(s.budget, cfg.MaxInflight, cfg.QueueDepth, s.metrics)
 	// Preprocessing leases the same per-job share the queue computed, and
@@ -124,8 +139,146 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the server's counters (tests and embedders read them).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Budget exposes the shared worker budget; the fault and chaos tests
+// assert OutstandingLeases()==0 on it after every injected failure.
+func (s *Server) Budget() *parallel.Budget { return s.budget }
+
 // Close drains the job queue and stops the dispatchers.
 func (s *Server) Close() { s.queue.Close() }
+
+// Drain stops admission — POST /circuits and /prove answer 503 with a
+// Retry-After — and waits for every queued and running job to finish.
+// It returns nil once the queue is idle, or ctx.Err() when the drain
+// deadline passes first. Jobs unfinished at the deadline remain pending
+// in the journal (their accept records were written at admission), so
+// the next start's RecoverJournal picks them up; nothing is lost either
+// way.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.queue.Depth() == 0 && s.queue.Running() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// RecoverJournal finishes the work a previous process left behind: for
+// every pending journal record it rebuilds the circuit's proving session
+// from the journaled spec, re-proves through the normal queue (same
+// budget, same admission discipline, same retry policy), and marks the
+// record done. The prover is deterministic, so a replayed proof is
+// byte-identical to the one the uninterrupted run would have produced.
+// Call it after New and before serving traffic.
+//
+// It returns the number of jobs replayed and the first infrastructure
+// error (a journal write failing, ctx expiring). A job whose own proof
+// fails is marked failed in the journal and does not stop the sweep.
+func (s *Server) RecoverJournal(ctx context.Context) (replayed int, err error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, rec := range s.journal.Pending() {
+		specJSON, ok := s.journal.Spec(rec.CircuitID)
+		if !ok {
+			// Unreachable through the handlers (Accept requires the
+			// journaled circuit), but a hand-edited journal must not wedge
+			// recovery.
+			if jerr := s.journal.Fail(rec.Key, "replay: circuit spec missing from journal"); jerr != nil {
+				return replayed, jerr
+			}
+			continue
+		}
+		var spec CircuitSpec
+		serr := json.Unmarshal(specJSON, &spec)
+		var sess *Session
+		if serr == nil {
+			var compiled *zkphire.CompiledCircuit
+			if compiled, serr = spec.Compile(); serr == nil {
+				sess, _, serr = s.registry.Register(ctx, compiled)
+			}
+		}
+		var data []byte
+		if serr == nil {
+			timeout := s.cfg.DefaultTimeout
+			if rec.TimeoutMS > 0 {
+				timeout = time.Duration(rec.TimeoutMS) * time.Millisecond
+				if timeout > s.cfg.MaxTimeout {
+					timeout = s.cfg.MaxTimeout
+				}
+			}
+			jctx, cancel := context.WithTimeout(ctx, timeout)
+			var proof *zkphire.Proof
+			serr = s.queue.Submit(jctx, func(ctx context.Context, w int) error {
+				var err error
+				proof, err = sess.Prover.ProveWorkers(ctx, w)
+				return err
+			})
+			cancel()
+			if serr == nil {
+				data, serr = proof.MarshalBinary()
+			}
+		}
+		if serr != nil {
+			if ctx.Err() != nil {
+				// Recovery itself was cut short: leave the job pending for
+				// the next start instead of branding it failed.
+				return replayed, ctx.Err()
+			}
+			if jerr := s.journal.Fail(rec.Key, serr.Error()); jerr != nil {
+				return replayed, jerr
+			}
+			continue
+		}
+		if jerr := s.journal.Complete(rec.Key, data); jerr != nil {
+			return replayed, jerr
+		}
+		s.metrics.ProofsReplayed.Add(1)
+		replayed++
+	}
+	return replayed, nil
+}
+
+// retryAfterSeconds estimates when capacity frees: the jobs ahead of a
+// new arrival (waiting plus running) times the recent mean proof
+// latency, spread across the dispatcher pool, clamped to [1, 60]
+// seconds. Before any proof has finished the estimate falls back to one
+// second per job slot — still queue-aware, never the old hard-coded 1.
+func (s *Server) retryAfterSeconds() int {
+	avg := s.metrics.AvgProve()
+	if avg <= 0 {
+		avg = time.Second
+	}
+	ahead := s.queue.Depth() + s.queue.Running()
+	est := time.Duration(ahead) * avg / time.Duration(s.cfg.MaxInflight)
+	sec := int((est + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// unavailable writes a 503/429-style response with the queue-derived
+// Retry-After header.
+func (s *Server) unavailable(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.fail(w, status, format, args...)
+}
 
 // maxBodyBytes bounds request bodies (a 2^20-op program is ~64 MB JSON).
 const maxBodyBytes = 64 << 20
@@ -176,6 +329,10 @@ type RegisterResponse struct {
 // handleCircuits compiles the posted CircuitSpec and materializes (or
 // finds) its proving session.
 func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, http.StatusServiceUnavailable, "draining: not accepting new circuits")
+		return
+	}
 	var spec CircuitSpec
 	if !s.decode(w, r, &spec) {
 		return
@@ -193,12 +350,24 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.DeadlineExceeded):
 			// The preprocessing lease timed out waiting on a saturated
 			// worker budget — the registration analogue of the queue's 429.
-			w.Header().Set("Retry-After", "1")
-			s.fail(w, http.StatusServiceUnavailable, "register: %v", err)
+			s.unavailable(w, http.StatusServiceUnavailable, "register: %v", err)
 		default:
 			s.fail(w, http.StatusUnprocessableEntity, "register: %v", err)
 		}
 		return
+	}
+	if s.journal != nil {
+		// The spec fully determines the circuit (the witness is embedded),
+		// so journaling it lets a restarted daemon rebuild this session and
+		// finish the jobs that reference it.
+		raw, err := json.Marshal(spec)
+		if err == nil {
+			err = s.journal.RecordCircuit(sess.Hash.String(), raw)
+		}
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "journal circuit: %v", err)
+			return
+		}
 	}
 	s.ok(w, RegisterResponse{
 		CircuitID:       sess.Hash.String(),
@@ -216,6 +385,12 @@ type ProveRequest struct {
 	// TimeoutMS bounds the job (queue wait + proving); 0 uses the
 	// server's default, values past MaxTimeout are clamped.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// IdempotencyKey, on a journaled server, makes the request exactly-once
+	// across crashes and client retries: the job is durably accepted under
+	// this key before proving, a retry of a finished key is answered from
+	// the stored proof (Replayed=true), and a retry of a still-running key
+	// gets 409. Ignored when the server has no journal.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // ProveResponse carries the proof.
@@ -225,6 +400,9 @@ type ProveResponse struct {
 	ProofBytes int     `json:"proof_bytes"`
 	DurationMS float64 `json:"duration_ms"`
 	Workers    int     `json:"workers"` // leased for this proof
+	// Replayed marks a proof served from the journal rather than proved
+	// for this request (idempotent retry or restart recovery).
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // statusClientClosedRequest is nginx's 499: the client went away before
@@ -232,10 +410,44 @@ type ProveResponse struct {
 const statusClientClosedRequest = 499
 
 func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, http.StatusServiceUnavailable, "draining: not accepting new proofs")
+		return
+	}
 	var req ProveRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+
+	// Settled and in-flight idempotency keys are answered from the journal
+	// alone, BEFORE the registry lookup: after a restart the circuit may no
+	// longer be registered (or even journaled — Compact keeps settled
+	// entries but drops circuits only they reference), and a completed
+	// key's reply must survive that.
+	journaled := s.journal != nil && req.IdempotencyKey != ""
+	if journaled {
+		if rec, ok := s.journal.Lookup(req.IdempotencyKey); ok {
+			switch rec.State {
+			case journal.StateDone:
+				// Answered once, answered forever: the stored proof is the
+				// proof — no re-prove, byte-identical to the first reply.
+				s.metrics.ProofsReplayed.Add(1)
+				s.ok(w, ProveResponse{
+					CircuitID:  rec.CircuitID,
+					Proof:      base64.StdEncoding.EncodeToString(rec.Proof),
+					ProofBytes: len(rec.Proof),
+					Workers:    0,
+					Replayed:   true,
+				})
+				return
+			case journal.StatePending:
+				s.fail(w, http.StatusConflict, "job %q already in flight — retry after it settles", req.IdempotencyKey)
+				return
+			}
+			// StateFailed falls through: the retry re-accepts the key.
+		}
+	}
+
 	sess, ok := s.lookup(w, req.CircuitID)
 	if !ok {
 		return
@@ -248,6 +460,23 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
+
+	if journaled {
+		if _, ok := s.journal.Spec(req.CircuitID); !ok {
+			s.fail(w, http.StatusNotFound, "circuit %s was never journaled — POST /circuits again", req.CircuitID)
+			return
+		}
+		if err := s.journal.Accept(req.IdempotencyKey, req.CircuitID, req.TimeoutMS); err != nil {
+			if errors.Is(err, journal.ErrDuplicateKey) {
+				// A concurrent request with the same key won the race.
+				s.fail(w, http.StatusConflict, "job %q already in flight — retry after it settles", req.IdempotencyKey)
+			} else {
+				s.fail(w, http.StatusInternalServerError, "journal accept: %v", err)
+			}
+			return
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
@@ -262,11 +491,32 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		proof, err = sess.Prover.ProveWorkers(ctx, w)
 		return err
 	})
+	var data []byte
+	if err == nil {
+		if data, err = proof.MarshalBinary(); err != nil {
+			err = fmt.Errorf("serialize proof: %w", err)
+		}
+	}
+	if journaled {
+		// Settle the key either way: Complete makes the proof durable
+		// before the client sees it; Fail re-opens the key so a retry can
+		// re-prove instead of hitting 409 forever. A crash before this
+		// point leaves the record pending — exactly the state RecoverJournal
+		// replays.
+		if err == nil {
+			if jerr := s.journal.Complete(req.IdempotencyKey, data); jerr != nil {
+				s.fail(w, http.StatusInternalServerError, "journal complete: %v", jerr)
+				return
+			}
+		} else if jerr := s.journal.Fail(req.IdempotencyKey, err.Error()); jerr != nil {
+			s.fail(w, http.StatusInternalServerError, "journal fail (after %v): %v", err, jerr)
+			return
+		}
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusTooManyRequests, "prover saturated: %v", err)
+		s.unavailable(w, http.StatusTooManyRequests, "prover saturated: %v", err)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
 		s.fail(w, http.StatusGatewayTimeout, "proof deadline exceeded after %v", timeout)
@@ -281,11 +531,6 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(started)
 	s.metrics.ObserveProve(elapsed)
 
-	data, err := proof.MarshalBinary()
-	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "serialize proof: %v", err)
-		return
-	}
 	s.ok(w, ProveResponse{
 		CircuitID:  req.CircuitID,
 		Proof:      base64.StdEncoding.EncodeToString(data),
@@ -384,8 +629,12 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	s.ok(w, HealthResponse{
-		Status:        "ok",
+		Status:        status,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Circuits:      s.registry.Len(),
 		QueueDepth:    s.queue.Depth(),

@@ -34,6 +34,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"zkphire/internal/faultinject"
 )
 
 const (
@@ -239,6 +241,10 @@ func (w *Writer) flushPage() error {
 			return w.err
 		}
 	}
+	if err := faultinject.Hit("spill.write"); err != nil {
+		w.fail(err)
+		return w.err
+	}
 	var hdr [pageHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(w.buf)))
 	binary.LittleEndian.PutUint64(hdr[8:16], crc64.Checksum(w.buf, crcTable))
@@ -348,6 +354,9 @@ func (s *Store) ReadAt(ctx context.Context, key string, off int64, dst []byte) e
 		return err
 	}
 	defer release()
+	if err := faultinject.Hit("spill.read"); err != nil {
+		return fmt.Errorf("spill: %s: %w", key, err)
+	}
 	total, err := s.Size(key)
 	if err != nil {
 		return err
