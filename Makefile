@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck bench-pipeline bench-mem mem-smoke chaos-smoke fmt vet lint fuzz-smoke docs
+.PHONY: build test race bench-smoke bench-json bench-msm bench-sumcheck bench-pipeline bench-mem bench-cluster mem-smoke chaos-smoke soak-smoke fmt vet lint fuzz-smoke docs
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,13 @@ mem-smoke:
 	ZKPHIRE_MEMBUDGET_LOGGATES=16 $(GO) test -run TestMemoryBudgetRegression -v -count=1 . && \
 	$(GO) run ./cmd/benchjson -mem -quick -o /tmp/bench_mem_smoke.json
 
+# The distribution (coordinator + worker pool) record: end-to-end prove
+# throughput through an in-process cluster at pool sizes 1-4 over the
+# real HTTP dispatch protocol. Minutes. Override the output with OUT=...
+# as above.
+bench-cluster:
+	$(GO) run ./cmd/benchjson -cluster -o $(or $(OUT),BENCH_pr10.json)
+
 # Chaos smoke: the fault-injection suite under the race detector — the
 # in-process randomized fault rounds, the re-exec crash/replay
 # conformance harness (children are killed without unwinding at
@@ -105,3 +112,15 @@ chaos-smoke:
 		-run 'TestChaos|TestPanicIsolation|TestTransientFailureRetried|TestIdempotencyKeyLifecycle|TestRecoverJournalReplaysPending|TestReplayAfterRestartAndCompact|TestDrainStopsAdmission' \
 		./internal/service/
 	$(GO) test -race -count=1 ./internal/journal/ ./internal/faultinject/ ./internal/retry/
+
+# Distributed soak: the full internal/cluster suite under the race
+# detector, ending in the multi-process kill-and-restart soak — a real
+# coordinator child and three worker children (one behind injected
+# network faults), a worker SIGKILLed and replaced mid-batch, then the
+# coordinator SIGKILLed and restarted on the same address and journal;
+# every keyed job must settle exactly once with golden proof bytes. The
+# -timeout is the wall-clock cap. See DESIGN.md §10. A quick -cluster
+# throughput record rides along for the CI artifact.
+soak-smoke:
+	$(GO) test -race -count=1 -v -timeout 300s ./internal/cluster/
+	$(GO) run ./cmd/benchjson -cluster -quick -o /tmp/bench_cluster_smoke.json

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"zkphire"
+	"zkphire/internal/cluster"
+	"zkphire/internal/membench"
+	"zkphire/internal/service"
+)
+
+// chainSpec builds an additive-chain circuit of roughly n gates: x = 3
+// secret, then a running sum a_{i+1} = a_i + x, asserted at 3·(n+1).
+// Values stay tiny (no uint64 overflow) while the row count — and so the
+// prove cost — scales with n.
+func chainSpec(n int) *service.CircuitSpec {
+	ops := make([]service.Op, 0, n+2)
+	ops = append(ops, service.Op{Op: "secret", K: 3})
+	for i := 1; i <= n; i++ {
+		ops = append(ops, service.Op{Op: "add", A: i - 1, B: 0})
+	}
+	ops = append(ops, service.Op{Op: "assert_eq", A: n, K: uint64(3 * (n + 1))})
+	return &service.CircuitSpec{Program: ops}
+}
+
+// benchCluster measures end-to-end cluster throughput against pool size:
+// one in-process coordinator, N in-process worker daemons (budget 1
+// each), and a fixed batch of concurrent prove jobs pushed through the
+// real HTTP dispatch/complete protocol. ns_per_op is wall time divided
+// by jobs — the per-job latency at that pool size; its reciprocal is the
+// throughput curve.
+func benchCluster(rec *record, quick bool) {
+	srs := zkphire.SetupDeterministic(12, 42)
+	chain, jobs, clients := 1000, 24, 8
+	pools := []int{1, 2, 3, 4}
+	if quick {
+		chain, jobs, clients = 100, 8, 4
+		pools = []int{1, 2}
+	}
+	spec := chainSpec(chain)
+
+	for _, n := range pools {
+		elapsed := runClusterBatch(srs, spec, n, jobs, clients)
+		rec.Kernels = append(rec.Kernels, kernelResult{
+			Name:         fmt.Sprintf("cluster.Prove/chain=%d/workers=%d", chain, n),
+			Workers:      n,
+			NsPerOp:      elapsed.Nanoseconds() / int64(jobs),
+			PeakRSSBytes: membench.PeakRSSBytes(),
+		})
+		log.Printf("cluster: %d worker(s): %d jobs in %v (%.2f jobs/s)",
+			n, jobs, elapsed.Round(time.Millisecond), float64(jobs)/elapsed.Seconds())
+	}
+}
+
+// runClusterBatch stands up a pool, pushes the batch, and returns the
+// wall time from first submit to last proof.
+func runClusterBatch(srs *zkphire.SRS, spec *service.CircuitSpec, workers, jobs, clients int) time.Duration {
+	coord, err := cluster.New(cluster.Config{SRS: srs, HeartbeatInterval: 200 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer func() { coord.Close(); cts.Close() }()
+
+	type node struct {
+		w   *cluster.Worker
+		ts  *httptest.Server
+		svc *service.Server
+	}
+	nodes := make([]node, workers)
+	for i := range nodes {
+		svc, err := service.New(service.Config{SRS: srs, Workers: 1, MaxInflight: 1, QueueDepth: jobs + 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := cluster.NewWorker(cluster.WorkerConfig{Service: svc, CoordinatorURL: cts.URL})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(w.Handler())
+		w.SetAdvertiseURL(ts.URL)
+		if err := w.Start(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = node{w: w, ts: ts, svc: svc}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.w.Close()
+			n.ts.Close()
+			n.svc.Close()
+		}
+	}()
+
+	circuitID := mustRegister(cts.URL, spec)
+	// Warm every worker's session cache (and the circuit replication
+	// path) before the clock starts — the curve should measure steady
+	// state proving, not one-time preprocessing.
+	for range nodes {
+		mustProve(cts.URL, circuitID)
+	}
+
+	work := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	started := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		//zkvet:ignore norawgo bench harness clients are HTTP callers, not prover concurrency; bounded by the clients count
+		go func() {
+			defer wg.Done()
+			for range work {
+				mustProve(cts.URL, circuitID)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(started)
+}
+
+func mustRegister(baseURL string, spec *service.CircuitSpec) string {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/circuits", "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("register: %d %s", resp.StatusCode, raw)
+	}
+	var reg service.RegisterResponse
+	if err := json.Unmarshal(raw, &reg); err != nil {
+		log.Fatal(err)
+	}
+	return reg.CircuitID
+}
+
+func mustProve(baseURL, circuitID string) {
+	body, err := json.Marshal(service.ProveRequest{CircuitID: circuitID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		resp, err := http.Post(baseURL+"/prove", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			time.Sleep(50 * time.Millisecond)
+		default:
+			log.Fatalf("prove: %d %s", resp.StatusCode, raw)
+		}
+	}
+}

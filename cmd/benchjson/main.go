@@ -150,6 +150,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "the PR 7 schedule record: the PR 5 kernel set plus end-to-end Prove under both the pipelined and the sequential schedule at each budget, against the PR 5 baselines")
 	memMode := flag.Bool("mem", false, "the PR 8 memory record: end-to-end Prove in-core vs streamed under a half-peak memory budget, peaks sampled by internal/membench")
 	memLg := flag.Int("mem-loggates", 18, "circuit size for the -mem record (quick mode overrides to 14)")
+	clusterMode := flag.Bool("cluster", false, "the PR 10 distribution record: end-to-end prove throughput through an in-process coordinator + N-worker pool over the real HTTP dispatch protocol")
 	flag.Parse()
 
 	rec := &record{
@@ -264,6 +265,30 @@ func main() {
 			"Acceptance: streamed peak ≤ 50% of the incore peak with identical " +
 			"proof bytes (the byte check runs in-process before rows are written)."
 		benchMem(rec, *memLg, *quick)
+		writeRecord(rec, *out)
+		return
+	}
+
+	if *clusterMode {
+		// The distribution record is the PR 10 trajectory file: don't
+		// clobber the committed kernel records unless explicitly asked to
+		// (same guard as the other modes above).
+		if *out == "BENCH_pr4.json" {
+			*out = "BENCH_pr10.json"
+		}
+		rec.PR = 10
+		rec.Note = "PR 10 distribution record: one in-process coordinator plus N " +
+			"in-process worker daemons (budget 1 each) connected over the real " +
+			"HTTP dispatch/complete protocol; a fixed batch of concurrent prove " +
+			"jobs is pushed through the pool at each size. ns_per_op is wall " +
+			"time over the batch divided by jobs — per-job latency at that pool " +
+			"size; its reciprocal is the throughput-vs-workers curve. All nodes " +
+			"share this process's cores, so scaling flattens at num_cpu: rows " +
+			"past that measure coordination overhead (dispatch RPCs, lease " +
+			"watching, completion pushes), which is the signal the record " +
+			"exists to pin. peak_rss_bytes is the monotone process high-water " +
+			"mark (read deltas)."
+		benchCluster(rec, *quick)
 		writeRecord(rec, *out)
 		return
 	}

@@ -30,6 +30,20 @@
 // demos — proofs are reproducible across restarts); without, from system
 // randomness. Production deployments would load a ceremony transcript
 // instead; see DESIGN.md §1 for what the simulated setup substitutes.
+//
+// # Cluster roles
+//
+// -role splits the daemon across machines (README "Running a cluster"
+// has the ops guide, DESIGN.md §10 the failure semantics):
+//
+//	zkphired -role coordinator -addr :8080 -seed 42 -journal jobs.journal
+//	zkphired -role worker -addr :8081 -seed 42 -coordinator http://coord:8080
+//
+// The coordinator owns the client API and the journal and never proves;
+// workers join it, heartbeat, and prove dispatched jobs. Every role uses
+// the same SRS flags — coordinator and workers must agree on the SRS
+// (same -seed) or proofs will not verify. -role single (the default) is
+// the original one-process daemon.
 package main
 
 import (
@@ -38,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,73 +61,170 @@ import (
 	"time"
 
 	"zkphire"
+	"zkphire/internal/cluster"
 	"zkphire/internal/faultinject"
 	"zkphire/internal/journal"
 	"zkphire/internal/service"
 )
 
+// options carries every flag; each role reads its subset.
+type options struct {
+	addr         string
+	srsVars      int
+	seed         int64
+	workers      int
+	inflight     int
+	queue        int
+	cache        int
+	timeout      time.Duration
+	journalPath  string
+	drainTimeout time.Duration
+
+	role        string
+	coordinator string
+	advertise   string
+	heartbeat   time.Duration
+	evictAfter  time.Duration
+	lease       time.Duration
+	hedgeDelay  time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	srsVars := flag.Int("srs-vars", 16, "SRS capacity: max circuit logGates+1")
-	seed := flag.Int64("seed", 0, "deterministic SRS seed (0 = system randomness)")
-	workers := flag.Int("workers", 0, "global worker budget (0 = GOMAXPROCS)")
-	inflight := flag.Int("inflight", 2, "proofs running concurrently")
-	queue := flag.Int("queue", 8, "queued proofs beyond the in-flight ones (-1 = none)")
-	cache := flag.Int("cache", 32, "session-cache capacity (circuits)")
-	timeout := flag.Duration("timeout", 2*time.Minute, "default per-proof deadline")
-	journalPath := flag.String("journal", "", "job-journal path for crash-safe idempotent proving (empty = no journal)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after SIGTERM/SIGINT")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.srsVars, "srs-vars", 16, "SRS capacity: max circuit logGates+1")
+	flag.Int64Var(&o.seed, "seed", 0, "deterministic SRS seed (0 = system randomness)")
+	flag.IntVar(&o.workers, "workers", 0, "global worker budget (0 = GOMAXPROCS)")
+	flag.IntVar(&o.inflight, "inflight", 2, "proofs running concurrently")
+	flag.IntVar(&o.queue, "queue", 8, "queued proofs beyond the in-flight ones (-1 = none)")
+	flag.IntVar(&o.cache, "cache", 32, "session-cache capacity (circuits)")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Minute, "default per-proof deadline")
+	flag.StringVar(&o.journalPath, "journal", "", "job-journal path for crash-safe idempotent proving (empty = no journal)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain deadline after SIGTERM/SIGINT")
+	flag.StringVar(&o.role, "role", "single", "single | coordinator | worker")
+	flag.StringVar(&o.coordinator, "coordinator", "", "coordinator base URL (worker role)")
+	flag.StringVar(&o.advertise, "advertise", "", "this worker's base URL as the coordinator dials it (worker role; default derived from -addr)")
+	flag.DurationVar(&o.heartbeat, "heartbeat-interval", time.Second, "worker heartbeat cadence (coordinator role)")
+	flag.DurationVar(&o.evictAfter, "evict-after", 0, "evict workers silent this long (coordinator role; 0 = 3x heartbeat-interval)")
+	flag.DurationVar(&o.lease, "lease-timeout", 0, "per-dispatch lease deadline (coordinator role; 0 = job timeout + 15s)")
+	flag.DurationVar(&o.hedgeDelay, "hedge-delay", 0, "issue a second lease for jobs slower than this (coordinator role; 0 = off)")
 	flag.Parse()
 
-	if err := run(*addr, *srsVars, *seed, *workers, *inflight, *queue, *cache, *timeout, *journalPath, *drainTimeout); err != nil {
+	var err error
+	switch o.role {
+	case "single":
+		err = runSingle(o)
+	case "coordinator":
+		err = runCoordinator(o)
+	case "worker":
+		err = runWorker(o)
+	default:
+		err = fmt.Errorf("unknown -role %q (want single, coordinator, or worker)", o.role)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache int, timeout time.Duration, journalPath string, drainTimeout time.Duration) error {
-	// Chaos testing arms named failure points via ZKPHIRE_FAULTS; in
-	// production the variable is unset and this is a no-op.
+// setup arms fault injection and generates the SRS — common to every
+// role.
+func setup(o options) (*zkphire.SRS, error) {
 	if err := faultinject.ArmFromEnv(); err != nil {
-		return err
+		return nil, err
 	}
 	if faultinject.Enabled() {
 		log.Printf("fault injection armed from %s", faultinject.EnvVar)
 	}
+	started := time.Now()
 	var (
 		srs *zkphire.SRS
 		err error
 	)
-	started := time.Now()
-	if seed != 0 {
-		log.Printf("generating deterministic SRS (maxVars=%d, seed=%d)", srsVars, seed)
-		srs = zkphire.SetupDeterministic(srsVars, seed)
+	if o.seed != 0 {
+		log.Printf("generating deterministic SRS (maxVars=%d, seed=%d)", o.srsVars, o.seed)
+		srs = zkphire.SetupDeterministic(o.srsVars, o.seed)
 	} else {
-		log.Printf("generating SRS from system randomness (maxVars=%d)", srsVars)
-		if srs, err = zkphire.Setup(srsVars); err != nil {
-			return err
+		log.Printf("generating SRS from system randomness (maxVars=%d)", o.srsVars)
+		if srs, err = zkphire.Setup(o.srsVars); err != nil {
+			return nil, err
 		}
 	}
-	log.Printf("SRS ready in %v (circuits up to 2^%d rows)", time.Since(started).Round(time.Millisecond), srsVars-1)
+	log.Printf("SRS ready in %v (circuits up to 2^%d rows)", time.Since(started).Round(time.Millisecond), o.srsVars-1)
+	return srs, nil
+}
 
-	var jnl *journal.Journal
-	if journalPath != "" {
-		if jnl, err = journal.Open(journalPath); err != nil {
-			return fmt.Errorf("open journal: %w", err)
-		}
+func openJournal(path string) (*journal.Journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	jnl, err := journal.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open journal: %w", err)
+	}
+	if st := jnl.Stats(); st.TruncatedBytes > 0 {
+		log.Printf("journal: truncated %d torn bytes from a crashed append", st.TruncatedBytes)
+	}
+	return jnl, nil
+}
+
+// serve runs handler on addr until SIGTERM/SIGINT, then calls drain
+// before shutting the listener down. ready (optional) receives the
+// bound listener address once serving.
+func serve(addr string, handler http.Handler, drainTimeout time.Duration, drain func(context.Context), ready func(net.Addr)) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           logRequests(handler),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	//zkvet:ignore norawgo daemon lifecycle: the HTTP listener is not prover concurrency and must outlive any worker budget
+	go func() { errc <- httpSrv.Serve(l) }()
+	if ready != nil {
+		ready(l.Addr())
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining, deadline %v)…", drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	drain(drainCtx)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func runSingle(o options) error {
+	srs, err := setup(o)
+	if err != nil {
+		return err
+	}
+	jnl, err := openJournal(o.journalPath)
+	if err != nil {
+		return err
+	}
+	if jnl != nil {
 		defer jnl.Close()
-		if st := jnl.Stats(); st.TruncatedBytes > 0 {
-			log.Printf("journal: truncated %d torn bytes from a crashed append", st.TruncatedBytes)
-		}
 	}
 
 	svc, err := service.New(service.Config{
 		SRS:            srs,
-		Workers:        workers,
-		MaxInflight:    inflight,
-		QueueDepth:     queue,
-		CacheSize:      cache,
-		DefaultTimeout: timeout,
+		Workers:        o.workers,
+		MaxInflight:    o.inflight,
+		QueueDepth:     o.queue,
+		CacheSize:      o.cache,
+		DefaultTimeout: o.timeout,
 		Journal:        jnl,
 	})
 	if err != nil {
@@ -135,46 +247,156 @@ func run(addr string, srsVars int, seed int64, workers, inflight, queue, cache i
 		}
 	}
 
-	httpSrv := &http.Server{
-		Addr:              addr,
-		Handler:           logRequests(svc.Handler()),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	//zkvet:ignore norawgo daemon lifecycle: the HTTP listener is not prover concurrency and must outlive any worker budget
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	budget := workers
+	budget := o.workers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
 	log.Printf("zkphired listening on %s (budget %d workers, %d in-flight × %d workers/proof, queue %d, cache %d circuits)",
-		addr, budget, inflight, max(1, budget/max(1, inflight)), queue, cache)
-
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
+		o.addr, budget, o.inflight, max(1, budget/max(1, o.inflight)), o.queue, o.cache)
 	// Graceful drain: stop admission first (503 + Retry-After), let the
 	// queued and running proofs finish inside the deadline, then shut the
 	// listener down. Jobs that miss the deadline stay pending in the
 	// journal and the next start replays them — SIGTERM never loses an
 	// accepted job.
-	log.Printf("shutting down (draining queue, deadline %v)…", drainTimeout)
-	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
-	defer cancelDrain()
-	if err := svc.Drain(drainCtx); err != nil {
-		log.Printf("drain deadline passed with jobs still running; they remain journaled for restart")
-	}
-	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
-	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	return serve(o.addr, svc.Handler(), o.drainTimeout, func(ctx context.Context) {
+		if err := svc.Drain(ctx); err != nil {
+			log.Printf("drain deadline passed with jobs still running; they remain journaled for restart")
+		}
+	}, nil)
+}
+
+func runCoordinator(o options) error {
+	srs, err := setup(o)
+	if err != nil {
 		return err
 	}
-	return nil
+	jnl, err := openJournal(o.journalPath)
+	if err != nil {
+		return err
+	}
+	if jnl != nil {
+		defer jnl.Close()
+	}
+
+	c, err := cluster.New(cluster.Config{
+		SRS:               srs,
+		Journal:           jnl,
+		HeartbeatInterval: o.heartbeat,
+		EvictAfter:        o.evictAfter,
+		LeaseTimeout:      o.lease,
+		HedgeDelay:        o.hedgeDelay,
+		DefaultTimeout:    o.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	if jnl != nil {
+		// Unlike the single-node daemon, recovery is asynchronous: the
+		// replays need workers, and workers join after we listen. The
+		// journal already holds everything they need.
+		n, err := c.Recover()
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		if n > 0 {
+			log.Printf("journal: re-dispatching %d interrupted job(s) as workers join", n)
+		}
+		if err := jnl.Compact(); err != nil {
+			return fmt.Errorf("journal compact: %w", err)
+		}
+	}
+
+	log.Printf("zkphired coordinator listening on %s (heartbeat %v, evict-after %v, hedge %v)",
+		o.addr, o.heartbeat, o.evictAfter, o.hedgeDelay)
+	return serve(o.addr, c.Handler(), o.drainTimeout, func(ctx context.Context) {
+		if err := c.Drain(ctx); err != nil {
+			log.Printf("drain deadline passed with jobs in flight; keyed jobs remain journaled for restart")
+		}
+	}, nil)
+}
+
+func runWorker(o options) error {
+	if o.coordinator == "" {
+		return fmt.Errorf("worker role requires -coordinator")
+	}
+	if o.journalPath != "" {
+		// Durability lives on the coordinator: it journals keyed jobs
+		// before dispatch. A worker-side journal would double-count.
+		log.Printf("worker role ignores -journal (the coordinator owns the job journal)")
+	}
+	srs, err := setup(o)
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{
+		SRS:            srs,
+		Workers:        o.workers,
+		MaxInflight:    o.inflight,
+		QueueDepth:     o.queue,
+		CacheSize:      o.cache,
+		DefaultTimeout: o.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Service:        svc,
+		CoordinatorURL: o.coordinator,
+		AdvertiseURL:   o.advertise, // may be empty; filled from the bound address below
+	})
+	if err != nil {
+		return err
+	}
+
+	// The agent joins from serve's ready hook, once the listener is bound
+	// — the advertised URL must be dialable before the coordinator learns
+	// it.
+	joinErr := make(chan error, 1)
+	return serve(o.addr, w.Handler(), o.drainTimeout, func(ctx context.Context) {
+		// Leave the pool first so the coordinator re-dispatches instead of
+		// waiting out lease deadlines, then finish the local queue.
+		w.Close()
+		if err := svc.Drain(ctx); err != nil {
+			log.Printf("drain deadline passed with leases still proving; the coordinator re-dispatches them")
+		}
+	}, func(bound net.Addr) {
+		if w.AdvertiseURL() == "" {
+			w.SetAdvertiseURL("http://" + dialableHostPort(bound))
+		}
+		log.Printf("zkphired worker listening on %s, joining %s as %s", o.addr, o.coordinator, w.AdvertiseURL())
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := w.Start(ctx); err != nil {
+			log.Printf("join failed: %v", err)
+			joinErr <- err
+			// Joining failed for two straight minutes: the coordinator URL
+			// is almost certainly wrong. Die loudly rather than serve a
+			// pool we never joined.
+			p, _ := os.FindProcess(os.Getpid())
+			p.Signal(syscall.SIGTERM)
+			return
+		}
+		log.Printf("joined %s as worker %s", o.coordinator, w.ID())
+	})
+}
+
+// dialableHostPort rewrites a bound listener address into one another
+// machine could plausibly dial: wildcard hosts become 127.0.0.1 (good
+// for local clusters; multi-host deployments should pass -advertise).
+func dialableHostPort(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }
 
 // logRequests is a minimal access log: method, path, status, duration.

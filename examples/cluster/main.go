@@ -1,0 +1,236 @@
+// The cluster example stands up the distributed topology in-process: a
+// coordinator and two prover workers wired over real HTTP, the same code
+// `cmd/zkphired -role=coordinator|worker` runs across machines. It
+// registers a circuit (replicated to workers by content hash on first
+// dispatch), pushes a keyed batch through the pool, takes one worker
+// down mid-batch to show lease re-dispatch of its orphaned jobs,
+// checks every proof byte-for-byte against a single-node golden run, and
+// re-submits a settled key to show cross-node idempotency. Fast
+// heartbeat/eviction knobs keep the demo snappy; production tuning lives
+// in README "Running a cluster" and DESIGN.md §10.
+//
+// Run it with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"zkphire"
+	"zkphire/internal/cluster"
+	"zkphire/internal/retry"
+	"zkphire/internal/service"
+)
+
+// cubic is the quickstart statement: prove knowledge of x with
+// x³ + x + 5 = 35.
+var cubic = service.CircuitSpec{
+	Program: []service.Op{
+		{Op: "secret", K: 3},
+		{Op: "mul", A: 0, B: 0},
+		{Op: "mul", A: 1, B: 0},
+		{Op: "add", A: 2, B: 0},
+		{Op: "add_const", A: 3, K: 5},
+		{Op: "assert_eq", A: 4, K: 35},
+	},
+}
+
+func main() {
+	srs := zkphire.SetupDeterministic(12, 42)
+
+	// --- golden run: one plain single-node service -----------------------
+	// Deterministic proving means the cluster must reproduce these exact
+	// bytes no matter which worker proves, or how many times a job is
+	// re-dispatched.
+	golden := goldenProof(srs)
+	fmt.Printf("single-node golden proof: %d bytes\n\n", len(golden))
+
+	// --- coordinator -----------------------------------------------------
+	// Demo-fast failure detection: 100 ms heartbeats, eviction after
+	// 400 ms of silence. The defaults (1 s / 3 beats) suit real networks.
+	coord, err := cluster.New(cluster.Config{
+		SRS:               srs,
+		HeartbeatInterval: 100 * time.Millisecond,
+		EvictAfter:        400 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	base, _ := listen(coord.Handler())
+	fmt.Printf("coordinator listening on %s\n", base)
+
+	// --- workers ---------------------------------------------------------
+	w1 := startWorker(srs, base)
+	w2 := startWorker(srs, base)
+	defer w2.stop()
+	waitFor(func() bool { return coord.WorkersLive() == 2 })
+	fmt.Printf("pool: %d workers joined\n\n", coord.WorkersLive())
+
+	// --- register once, replicate by content hash ------------------------
+	// The circuit is registered with the coordinator only. Workers fetch
+	// the spec by content hash on their first dispatch and verify the
+	// hash round-trips before caching the session.
+	var reg service.RegisterResponse
+	post(base+"/circuits", cubic, &reg)
+	fmt.Printf("registered circuit %s… (%s, %d gates)\n", reg.CircuitID[:16], reg.Arithmetization, reg.GateCount)
+
+	// --- keyed batch with a mid-batch worker loss ------------------------
+	const jobs = 6
+	fmt.Printf("submitting %d keyed jobs; taking worker 1 down mid-batch...\n", jobs)
+	proofs := make([]service.ProveResponse, jobs)
+	var wg sync.WaitGroup
+	for i := range proofs {
+		wg.Add(1)
+		//zkvet:ignore norawgo example clients are HTTP callers, not prover concurrency; bounded by the jobs count
+		go func() {
+			defer wg.Done()
+			post(base+"/prove", service.ProveRequest{
+				CircuitID:      reg.CircuitID,
+				IdempotencyKey: fmt.Sprintf("cluster-example-%d", i),
+			}, &proofs[i])
+		}()
+	}
+	// Give dispatch a moment to spread leases across both workers, then
+	// take worker 1 down: its listener closes first, so any lease it
+	// holds dies mid-proof exactly as it would on a crashed machine, and
+	// the coordinator re-dispatches the orphaned job to worker 2 — the
+	// clients above never see the failure. (A worker that dies without
+	// even the best-effort leave is evicted for missed heartbeats
+	// instead; the multi-process soak test exercises that path with real
+	// SIGKILLs.)
+	time.Sleep(150 * time.Millisecond)
+	w1.stop()
+	wg.Wait()
+
+	for i, p := range proofs {
+		got, err := base64.StdEncoding.DecodeString(p.Proof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, golden) {
+			log.Fatalf("job %d: proof differs from single-node golden run", i)
+		}
+	}
+	fmt.Printf("all %d jobs settled; every proof byte-identical to the golden run\n", jobs)
+	waitFor(func() bool { return coord.WorkersLive() == 1 })
+	fmt.Printf("pool after the loss: %d worker\n\n", coord.WorkersLive())
+
+	// --- idempotent re-submit --------------------------------------------
+	// Re-posting a settled key answers from the coordinator's journal
+	// table — no new lease, no second proof, same bytes.
+	var again service.ProveResponse
+	post(base+"/prove", service.ProveRequest{CircuitID: reg.CircuitID, IdempotencyKey: "cluster-example-0"}, &again)
+	if again.Proof != proofs[0].Proof {
+		log.Fatal("idempotent re-submit returned different bytes")
+	}
+	fmt.Printf("re-submitted key cluster-example-0: served from the settled job, bytes identical\n\n")
+
+	// --- observe ---------------------------------------------------------
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	fmt.Println("selected coordinator metrics:")
+	for _, line := range bytes.Split(text, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("zkphired_workers_live")) ||
+			bytes.HasPrefix(line, []byte("zkphired_worker_evictions_total")) ||
+			bytes.HasPrefix(line, []byte("zkphired_jobs_redispatched_total")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// worker bundles one in-process prover node: the ordinary service, the
+// cluster agent fronting it, and the listener the coordinator dispatches
+// to. stop closes the listener first — in-flight leases fail over as if
+// the machine crashed — then lets the agent send its best-effort leave.
+type worker struct {
+	w   *cluster.Worker
+	svc *service.Server
+	ln  net.Listener
+}
+
+func startWorker(srs *zkphire.SRS, coordURL string) *worker {
+	svc, err := service.New(service.Config{SRS: srs, Workers: 1, MaxInflight: 1, QueueDepth: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := cluster.NewWorker(cluster.WorkerConfig{Service: svc, CoordinatorURL: coordURL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	url, ln := listen(w.Handler())
+	w.SetAdvertiseURL(url)
+	if err := w.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	return &worker{w: w, svc: svc, ln: ln}
+}
+
+func (n *worker) stop() {
+	n.ln.Close()
+	n.w.Close()
+	n.svc.Close()
+}
+
+// listen serves h on an ephemeral local port and returns its base URL.
+func listen(h http.Handler) (string, net.Listener) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	//zkvet:ignore norawgo example harness runs the nodes in-process; the listener is lifecycle, not prover concurrency
+	go http.Serve(ln, h)
+	return "http://" + ln.Addr().String(), ln
+}
+
+func goldenProof(srs *zkphire.SRS) []byte {
+	svc, err := service.New(service.Config{SRS: srs, Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	sess, _, err := svc.RegisterSpec(context.Background(), &cubic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, _, err := svc.ProveHex(context.Background(), sess.Hash.String(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// post sends v as JSON through the retrying client and decodes the
+// response into out. The generous attempt budget rides out the
+// re-dispatch window after the worker kill: the coordinator answers 503
+// with a Retry-After while the orphaned leases are being reassigned.
+func post(url string, v, out any) {
+	policy := retry.Policy{MaxAttempts: 20, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+	if err := retry.PostJSON(nil, nil, url, v, out, policy); err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package cluster is zkphired's distributed control plane: a coordinator
+// that owns the client-facing API plus the crash-safe job journal, and a
+// pool of prover workers that each wrap a full single-node service.
+// Robustness — surviving worker loss without losing or double-counting
+// jobs — is the design center, not sharding:
+//
+//   - Membership. Workers join the coordinator and heartbeat on a fixed
+//     interval; a worker that misses heartbeats for EvictAfter is evicted
+//     and every job leased to it is re-dispatched to a healthy peer.
+//   - Leases and fencing. Each dispatch carries a monotonically
+//     increasing per-job lease epoch. Declaring a lease lost (missed
+//     heartbeats, lease deadline, transient worker failure) raises the
+//     job's fence past that epoch, so a presumed-dead worker that
+//     finishes late is rejected by a pure epoch comparison — no wall
+//     clocks compared across machines. Settle-once under the job lock
+//     plus the journal's idempotency keys make the client-visible proof
+//     at-most-one even when several leases race. DESIGN.md §10 has the
+//     full argument.
+//   - Replication. Circuits travel by content hash: a worker missing a
+//     dispatched circuit fetches the spec from the coordinator
+//     (GET /cluster/circuits/{id}) with internal/retry backoff and
+//     registers it locally — the hash makes the fetch idempotent.
+//   - Recovery. The coordinator journals every keyed job before
+//     dispatch, so its own restart replays pending jobs from the journal
+//     exactly like the single-node daemon — the workers just happen to
+//     be remote.
+//   - Hedging. Optionally, a job still unfinished after HedgeDelay is
+//     dispatched a second time to a different worker WITHOUT raising the
+//     fence: both leases stay valid and the first completion wins.
+//
+// The wire protocol is the service's existing HTTP JSON style: internal
+// routes under /cluster/* on both roles, client routes unchanged. The
+// chaos points PointHeartbeat, PointDispatch, and PointFetch let
+// internal/faultinject partition a worker — its cluster RPCs fail while
+// the process lives — which is a different failure than the crash modes
+// and is tested separately.
+package cluster
+
+// Fault-injection point names for the network-shaped failures the chaos
+// harness arms (internal/faultinject). All three sit on the worker side
+// of an RPC, so arming them in a worker process simulates a partition of
+// that worker: its heartbeats stop, dispatches to it fail, its circuit
+// fetches fail — but it keeps running, which is exactly the
+// presumed-dead-but-alive scenario lease fencing exists for.
+const (
+	PointHeartbeat = "cluster.heartbeat"
+	PointDispatch  = "cluster.dispatch"
+	PointFetch     = "cluster.fetch"
+)
+
+// JoinRequest registers a worker with the coordinator. Rejoining after a
+// partition heals is the same call: the coordinator hands out a fresh
+// worker ID and the old one stays evicted.
+type JoinRequest struct {
+	// Addr is the worker's advertised base URL ("http://host:port") the
+	// coordinator dispatches to.
+	Addr string `json:"addr"`
+	// Workers is the worker's prover parallelism, reported for operators;
+	// placement uses outstanding-dispatch load, not capacity.
+	Workers int `json:"workers"`
+}
+
+// JoinResponse tells the worker its identity and cadence.
+type JoinResponse struct {
+	WorkerID string `json:"worker_id"`
+	// HeartbeatMS is the interval the coordinator expects beats on.
+	HeartbeatMS int `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest is the worker's liveness beat.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	// QueueDepth and Inflight snapshot the worker's local prover load.
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+}
+
+// LeaveRequest is a graceful goodbye: the worker is removed without
+// counting as an eviction.
+type LeaveRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// DispatchRequest leases one proof job to a worker. The worker answers
+// 202 immediately and posts a CompleteRequest back when the proof
+// settles.
+type DispatchRequest struct {
+	JobID     string `json:"job_id"`
+	CircuitID string `json:"circuit_id"`
+	// Epoch is the lease epoch this dispatch runs under; the completion
+	// must echo it so the coordinator can fence late results.
+	Epoch uint64 `json:"epoch"`
+	// TimeoutMS bounds the worker-side prove (already clamped by the
+	// coordinator).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CompleteRequest is the worker's result push. Exactly one of Proof and
+// Error is set.
+type CompleteRequest struct {
+	JobID    string `json:"job_id"`
+	WorkerID string `json:"worker_id"`
+	Epoch    uint64 `json:"epoch"`
+	// Proof is the base64 proof bytes on success.
+	Proof string `json:"proof,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Transient marks an error worth re-dispatching (queue full, injected
+	// transient fault) rather than settling the job as failed.
+	Transient bool `json:"transient,omitempty"`
+}
+
+// apiError mirrors the service's error envelope so cluster endpoints
+// speak the same JSON dialect.
+type apiError struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"zkphire/internal/journal"
+)
+
+// job is one proof the coordinator owes a client (or the journal). Its
+// lease-epoch pair is the whole fencing mechanism:
+//
+//   - next is the next epoch a dispatch will run under; every dispatch
+//     (initial, re-dispatch, hedge) takes the current value and
+//     increments it, so epochs are unique per job and ordered.
+//   - fence is the lowest epoch a completion may carry and still be
+//     accepted. Declaring a lease lost raises fence past that lease's
+//     epoch; hedged dispatch deliberately does NOT raise it, which is
+//     what keeps both racing leases valid.
+//
+// A completion settles the job iff epoch >= fence and nothing settled it
+// first. The journal write happens inside the same critical section,
+// before settled flips, so "client-visible" and "journal-durable" cannot
+// disagree across a crash.
+type job struct {
+	id        string // idempotency key for keyed jobs, synthetic otherwise
+	circuitID string
+	timeoutMS int
+	keyed     bool // journaled under id
+
+	mu       sync.Mutex
+	fence    uint64
+	next     uint64
+	attempts int // dispatches issued (hedges included)
+	settled  bool
+	proof    []byte
+	errMsg   string
+	done     chan struct{} // closed exactly once, on settle
+}
+
+func newJob(id, circuitID string, timeoutMS int, keyed bool) *job {
+	return &job{
+		id:        id,
+		circuitID: circuitID,
+		timeoutMS: timeoutMS,
+		keyed:     keyed,
+		done:      make(chan struct{}),
+	}
+}
+
+// lease hands out the next epoch for a dispatch attempt.
+func (j *job) lease() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := j.next
+	j.next++
+	j.attempts++
+	return e
+}
+
+// loseLease declares the lease at epoch dead: completions at or below it
+// are fenced from now on. Later epochs (a concurrent hedge) stay valid.
+// Reports whether the fence actually moved — false means a later event
+// already fenced past this epoch.
+func (j *job) loseLease(epoch uint64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fence > epoch {
+		return false
+	}
+	j.fence = epoch + 1
+	return true
+}
+
+// leaseLost reports whether the lease at epoch has been fenced off.
+func (j *job) leaseLost(epoch uint64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fence > epoch
+}
+
+func (j *job) isSettled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.settled
+}
+
+func (j *job) dispatches() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// result reads the settled outcome (valid only after done is closed).
+func (j *job) result() (proof []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.proof, j.errMsg
+}
+
+// outcome classifies a completion attempt.
+type outcome int
+
+const (
+	outcomeSettled   outcome = iota // this completion won the job
+	outcomeDuplicate                // job already settled
+	outcomeFenced                   // lease epoch below the fence
+)
+
+// settle applies a completion under the fencing rules. For keyed jobs it
+// writes the journal record inside the critical section — if the write
+// fails the job stays unsettled (the caller treats it as a lost lease and
+// the work is re-dispatched), so a proof is never client-visible without
+// being durable first.
+func (j *job) settle(epoch uint64, proof []byte, errMsg string, jnl *journal.Journal) (outcome, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Fence before duplicate: a below-fence completion is rejected as
+	// fenced whether or not the job has settled, so tests and operators
+	// can see late results from presumed-dead workers as fencing events.
+	if epoch < j.fence {
+		return outcomeFenced, nil
+	}
+	if j.settled {
+		return outcomeDuplicate, nil
+	}
+	if j.keyed && jnl != nil {
+		var jerr error
+		if errMsg == "" {
+			jerr = jnl.Complete(j.id, proof)
+		} else {
+			jerr = jnl.Fail(j.id, errMsg)
+		}
+		if jerr != nil {
+			return outcomeFenced, fmt.Errorf("journal settle %s: %w", j.id, jerr)
+		}
+	}
+	j.settled = true
+	j.proof = proof
+	j.errMsg = errMsg
+	close(j.done)
+	return outcomeSettled, nil
+}
+
+// jobTable indexes in-flight jobs by ID so concurrent keyed retries
+// attach to the running job instead of conflicting, and completions find
+// their job in O(1).
+type jobTable struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: make(map[string]*job)}
+}
+
+// getOrCreate returns the in-flight job with this ID, creating it when
+// absent. created=false is the attach path.
+func (t *jobTable) getOrCreate(id, circuitID string, timeoutMS int, keyed bool) (j *job, created bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j, ok := t.jobs[id]; ok {
+		return j, false
+	}
+	j = newJob(id, circuitID, timeoutMS, keyed)
+	t.jobs[id] = j
+	return j, true
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+func (t *jobTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.jobs, id)
+}
+
+// inflight counts unsettled jobs.
+func (t *jobTable) inflight() int {
+	t.mu.Lock()
+	jobs := make([]*job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		if !j.isSettled() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// member is one registered worker, as the coordinator sees it.
+type member struct {
+	id      string
+	addr    string
+	workers int
+
+	// lastBeat is the wall time of the last heartbeat, unix nanos.
+	lastBeat atomic.Int64
+	// load counts this coordinator's outstanding dispatches to the
+	// worker; placement picks the least-loaded live member.
+	load atomic.Int64
+	// gone flips when the member is evicted or leaves; lease-watch loops
+	// poll it to re-dispatch without waiting out the lease deadline.
+	gone atomic.Bool
+}
+
+func (m *member) beat(now time.Time) { m.lastBeat.Store(now.UnixNano()) }
+
+// capacity is how many leases the worker can run without queueing: its
+// advertised worker budget (minimum 1). Placement never exceeds it, so
+// a slow pool backs jobs up on the coordinator — where waiting is free
+// and consumes no dispatch attempts — instead of overflowing worker
+// queues into transient failures.
+func (m *member) capacity() int64 {
+	if m.workers < 1 {
+		return 1
+	}
+	return int64(m.workers)
+}
+
+func (m *member) beatAge(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, m.lastBeat.Load()))
+}
+
+// memberTable is the coordinator's worker registry. IDs are handed out
+// by the coordinator (w1, w2, ...) so a rejoining worker is a new
+// member — the evicted incarnation never comes back, its leases stay
+// fenced.
+type memberTable struct {
+	mu      sync.Mutex
+	members map[string]*member
+	seq     uint64
+}
+
+func newMemberTable() *memberTable {
+	return &memberTable{members: make(map[string]*member)}
+}
+
+func (t *memberTable) join(addr string, workers int, now time.Time) *member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	m := &member{id: fmt.Sprintf("w%d", t.seq), addr: addr, workers: workers}
+	m.beat(now)
+	t.members[m.id] = m
+	return m
+}
+
+// heartbeat refreshes a member's liveness; false means the ID is unknown
+// (evicted or never joined) and the worker must rejoin.
+func (t *memberTable) heartbeat(id string, now time.Time) bool {
+	t.mu.Lock()
+	m, ok := t.members[id]
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	m.beat(now)
+	return true
+}
+
+// remove drops a member (graceful leave or eviction); the returned
+// member is nil when the ID was already gone.
+func (t *memberTable) remove(id string) *member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.members[id]
+	if !ok {
+		return nil
+	}
+	delete(t.members, id)
+	m.gone.Store(true)
+	return m
+}
+
+func (t *memberTable) get(id string) (*member, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.members[id]
+	return m, ok
+}
+
+// snapshot returns the current members (live by definition — stale ones
+// are physically removed by evictStale).
+func (t *memberTable) snapshot() []*member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*member, 0, len(t.members))
+	for _, m := range t.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+func (t *memberTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.members)
+}
+
+// pick returns the least-loaded member with spare capacity, skipping IDs
+// in exclude; nil when none qualify (empty, all excluded, or all
+// saturated — the caller waits in every case). Exclusion is how
+// re-dispatch avoids handing a job straight back to the worker whose
+// lease just expired, and how hedging picks a different worker than the
+// primary.
+func (t *memberTable) pick(exclude map[string]bool) *member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best *member
+	for _, m := range t.members {
+		if exclude[m.id] || m.load.Load() >= m.capacity() {
+			continue
+		}
+		if best == nil || m.load.Load() < best.load.Load() {
+			best = m
+		}
+	}
+	return best
+}
+
+// evictStale removes every member whose last beat is older than
+// evictAfter and returns them, so the caller can count evictions and
+// fence their leases.
+func (t *memberTable) evictStale(now time.Time, evictAfter time.Duration) []*member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var evicted []*member
+	for id, m := range t.members {
+		if m.beatAge(now) > evictAfter {
+			delete(t.members, id)
+			m.gone.Store(true)
+			evicted = append(evicted, m)
+		}
+	}
+	return evicted
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics holds the coordinator's cluster-level counters. Gauges
+// (workers live, heartbeat ages) are derived from the member table at
+// scrape time rather than stored.
+type Metrics struct {
+	WorkerJoinsTotal      atomic.Int64
+	WorkerLeavesTotal     atomic.Int64
+	WorkerEvictionsTotal  atomic.Int64
+	JobsAcceptedTotal     atomic.Int64
+	JobsDispatchedTotal   atomic.Int64 // every dispatch RPC that got a 2xx
+	JobsRedispatchedTotal atomic.Int64 // dispatches after a lost lease
+	JobsHedgedTotal       atomic.Int64 // extra leases issued by hedging
+	JobsCompletedTotal    atomic.Int64
+	JobsFailedTotal       atomic.Int64
+	ResultsFencedTotal    atomic.Int64 // completions rejected by the fence
+	ResultsDuplicateTotal atomic.Int64 // completions after settle
+	DispatchErrorsTotal   atomic.Int64 // dispatch RPCs that never took
+	ReplaysTotal          atomic.Int64 // keyed retries served from journal
+}
+
+// heartbeatAge is one worker's scrape-time liveness sample.
+type heartbeatAge struct {
+	WorkerID string
+	Seconds  float64
+}
+
+// writePrometheus renders the cluster metrics in the text exposition
+// format, including the per-worker heartbeat-age gauge the ISSUE's
+// runbook alerts on.
+func (m *Metrics) writePrometheus(w io.Writer, workersLive int, ages []heartbeatAge) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("zkphired_worker_joins_total", "Workers that joined the pool.", m.WorkerJoinsTotal.Load())
+	counter("zkphired_worker_leaves_total", "Workers that left gracefully.", m.WorkerLeavesTotal.Load())
+	counter("zkphired_worker_evictions_total", "Workers evicted for missed heartbeats.", m.WorkerEvictionsTotal.Load())
+	counter("zkphired_jobs_accepted_total", "Prove jobs accepted by the coordinator.", m.JobsAcceptedTotal.Load())
+	counter("zkphired_jobs_dispatched_total", "Job leases dispatched to workers.", m.JobsDispatchedTotal.Load())
+	counter("zkphired_jobs_redispatched_total", "Re-dispatches after a lost lease (eviction, lease timeout, transient failure).", m.JobsRedispatchedTotal.Load())
+	counter("zkphired_jobs_hedged_total", "Hedge leases issued for slow jobs.", m.JobsHedgedTotal.Load())
+	counter("zkphired_jobs_completed_total", "Jobs settled with a proof.", m.JobsCompletedTotal.Load())
+	counter("zkphired_jobs_failed_total", "Jobs settled with a permanent error.", m.JobsFailedTotal.Load())
+	counter("zkphired_results_fenced_total", "Late completions rejected by lease-epoch fencing.", m.ResultsFencedTotal.Load())
+	counter("zkphired_results_duplicate_total", "Completions discarded because the job had settled.", m.ResultsDuplicateTotal.Load())
+	counter("zkphired_dispatch_errors_total", "Dispatch RPCs that failed outright.", m.DispatchErrorsTotal.Load())
+	counter("zkphired_job_replays_total", "Keyed retries answered from the journal.", m.ReplaysTotal.Load())
+	fmt.Fprintf(w, "# HELP zkphired_workers_live Workers currently registered and un-evicted.\n# TYPE zkphired_workers_live gauge\nzkphired_workers_live %d\n", workersLive)
+	sort.Slice(ages, func(i, k int) bool { return ages[i].WorkerID < ages[k].WorkerID })
+	fmt.Fprintf(w, "# HELP zkphired_worker_heartbeat_age_seconds Seconds since each worker's last heartbeat.\n# TYPE zkphired_worker_heartbeat_age_seconds gauge\n")
+	for _, a := range ages {
+		fmt.Fprintf(w, "zkphired_worker_heartbeat_age_seconds{worker=%q} %g\n", a.WorkerID, a.Seconds)
+	}
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkphire/internal/faultinject"
+	"zkphire/internal/retry"
+	"zkphire/internal/service"
+)
+
+// WorkerConfig wires a worker agent to its coordinator.
+type WorkerConfig struct {
+	// Service is the local single-node prover the agent fronts. Required.
+	Service *service.Server
+	// CoordinatorURL is the coordinator's base URL. Required.
+	CoordinatorURL string
+	// AdvertiseURL is this worker's base URL as the coordinator should
+	// dial it. May be left empty at construction and filled via
+	// SetAdvertiseURL once the listener is bound, but must be set before
+	// Start.
+	AdvertiseURL string
+	// HeartbeatInterval is the beat cadence until the join response
+	// overrides it (0 = 1 s).
+	HeartbeatInterval time.Duration
+	// Client performs cluster RPCs (nil = http.DefaultClient).
+	Client *http.Client
+	// Retry shapes the join/completion RPC retries. Completions lean on
+	// it hard: a coordinator mid-restart must not turn a finished proof
+	// into a lost one, so the default is 10 attempts backing off to 1 s.
+	Retry retry.Policy
+}
+
+// Worker is the agent that turns a single-node service into a pool
+// member: it joins the coordinator, heartbeats, accepts dispatches,
+// replicates circuits by content hash, and pushes completions back.
+// Construct with NewWorker, mount Handler, Start, Close.
+type Worker struct {
+	cfg    WorkerConfig
+	svc    *service.Server
+	client *http.Client
+
+	mux       *http.ServeMux
+	id        atomic.Value // string; empty until joined
+	advertise atomic.Value // string; settable until Start
+	// beatEvery is the heartbeat period in nanoseconds, set by the join
+	// response.
+	beatEvery atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewWorker validates cfg and builds the agent (no I/O yet — Start
+// joins).
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("cluster: WorkerConfig.Service is required")
+	}
+	if cfg.CoordinatorURL == "" {
+		return nil, fmt.Errorf("cluster: WorkerConfig.CoordinatorURL is required")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = retry.Policy{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond, MaxDelay: time.Second}
+	}
+	w := &Worker{
+		cfg:    cfg,
+		svc:    cfg.Service,
+		client: cfg.Client,
+		closed: make(chan struct{}),
+	}
+	w.id.Store("")
+	w.advertise.Store(cfg.AdvertiseURL)
+	w.beatEvery.Store(int64(cfg.HeartbeatInterval))
+	mux := http.NewServeMux()
+	mux.Handle("/", cfg.Service.Handler())
+	mux.HandleFunc("POST /cluster/dispatch", w.handleDispatch)
+	w.mux = mux
+	return w, nil
+}
+
+// Handler serves the full worker surface: the local service API (so a
+// worker is still a working single-node prover) plus /cluster/dispatch.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// ID returns the coordinator-assigned worker ID ("" before the first
+// join).
+func (w *Worker) ID() string { return w.id.Load().(string) }
+
+// AdvertiseURL returns the URL this worker advertises to the
+// coordinator.
+func (w *Worker) AdvertiseURL() string { return w.advertise.Load().(string) }
+
+// SetAdvertiseURL sets the advertised URL; call before Start, once the
+// listener is bound and the dialable address is known.
+func (w *Worker) SetAdvertiseURL(u string) { w.advertise.Store(u) }
+
+// Start joins the coordinator (retrying under the configured policy) and
+// launches the heartbeat loop. The worker's HTTP listener should already
+// be serving Handler, since the join advertises it.
+func (w *Worker) Start(ctx context.Context) error {
+	if w.AdvertiseURL() == "" {
+		return fmt.Errorf("cluster: AdvertiseURL must be set before Start")
+	}
+	if err := w.join(ctx); err != nil {
+		return fmt.Errorf("cluster: join %s: %w", w.cfg.CoordinatorURL, err)
+	}
+	w.wg.Add(1)
+	//zkvet:ignore norawgo heartbeat loop with a single owner; joined via wg.Wait in Close, exits on the closed channel
+	go w.heartbeatLoop()
+	return nil
+}
+
+// Close leaves the pool (best effort) and stops the loops. Idempotent.
+// The local service is the caller's to drain and close.
+func (w *Worker) Close() {
+	w.closeOnce.Do(func() {
+		close(w.closed)
+		if id := w.ID(); id != "" {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			retry.PostJSON(ctx, w.client, w.cfg.CoordinatorURL+"/cluster/leave",
+				LeaveRequest{WorkerID: id}, nil, retry.Policy{MaxAttempts: 1})
+			cancel()
+		}
+		w.wg.Wait()
+	})
+}
+
+func (w *Worker) join(ctx context.Context) error {
+	var resp JoinResponse
+	err := retry.PostJSON(ctx, w.client, w.cfg.CoordinatorURL+"/cluster/join", JoinRequest{
+		Addr:    w.AdvertiseURL(),
+		Workers: w.svc.Budget().Total(),
+	}, &resp, w.cfg.Retry)
+	if err != nil {
+		return err
+	}
+	w.id.Store(resp.WorkerID)
+	if resp.HeartbeatMS > 0 {
+		w.beatEvery.Store(int64(time.Duration(resp.HeartbeatMS) * time.Millisecond))
+	}
+	return nil
+}
+
+// heartbeatLoop beats until Close. A 404 means this worker was evicted
+// (a partition outlived EvictAfter, say) — the loop rejoins for a fresh
+// identity, which heals the pool without restarting the process; the old
+// identity's leases stay fenced on the coordinator.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.closed:
+			return
+		case <-time.After(time.Duration(w.beatEvery.Load())):
+		}
+		if err := faultinject.Hit(PointHeartbeat); err != nil {
+			// Injected partition: the beat is dropped on the floor, exactly
+			// like a dead link. The process keeps running.
+			continue
+		}
+		queued, running := w.svc.Load()
+		err := retry.PostJSON(context.Background(), w.client, w.cfg.CoordinatorURL+"/cluster/heartbeat", HeartbeatRequest{
+			WorkerID:   w.ID(),
+			QueueDepth: queued,
+			Inflight:   running,
+		}, nil, retry.Policy{MaxAttempts: 1})
+		var se *retry.StatusError
+		if errors.As(err, &se) && se.StatusCode == http.StatusNotFound {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			w.join(ctx)
+			cancel()
+		}
+		// Other errors: the coordinator is unreachable this beat; the next
+		// tick retries. Missing enough beats gets us evicted, and the
+		// rejoin above brings us back.
+	}
+}
+
+// handleDispatch accepts a lease: 202 immediately, proof in the
+// background, result pushed to /cluster/complete. The coordinator's
+// lease deadline — not this handler — bounds how long it will wait.
+func (w *Worker) handleDispatch(rw http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Hit(PointDispatch); err != nil {
+		// Injected partition: refuse the lease as a network failure would.
+		writeJSONError(rw, http.StatusServiceUnavailable, "dispatch: %v", err)
+		return
+	}
+	var req DispatchRequest
+	r.Body = http.MaxBytesReader(rw, r.Body, maxBodyBytes)
+	if err := decodeStrict(r, &req); err != nil {
+		writeJSONError(rw, http.StatusBadRequest, "decode dispatch: %v", err)
+		return
+	}
+	if req.JobID == "" || req.CircuitID == "" {
+		writeJSONError(rw, http.StatusBadRequest, "dispatch: job_id and circuit_id are required")
+		return
+	}
+	w.wg.Add(1)
+	//zkvet:ignore norawgo per-lease prove goroutine; joined via wg.Wait in Close, bounded by the dispatch timeout
+	go w.runLease(req)
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusAccepted)
+	rw.Write([]byte("{}\n"))
+}
+
+// runLease proves one dispatched job and pushes the completion.
+func (w *Worker) runLease(req DispatchRequest) {
+	defer w.wg.Done()
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	// The flow (fetch + queue wait + prove + completion push) gets the
+	// prove timeout plus slack; past that the coordinator has fenced the
+	// lease anyway.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+30*time.Second)
+	defer cancel()
+
+	comp := CompleteRequest{JobID: req.JobID, WorkerID: w.ID(), Epoch: req.Epoch}
+	data, err := w.prove(ctx, req, timeout)
+	if err != nil {
+		comp.Error = err.Error()
+		comp.Transient = retry.IsTransient(err) ||
+			errors.Is(err, service.ErrQueueFull) ||
+			errors.Is(err, context.DeadlineExceeded)
+	} else {
+		comp.Proof = base64.StdEncoding.EncodeToString(data)
+	}
+	// Push hard: losing a finished proof to a coordinator restart wastes
+	// the whole prove. If every attempt fails the coordinator's lease
+	// deadline re-dispatches the job — nothing is lost, only re-proved.
+	retry.PostJSON(ctx, w.client, w.cfg.CoordinatorURL+"/cluster/complete", comp, nil, w.cfg.Retry)
+}
+
+// prove ensures the circuit is registered locally (fetching the spec
+// from the coordinator by content hash if not) and proves it.
+func (w *Worker) prove(ctx context.Context, req DispatchRequest, timeout time.Duration) ([]byte, error) {
+	if !w.svc.HasCircuit(req.CircuitID) {
+		if err := w.fetchCircuit(ctx, req.CircuitID); err != nil {
+			// Replication failures are always worth another worker: mark
+			// transient so the coordinator re-dispatches instead of
+			// failing the job.
+			return nil, retry.Transient(fmt.Errorf("replicate circuit %s: %w", req.CircuitID, err))
+		}
+	}
+	data, _, err := w.svc.ProveHex(ctx, req.CircuitID, timeout)
+	return data, err
+}
+
+// fetchCircuit replicates a spec from the coordinator's content-hash
+// store and registers it with the local service, verifying the hash
+// round-trips — a coordinator bug or a corrupted body cannot install the
+// wrong circuit under an ID.
+func (w *Worker) fetchCircuit(ctx context.Context, circuitID string) error {
+	if err := faultinject.Hit(PointFetch); err != nil {
+		return err
+	}
+	var spec service.CircuitSpec
+	if err := retry.GetJSON(ctx, w.client, w.cfg.CoordinatorURL+"/cluster/circuits/"+circuitID, &spec, w.cfg.Retry); err != nil {
+		return err
+	}
+	sess, _, err := w.svc.RegisterSpec(ctx, &spec)
+	if err != nil {
+		return err
+	}
+	if got := sess.Hash.String(); got != circuitID {
+		return fmt.Errorf("replicated spec hashes to %s, want %s", got, circuitID)
+	}
+	return nil
+}
+
+// decodeStrict decodes a JSON body, rejecting unknown fields.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}

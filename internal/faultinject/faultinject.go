@@ -9,6 +9,10 @@
 // fault the package is a no-op, and nothing in the repository arms faults
 // outside tests. Points are plain dotted names ("spill.write",
 // "journal.append"); the full set in use is listed in DESIGN.md §9.
+// The cluster layer adds network-shaped points — "cluster.heartbeat",
+// "cluster.dispatch", "cluster.fetch" — so the chaos harness can
+// partition a worker (its RPCs fail, the process lives) instead of
+// killing it; the name constants live in internal/cluster.
 //
 // Faults arm programmatically (Arm/Disarm/Reset) or from the environment
 // (ArmFromEnv reads ZKPHIRE_FAULTS), which is how the crash/replay

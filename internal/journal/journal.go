@@ -531,6 +531,20 @@ func (j *Journal) Pending() []Record {
 	return out
 }
 
+// Circuits returns every journaled circuit spec, keyed by circuit ID.
+// The cluster coordinator seeds its replication store from it on restart,
+// so workers can content-hash-fetch circuits the previous process
+// registered. The returned map and its values are copies.
+func (j *Journal) Circuits() map[string][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string][]byte, len(j.circuits))
+	for id, spec := range j.circuits {
+		out[id] = append([]byte(nil), spec...)
+	}
+	return out
+}
+
 // Spec returns the journaled CircuitSpec JSON for a circuit ID.
 func (j *Journal) Spec(circuitID string) ([]byte, bool) {
 	j.mu.Lock()

@@ -171,6 +171,24 @@ func retryableStatus(code int) bool {
 // the backoff (still capped by p.MaxDelay). A nil client uses
 // http.DefaultClient.
 func PostJSON(ctx context.Context, client *http.Client, url string, in, out any, p Policy) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("retry: marshal request: %w", err)
+	}
+	return doJSON(ctx, client, http.MethodPost, url, body, out, p)
+}
+
+// GetJSON fetches url and decodes the 2xx JSON response into out (out may
+// be nil to discard), with the same retry/Retry-After discipline as
+// PostJSON. The cluster worker agent uses it to replicate circuit specs
+// from the coordinator by content hash — a safe retry because GETs of
+// content-addressed state are idempotent by construction.
+func GetJSON(ctx context.Context, client *http.Client, url string, out any, p Policy) error {
+	return doJSON(ctx, client, http.MethodGet, url, nil, out, p)
+}
+
+// doJSON is the shared retry loop behind PostJSON and GetJSON.
+func doJSON(ctx context.Context, client *http.Client, method, url string, body []byte, out any, p Policy) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -178,14 +196,10 @@ func PostJSON(ctx context.Context, client *http.Client, url string, in, out any,
 		client = http.DefaultClient
 	}
 	p = p.withDefaults()
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("retry: marshal request: %w", err)
-	}
 
 	var last error
 	for attempt := 1; ; attempt++ {
-		status, retryAfter, raw, err := postOnce(ctx, client, url, body)
+		status, retryAfter, raw, err := doOnce(ctx, client, method, url, body)
 		switch {
 		case err != nil:
 			last = Transient(err)
@@ -223,14 +237,20 @@ func PostJSON(ctx context.Context, client *http.Client, url string, in, out any,
 	}
 }
 
-// postOnce performs one POST, returning the status, any Retry-After
-// delay, and the response body.
-func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (status int, retryAfter time.Duration, raw []byte, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+// doOnce performs one request, returning the status, any Retry-After
+// delay, and the response body. A nil body sends no payload (GET).
+func doOnce(ctx context.Context, client *http.Client, method, url string, body []byte) (status int, retryAfter time.Duration, raw []byte, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, 0, nil, err

@@ -157,3 +157,35 @@ func TestPostJSONExhaustionReturnsLastStatus(t *testing.T) {
 		t.Fatalf("err = %v, want StatusError 503", err)
 	}
 }
+
+func TestGetJSONRetriesAndSendsNoBody(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			t.Errorf("method = %s, want GET", r.Method)
+		}
+		if r.ContentLength != 0 {
+			t.Errorf("GET carried a %d-byte body", r.ContentLength)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			t.Errorf("GET carried Content-Type %q", ct)
+		}
+		if hits.Add(1) < 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"spec":"abc"}`)
+	}))
+	defer srv.Close()
+
+	var out struct {
+		Spec string `json:"spec"`
+	}
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0}
+	if err := GetJSON(context.Background(), srv.Client(), srv.URL, &out, p); err != nil {
+		t.Fatal(err)
+	}
+	if out.Spec != "abc" || hits.Load() != 2 {
+		t.Fatalf("spec=%q hits=%d, want abc/2", out.Spec, hits.Load())
+	}
+}

@@ -4,9 +4,16 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ProveWindowSize is the number of recent proof latencies RecentAvgProve
+// averages over. Sized so a burst of slow cold-cache proofs ages out of
+// the Retry-After estimate within a few dozen requests instead of
+// skewing a long-lived daemon's lifetime mean forever.
+const ProveWindowSize = 32
 
 // Metrics holds the service's operational counters. All fields are atomic
 // so the hot paths (registry lookups, the dispatcher) update them without
@@ -34,23 +41,58 @@ type Metrics struct {
 	// Proof latency (sum + count → average; a scraper derives the rate).
 	ProveNanos atomic.Int64
 	ProveCount atomic.Int64
+
+	// Sliding window over the last ProveWindowSize proof latencies, the
+	// load signal behind Retry-After. A ring under its own mutex: the
+	// observation rate is one update per finished proof, far off any hot
+	// path.
+	winMu  sync.Mutex
+	window [ProveWindowSize]int64
+	winLen int
+	winPos int
 }
 
 // ObserveProve records one successful proof latency.
 func (m *Metrics) ObserveProve(d time.Duration) {
 	m.ProveNanos.Add(int64(d))
 	m.ProveCount.Add(1)
+	m.winMu.Lock()
+	m.window[m.winPos] = int64(d)
+	m.winPos = (m.winPos + 1) % ProveWindowSize
+	if m.winLen < ProveWindowSize {
+		m.winLen++
+	}
+	m.winMu.Unlock()
 }
 
-// AvgProve returns the mean proof latency so far (0 before any proof).
-// The Retry-After estimator uses it to tell saturated clients when
-// capacity plausibly frees instead of a hard-coded guess.
+// AvgProve returns the lifetime mean proof latency (0 before any proof).
+// Exposed for the /metrics summary; the Retry-After estimator uses
+// RecentAvgProve instead, because a lifetime mean never tracks current
+// load on a long-lived daemon.
 func (m *Metrics) AvgProve() time.Duration {
 	n := m.ProveCount.Load()
 	if n == 0 {
 		return 0
 	}
 	return time.Duration(m.ProveNanos.Load() / n)
+}
+
+// RecentAvgProve returns the mean over the last ProveWindowSize proof
+// latencies (all observed ones while the window is still filling; 0
+// before any proof). Once ProveWindowSize fresh observations arrive, any
+// older latency regime has aged out completely — the property the
+// Retry-After estimator needs and TestRecentAvgProveWindow pins.
+func (m *Metrics) RecentAvgProve() time.Duration {
+	m.winMu.Lock()
+	defer m.winMu.Unlock()
+	if m.winLen == 0 {
+		return 0
+	}
+	var sum int64
+	for i := 0; i < m.winLen; i++ {
+		sum += m.window[i]
+	}
+	return time.Duration(sum / int64(m.winLen))
 }
 
 // HitRate returns cache hits / lookups (0 when no lookups yet).

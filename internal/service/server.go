@@ -172,6 +172,10 @@ func (s *Server) Drain(ctx context.Context) error {
 // Draining reports whether Drain has started.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Load snapshots the job queue — the cluster worker agent reports it in
+// heartbeats so operators can see pool imbalance.
+func (s *Server) Load() (queued, running int) { return s.queue.Depth(), s.queue.Running() }
+
 // RecoverJournal finishes the work a previous process left behind: for
 // every pending journal record it rebuilds the circuit's proving session
 // from the journaled spec, re-proves through the normal queue (same
@@ -212,24 +216,8 @@ func (s *Server) RecoverJournal(ctx context.Context) (replayed int, err error) {
 		}
 		var data []byte
 		if serr == nil {
-			timeout := s.cfg.DefaultTimeout
-			if rec.TimeoutMS > 0 {
-				timeout = time.Duration(rec.TimeoutMS) * time.Millisecond
-				if timeout > s.cfg.MaxTimeout {
-					timeout = s.cfg.MaxTimeout
-				}
-			}
-			jctx, cancel := context.WithTimeout(ctx, timeout)
-			var proof *zkphire.Proof
-			serr = s.queue.Submit(jctx, func(ctx context.Context, w int) error {
-				var err error
-				proof, err = sess.Prover.ProveWorkers(ctx, w)
-				return err
-			})
-			cancel()
-			if serr == nil {
-				data, serr = proof.MarshalBinary()
-			}
+			timeout := s.clampTimeout(time.Duration(rec.TimeoutMS) * time.Millisecond)
+			data, _, serr = s.proveSession(ctx, sess, timeout)
 		}
 		if serr != nil {
 			if ctx.Err() != nil {
@@ -252,12 +240,15 @@ func (s *Server) RecoverJournal(ctx context.Context) (replayed int, err error) {
 }
 
 // retryAfterSeconds estimates when capacity frees: the jobs ahead of a
-// new arrival (waiting plus running) times the recent mean proof
-// latency, spread across the dispatcher pool, clamped to [1, 60]
-// seconds. Before any proof has finished the estimate falls back to one
+// new arrival (waiting plus running) times the windowed recent mean
+// proof latency, spread across the dispatcher pool, clamped to [1, 60]
+// seconds. The window (Metrics.RecentAvgProve) matters on a long-lived
+// daemon: a lifetime mean diluted by months of fast cached proofs would
+// under-estimate a current slow-circuit regime — and vice versa —
+// forever. Before any proof has finished the estimate falls back to one
 // second per job slot — still queue-aware, never the old hard-coded 1.
 func (s *Server) retryAfterSeconds() int {
-	avg := s.metrics.AvgProve()
+	avg := s.metrics.RecentAvgProve()
 	if avg <= 0 {
 		avg = time.Second
 	}
@@ -326,6 +317,54 @@ type RegisterResponse struct {
 	VerifyingKey string `json:"verifying_key"`
 }
 
+// ErrBadRequest wraps registration failures that are the client's fault
+// (malformed spec, unsatisfied witness); the handlers map it to 400/422.
+var ErrBadRequest = errors.New("service: bad request")
+
+// errJournalWrite wraps journal I/O failures so the handlers answer 500
+// (our fault) rather than a client-error status.
+var errJournalWrite = errors.New("service: journal write failed")
+
+// RegisterSpec compiles spec, materializes (or finds) its proving
+// session, and — on a journaled server — durably records the spec so a
+// restarted daemon can rebuild the session. It is the handler core of
+// POST /circuits, exported so the cluster worker agent can register
+// coordinator-replicated circuits without an HTTP round trip to itself.
+func (s *Server) RegisterSpec(ctx context.Context, spec *CircuitSpec) (sess *Session, cached bool, err error) {
+	compiled, err := spec.Compile()
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: compile: %v", ErrBadRequest, err)
+	}
+	sess, cached, err = s.registry.Register(ctx, compiled)
+	if err != nil {
+		return nil, false, err
+	}
+	if s.journal != nil {
+		// The spec fully determines the circuit (the witness is embedded),
+		// so journaling it lets a restarted daemon rebuild this session and
+		// finish the jobs that reference it.
+		raw, jerr := json.Marshal(spec)
+		if jerr == nil {
+			jerr = s.journal.RecordCircuit(sess.Hash.String(), raw)
+		}
+		if jerr != nil {
+			return nil, false, fmt.Errorf("%w: journal circuit: %v", errJournalWrite, jerr)
+		}
+	}
+	return sess, cached, nil
+}
+
+// HasCircuit reports whether the hex circuit ID resolves to a cached
+// session.
+func (s *Server) HasCircuit(id string) bool {
+	h, err := parseCircuitID(id)
+	if err != nil {
+		return false
+	}
+	_, ok := s.registry.Get(h)
+	return ok
+}
+
 // handleCircuits compiles the posted CircuitSpec and materializes (or
 // finds) its proving session.
 func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
@@ -337,14 +376,13 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &spec) {
 		return
 	}
-	compiled, err := spec.Compile()
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "compile: %v", err)
-		return
-	}
-	sess, cached, err := s.registry.Register(r.Context(), compiled)
+	sess, cached, err := s.RegisterSpec(r.Context(), &spec)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrBadRequest):
+			s.fail(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, errJournalWrite):
+			s.fail(w, http.StatusInternalServerError, "%v", err)
 		case r.Context().Err() != nil:
 			s.fail(w, statusClientClosedRequest, "registration abandoned: %v", err)
 		case errors.Is(err, context.DeadlineExceeded):
@@ -355,19 +393,6 @@ func (s *Server) handleCircuits(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusUnprocessableEntity, "register: %v", err)
 		}
 		return
-	}
-	if s.journal != nil {
-		// The spec fully determines the circuit (the witness is embedded),
-		// so journaling it lets a restarted daemon rebuild this session and
-		// finish the jobs that reference it.
-		raw, err := json.Marshal(spec)
-		if err == nil {
-			err = s.journal.RecordCircuit(sess.Hash.String(), raw)
-		}
-		if err != nil {
-			s.fail(w, http.StatusInternalServerError, "journal circuit: %v", err)
-			return
-		}
 	}
 	s.ok(w, RegisterResponse{
 		CircuitID:       sess.Hash.String(),
@@ -453,13 +478,7 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
+	timeout := s.clampTimeout(time.Duration(req.TimeoutMS) * time.Millisecond)
 
 	if journaled {
 		if _, ok := s.journal.Spec(req.CircuitID); !ok {
@@ -477,26 +496,8 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
-	var (
-		proof   *zkphire.Proof
-		workers int
-		started = time.Now()
-	)
-	err := s.queue.Submit(ctx, func(ctx context.Context, w int) error {
-		workers = w
-		var err error
-		proof, err = sess.Prover.ProveWorkers(ctx, w)
-		return err
-	})
-	var data []byte
-	if err == nil {
-		if data, err = proof.MarshalBinary(); err != nil {
-			err = fmt.Errorf("serialize proof: %w", err)
-		}
-	}
+	started := time.Now()
+	data, workers, err := s.proveSession(r.Context(), sess, timeout)
 	if journaled {
 		// Settle the key either way: Complete makes the proof durable
 		// before the client sees it; Fail re-opens the key so a retry can
@@ -529,7 +530,6 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	elapsed := time.Since(started)
-	s.metrics.ObserveProve(elapsed)
 
 	s.ok(w, ProveResponse{
 		CircuitID:  req.CircuitID,
@@ -601,22 +601,89 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	s.ok(w, VerifyResponse{Valid: true})
 }
 
+// parseCircuitID decodes a hex circuit ID into a CircuitHash.
+func parseCircuitID(id string) (zkphire.CircuitHash, error) {
+	var h zkphire.CircuitHash
+	raw, err := hex.DecodeString(id)
+	if err != nil || len(raw) != len(h) {
+		return h, fmt.Errorf("circuit_id must be %d hex bytes", len(h))
+	}
+	copy(h[:], raw)
+	return h, nil
+}
+
 // lookup resolves a circuit ID to its cached session, writing the error
 // response on failure.
 func (s *Server) lookup(w http.ResponseWriter, id string) (*Session, bool) {
-	raw, err := hex.DecodeString(id)
-	if err != nil || len(raw) != len(zkphire.CircuitHash{}) {
-		s.fail(w, http.StatusBadRequest, "circuit_id must be %d hex bytes", len(zkphire.CircuitHash{}))
+	h, err := parseCircuitID(id)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
 		return nil, false
 	}
-	var h zkphire.CircuitHash
-	copy(h[:], raw)
 	sess, ok := s.registry.Get(h)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "circuit %s not registered (or evicted) — POST /circuits again", id)
 		return nil, false
 	}
 	return sess, true
+}
+
+// ErrNotRegistered reports a prove against a circuit the session cache
+// does not hold (never registered, or evicted).
+var ErrNotRegistered = errors.New("service: circuit not registered")
+
+// proveSession runs one proof of a cached session through the job queue
+// (admission control, worker lease, bounded retries of transient
+// failures) and returns the serialized proof bytes. It records the
+// latency observation the Retry-After estimator feeds on.
+func (s *Server) proveSession(ctx context.Context, sess *Session, timeout time.Duration) (data []byte, workers int, err error) {
+	jctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var proof *zkphire.Proof
+	started := time.Now()
+	err = s.queue.Submit(jctx, func(ctx context.Context, w int) error {
+		workers = w
+		var err error
+		proof, err = sess.Prover.ProveWorkers(ctx, w)
+		return err
+	})
+	if err != nil {
+		return nil, workers, err
+	}
+	if data, err = proof.MarshalBinary(); err != nil {
+		return nil, workers, fmt.Errorf("serialize proof: %w", err)
+	}
+	s.metrics.ObserveProve(time.Since(started))
+	return data, workers, nil
+}
+
+// ProveHex proves a registered circuit by its hex content-hash ID,
+// clamping timeout to the server's bounds (0 = the default). It is the
+// journal-free core of POST /prove, exported for the cluster worker
+// agent: cross-node idempotency and replay are the coordinator's job, so
+// the worker path needs exactly lookup + queue + proof bytes.
+func (s *Server) ProveHex(ctx context.Context, circuitID string, timeout time.Duration) (data []byte, workers int, err error) {
+	h, err := parseCircuitID(circuitID)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	sess, ok := s.registry.Get(h)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotRegistered, circuitID)
+	}
+	return s.proveSession(ctx, sess, s.clampTimeout(timeout))
+}
+
+// clampTimeout applies the server's default and maximum to a
+// client-requested job timeout.
+func (s *Server) clampTimeout(d time.Duration) time.Duration {
+	if d <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
 }
 
 // HealthResponse answers GET /healthz.
@@ -653,5 +720,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"zkphired_workers_in_use":  float64(s.budget.InUse()),
 		"zkphired_workers_per_job": float64(s.queue.Workers()),
 		"zkphired_uptime_seconds":  time.Since(s.start).Seconds(),
+		// The Retry-After load signal: windowed, unlike the lifetime
+		// summary above.
+		"zkphired_proof_latency_recent_seconds": s.metrics.RecentAvgProve().Seconds(),
 	})
 }
